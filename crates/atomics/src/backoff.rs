@@ -1,0 +1,96 @@
+//! Bounded exponential backoff.
+//!
+//! The baseline queues (MSQueue, CCQueue, CRTurn) and the harness use a small
+//! bounded backoff to reduce CAS contention.  The bound matters for the
+//! wait-free analysis: every `snooze` executes a finite number of
+//! `spin_loop` hints, so inserting a backoff never turns a bounded loop into
+//! an unbounded one.
+
+/// Bounded exponential backoff helper.
+///
+/// Each call to [`Backoff::snooze`] spins for `2^step` iterations (capped at
+/// `2^MAX_SHIFT`) and then doubles the step.  [`Backoff::is_completed`]
+/// reports when the cap has been reached so callers can decide to yield or
+/// switch strategies (e.g. take the wCQ slow path).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Maximum exponent: a single snooze never spins more than `2^MAX_SHIFT`
+    /// iterations.
+    pub const MAX_SHIFT: u32 = 10;
+
+    /// Creates a fresh backoff with zero accumulated delay.
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Resets the accumulated delay to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Spins briefly; the delay grows exponentially up to the cap.
+    #[inline]
+    pub fn snooze(&mut self) {
+        let spins = 1u32 << self.step.min(Self::MAX_SHIFT);
+        for _ in 0..spins {
+            core::hint::spin_loop();
+        }
+        if self.step < Self::MAX_SHIFT {
+            self.step += 1;
+        }
+    }
+
+    /// Returns `true` once the exponential delay has reached its cap.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step >= Self::MAX_SHIFT
+    }
+
+    /// Current step (exposed for tests and statistics).
+    #[inline]
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_grows_to_cap() {
+        let mut b = Backoff::new();
+        assert_eq!(b.step(), 0);
+        assert!(!b.is_completed());
+        for _ in 0..Backoff::MAX_SHIFT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        assert_eq!(b.step(), Backoff::MAX_SHIFT);
+        // Further snoozes stay capped.
+        b.snooze();
+        assert_eq!(b.step(), Backoff::MAX_SHIFT);
+    }
+
+    #[test]
+    fn reset_clears_progress() {
+        let mut b = Backoff::new();
+        b.snooze();
+        b.snooze();
+        assert!(b.step() > 0);
+        b.reset();
+        assert_eq!(b.step(), 0);
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,70 @@
+//! # wcq-atomics
+//!
+//! Low-level atomic substrate for the wCQ reproduction (Nikolaev & Ravindran,
+//! SPAA '22).
+//!
+//! The wCQ algorithm requires *double-width* compare-and-swap (`CAS2` in the
+//! paper): every ring entry is a 16-byte `(Value, Note)` pair and the global
+//! `Head`/`Tail` references are 16-byte `(counter, help-reference)` pairs.
+//! Stable Rust does not expose `core::sync::atomic::AtomicU128`, so this crate
+//! provides:
+//!
+//! * [`AtomicDouble`] — a 16-byte aligned pair of 64-bit words supporting
+//!   single-word atomic operations on either half (load/store/F&A/OR/CAS) *and*
+//!   a full double-width compare-and-exchange.  On `x86_64` the double-width
+//!   operations are implemented with an inline-assembly `lock cmpxchg16b`; on
+//!   other targets a striped spin-lock fallback keeps the crate portable (the
+//!   fallback preserves linearizability but not wait-freedom, and is intended
+//!   for running the test-suite only).
+//! * [`AtomicU128`] — a thin `u128`-flavoured convenience wrapper over
+//!   [`AtomicDouble`].
+//! * [`llsc`] — a software emulation of weak LL/SC reservation granules used to
+//!   reproduce the paper's §4 PowerPC/MIPS construction (`CAS2_Value` /
+//!   `CAS2_Note`, Figure 9) on commodity hardware.
+//! * [`Backoff`] — bounded exponential backoff used by the baseline queues.
+//! * [`CachePadded`] — cache-line padding (re-exported from `crossbeam-utils`).
+//!
+//! All operations in this crate use sequentially-consistent ordering, matching
+//! the paper's presentation ("we assume a sequentially consistent memory
+//! model"); on x86-64 the extra cost relative to acquire/release is limited to
+//! plain stores, and every hot-path operation here is a read-modify-write that
+//! is already fully fenced.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod backoff;
+mod double;
+pub mod llsc;
+mod u128_atomic;
+
+pub use backoff::Backoff;
+pub use double::AtomicDouble;
+pub use u128_atomic::AtomicU128;
+
+/// Cache-line padded wrapper, re-exported from `crossbeam-utils`.
+///
+/// Both SCQ and wCQ pad their `Head`, `Tail` and `Threshold` words to separate
+/// cache lines, and the benchmark harness pads per-thread statistics.
+pub use crossbeam_utils::CachePadded;
+
+/// Returns `true` when the double-width operations use the native
+/// `lock cmpxchg16b` instruction rather than the portable lock-based fallback.
+///
+/// The wait-freedom guarantee of the wCQ slow path only holds on the native
+/// path; the fallback exists so the library and its tests remain portable.
+pub const fn has_native_cas2() -> bool {
+    cfg!(target_arch = "x86_64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_cas2_reported_on_x86_64() {
+        if cfg!(target_arch = "x86_64") {
+            assert!(has_native_cas2());
+        }
+    }
+}

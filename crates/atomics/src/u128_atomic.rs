@@ -1,0 +1,151 @@
+//! `u128`-flavoured wrapper over [`AtomicDouble`].
+//!
+//! Some call sites (notably LCRQ's per-slot `(safe/idx, value)` word and the
+//! test-suite) are more naturally expressed over a single 128-bit integer.
+//! [`AtomicU128`] provides the familiar `load` / `store` / `compare_exchange` /
+//! `fetch_update` surface on top of the same `lock cmpxchg16b` path.
+
+use crate::AtomicDouble;
+
+/// A 128-bit atomic built on [`AtomicDouble`].
+///
+/// The low 64 bits map to the pair's `lo` word and the high 64 bits to `hi`.
+#[repr(transparent)]
+#[derive(Debug, Default)]
+pub struct AtomicU128 {
+    inner: AtomicDouble,
+}
+
+#[inline]
+fn split(v: u128) -> (u64, u64) {
+    (v as u64, (v >> 64) as u64)
+}
+
+#[inline]
+fn join(lo: u64, hi: u64) -> u128 {
+    (lo as u128) | ((hi as u128) << 64)
+}
+
+impl AtomicU128 {
+    /// Creates a new atomic initialized to `value`.
+    pub const fn new(value: u128) -> Self {
+        let lo = value as u64;
+        let hi = (value >> 64) as u64;
+        Self {
+            inner: AtomicDouble::new(lo, hi),
+        }
+    }
+
+    /// Atomically loads the 128-bit value.
+    #[inline]
+    pub fn load(&self) -> u128 {
+        let (lo, hi) = self.inner.load();
+        join(lo, hi)
+    }
+
+    /// Atomically stores `value` (implemented as a CAS loop over the current
+    /// value, which is how 128-bit stores are realised without AVX).
+    #[inline]
+    pub fn store(&self, value: u128) {
+        let mut cur = self.load();
+        loop {
+            match self.compare_exchange(cur, value) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Atomically compares and exchanges the full 128-bit value.
+    #[inline]
+    pub fn compare_exchange(&self, expected: u128, new: u128) -> Result<u128, u128> {
+        match self.inner.compare_exchange(split(expected), split(new)) {
+            Ok(_) => Ok(expected),
+            Err((lo, hi)) => Err(join(lo, hi)),
+        }
+    }
+
+    /// Atomically applies `f` to the current value until the update succeeds
+    /// or `f` returns `None`.
+    #[inline]
+    pub fn fetch_update<F>(&self, mut f: F) -> Result<u128, u128>
+    where
+        F: FnMut(u128) -> Option<u128>,
+    {
+        let mut cur = self.load();
+        loop {
+            let Some(next) = f(cur) else { return Err(cur) };
+            match self.compare_exchange(cur, next) {
+                Ok(prev) => return Ok(prev),
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Exposes the underlying pair for call sites that mix half-word and
+    /// full-width access (e.g. LCRQ's slot layout).
+    #[inline]
+    pub fn as_double(&self) -> &AtomicDouble {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const BIG: u128 = 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let a = AtomicU128::new(BIG);
+        assert_eq!(a.load(), BIG);
+        a.store(BIG ^ u128::MAX);
+        assert_eq!(a.load(), BIG ^ u128::MAX);
+    }
+
+    #[test]
+    fn compare_exchange_behaviour() {
+        let a = AtomicU128::new(1);
+        assert_eq!(a.compare_exchange(1, 2), Ok(1));
+        assert_eq!(a.compare_exchange(1, 3), Err(2));
+        assert_eq!(a.load(), 2);
+    }
+
+    #[test]
+    fn fetch_update_increments_across_the_word_boundary() {
+        let a = AtomicU128::new(u64::MAX as u128);
+        let prev = a.fetch_update(|v| Some(v + 1)).unwrap();
+        assert_eq!(prev, u64::MAX as u128);
+        assert_eq!(a.load(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    fn fetch_update_abort_returns_current() {
+        let a = AtomicU128::new(77);
+        assert_eq!(a.fetch_update(|_| None), Err(77));
+        assert_eq!(a.load(), 77);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        const THREADS: usize = 4;
+        const OPS: u128 = 10_000;
+        let a = Arc::new(AtomicU128::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..OPS {
+                        a.fetch_update(|v| Some(v + 1)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(), THREADS as u128 * OPS);
+    }
+}

@@ -1,0 +1,122 @@
+//! The "FAA" pseudo-queue: a theoretical performance upper bound.
+//!
+//! The paper (§6): "FAA (fetch-and-add), which is not a true queue algorithm;
+//! it simply atomically increments Head and Tail when calling Dequeue and
+//! Enqueue respectively.  FAA is only shown to provide a theoretical
+//! performance 'upper bound' for F&A-based queues."
+//!
+//! The reproduction does exactly that: an enqueue is one `fetch_add` on the
+//! tail counter plus a plain (racy, overwriting) slot store; a dequeue is one
+//! `fetch_add` on the head counter plus a slot read.  No FIFO, loss, or
+//! duplication guarantees are made — this type exists solely so the benchmark
+//! harness can plot the same upper-bound series the paper plots.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+use wcq_atomics::CachePadded;
+
+/// The fetch-and-add upper-bound pseudo-queue.
+///
+/// Stores `u64` "values" in a fixed ring with no synchronization beyond the
+/// two counters.  **Not a correct queue** — benchmark use only.
+pub struct FaaQueue {
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    slots: Box<[AtomicU64]>,
+    mask: u64,
+}
+
+impl FaaQueue {
+    /// Creates a pseudo-queue with `2^order` slots.
+    pub fn new(order: u32) -> Self {
+        let size = 1u64 << order;
+        Self {
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..size).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            mask: size - 1,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// "Enqueues" a value: one F&A plus one store.
+    #[inline]
+    pub fn enqueue(&self, value: u64) {
+        let t = self.tail.fetch_add(1, SeqCst);
+        self.slots[(t & self.mask) as usize].store(value, SeqCst);
+    }
+
+    /// "Dequeues" a value: one F&A plus one load.  Returns `None` when the
+    /// head counter has caught up with the tail counter.
+    #[inline]
+    pub fn dequeue(&self) -> Option<u64> {
+        let h = self.head.fetch_add(1, SeqCst);
+        if h >= self.tail.load(SeqCst) {
+            return None;
+        }
+        Some(self.slots[(h & self.mask) as usize].load(SeqCst))
+    }
+
+    /// Bytes occupied (for the memory benchmark).
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.slots.len() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+impl std::fmt::Debug for FaaQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaaQueue")
+            .field("capacity", &self.capacity())
+            .field("head", &self.head.load(SeqCst))
+            .field("tail", &self.tail.load(SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_advance_per_operation() {
+        let q = FaaQueue::new(4);
+        q.enqueue(7);
+        q.enqueue(8);
+        assert_eq!(q.dequeue(), Some(7));
+        assert_eq!(q.dequeue(), Some(8));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn single_thread_in_order_when_uncontended() {
+        let q = FaaQueue::new(6);
+        for i in 0..32 {
+            q.enqueue(i);
+        }
+        for i in 0..32 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_ops_never_panic() {
+        // The point of FAA is raw counter throughput; we only check it is
+        // memory-safe under concurrency, not that it is a correct queue.
+        let q = std::sync::Arc::new(FaaQueue::new(8));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        q.enqueue(i);
+                        let _ = q.dequeue();
+                    }
+                });
+            }
+        });
+    }
+}

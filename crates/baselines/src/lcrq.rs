@@ -1,0 +1,386 @@
+//! LCRQ — Morrison & Afek's linked concurrent ring queue (baseline).
+//!
+//! LCRQ layers a Michael&Scott-style outer list on top of livelock-prone but
+//! very fast F&A-based rings (CRQs).  A CRQ that becomes full (or on which an
+//! enqueuer repeatedly fails) is *closed*; enqueuers then append a fresh CRQ
+//! to the outer list.  This is what gives LCRQ its high throughput *and* its
+//! poor memory efficiency (Figure 10a): every premature close wastes a whole
+//! ring.
+//!
+//! The reproduction stores `u64` values (`u64::MAX` is reserved as the empty
+//! sentinel), uses the `wcq-atomics` double-width CAS for the per-slot
+//! `(index/safe, value)` pairs — LCRQ genuinely requires CAS2, which is why
+//! the paper omits it on PowerPC — and reclaims drained rings with hazard
+//! pointers as in the paper's benchmark setup.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+
+use wcq_atomics::{AtomicDouble, CachePadded};
+use wcq_reclaim::{HazardDomain, HazardHandle};
+
+/// Reserved "empty slot" value; user values must be smaller.
+pub const EMPTY: u64 = u64::MAX;
+
+const CLOSED_BIT: u64 = 1 << 63;
+const SAFE_BIT: u64 = 1 << 63;
+const IDX_MASK: u64 = SAFE_BIT - 1;
+
+/// A single closed-able ring (CRQ).
+struct Crq {
+    head: CachePadded<AtomicU64>,
+    /// Bit 63 is the CLOSED flag.
+    tail: CachePadded<AtomicU64>,
+    next: AtomicPtr<Crq>,
+    /// Slot `lo` = safe bit | index, `hi` = value (or [`EMPTY`]).
+    slots: Box<[AtomicDouble]>,
+    mask: u64,
+}
+
+impl Crq {
+    fn new(order: u32) -> Self {
+        let size = 1u64 << order;
+        Self {
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            slots: (0..size)
+                .map(|i| AtomicDouble::new(SAFE_BIT | i, EMPTY))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            mask: size - 1,
+        }
+    }
+
+    /// A fresh ring already holding `value` (used when appending after a
+    /// close, so the element that triggered the append is not lost).
+    fn new_with(order: u32, value: u64) -> Self {
+        let crq = Self::new(order);
+        crq.slots[0].compare_exchange((SAFE_BIT, EMPTY), (SAFE_BIT, value))
+            .expect("fresh ring slot 0 must be empty");
+        crq.tail.store(1, SeqCst);
+        crq
+    }
+
+    fn close(&self) {
+        self.tail.fetch_or(CLOSED_BIT, SeqCst);
+    }
+
+    /// Attempts to enqueue; `Err(())` means the ring is closed.
+    fn enqueue(&self, value: u64) -> Result<(), ()> {
+        // Bounded patience before closing the ring ourselves: this is LCRQ's
+        // anti-livelock measure.
+        let mut patience = 12 * self.slots.len() as u64;
+        loop {
+            let t_raw = self.tail.fetch_add(1, SeqCst);
+            if t_raw & CLOSED_BIT != 0 {
+                return Err(());
+            }
+            let t = t_raw;
+            let slot = &self.slots[(t & self.mask) as usize];
+            let (lo, val) = slot.load();
+            let idx = lo & IDX_MASK;
+            let safe = lo & SAFE_BIT != 0;
+            if val == EMPTY
+                && idx <= t
+                && (safe || self.head.load(SeqCst) <= t)
+                && slot.cas2((lo, val), (SAFE_BIT | t, value))
+            {
+                return Ok(());
+            }
+            let h = self.head.load(SeqCst);
+            if t.wrapping_sub(h) >= self.slots.len() as u64 || patience == 0 {
+                self.close();
+                return Err(());
+            }
+            patience = patience.saturating_sub(1);
+        }
+    }
+
+    /// Attempts to dequeue; `None` means the ring was observed empty.
+    fn dequeue(&self) -> Option<u64> {
+        loop {
+            let h = self.head.fetch_add(1, SeqCst);
+            let slot = &self.slots[(h & self.mask) as usize];
+            loop {
+                let (lo, val) = slot.load();
+                let idx = lo & IDX_MASK;
+                let safe_bit = lo & SAFE_BIT;
+                if val != EMPTY {
+                    if idx == h {
+                        // Our element: consume and advance the slot index by a
+                        // full ring so late enqueuers of this cycle fail.
+                        if slot.cas2((lo, val), (safe_bit | (h + self.slots.len() as u64), EMPTY)) {
+                            return Some(val);
+                        }
+                    } else {
+                        // An element of an older cycle: mark the slot unsafe.
+                        if slot.cas2((lo, val), (idx, val)) {
+                            break;
+                        }
+                    }
+                } else {
+                    // Empty slot: advance its index so the matching (late)
+                    // enqueuer cannot use it anymore.
+                    if slot.cas2((lo, val), (safe_bit | (h + self.slots.len() as u64), EMPTY)) {
+                        break;
+                    }
+                }
+            }
+            // Empty check.
+            let t = self.tail.load(SeqCst) & !CLOSED_BIT;
+            if t <= h + 1 {
+                self.fix_state();
+                return None;
+            }
+        }
+    }
+
+    /// Pull the tail forward after dequeuers overshot (bounded catch-up).
+    fn fix_state(&self) {
+        for _ in 0..64 {
+            let t_raw = self.tail.load(SeqCst);
+            let h = self.head.load(SeqCst);
+            if (t_raw & !CLOSED_BIT) >= h {
+                return;
+            }
+            if self
+                .tail
+                .compare_exchange(t_raw, (t_raw & CLOSED_BIT) | h, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+}
+
+/// The linked queue of CRQs.
+///
+/// Stores `u64` values smaller than [`EMPTY`].  Threads register to obtain an
+/// [`LcrqHandle`] (the bound is the hazard-pointer domain size).
+pub struct Lcrq {
+    head: AtomicPtr<Crq>,
+    tail: AtomicPtr<Crq>,
+    domain: HazardDomain,
+    ring_order: u32,
+    rings_allocated: AtomicUsize,
+    rings_live: AtomicUsize,
+}
+
+unsafe impl Send for Lcrq {}
+unsafe impl Sync for Lcrq {}
+
+impl Lcrq {
+    /// Creates an LCRQ whose rings hold `2^ring_order` slots, usable by up to
+    /// `max_threads` registered threads.
+    pub fn new(ring_order: u32, max_threads: usize) -> Self {
+        let first = Box::into_raw(Box::new(Crq::new(ring_order)));
+        Self {
+            head: AtomicPtr::new(first),
+            tail: AtomicPtr::new(first),
+            domain: HazardDomain::new(max_threads, 1),
+            ring_order,
+            rings_allocated: AtomicUsize::new(1),
+            rings_live: AtomicUsize::new(1),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> Option<LcrqHandle<'_>> {
+        Some(LcrqHandle {
+            queue: self,
+            hp: self.domain.register()?,
+        })
+    }
+
+    /// Total rings ever allocated (memory-growth statistic for Figure 10a).
+    pub fn rings_allocated(&self) -> usize {
+        self.rings_allocated.load(SeqCst)
+    }
+
+    /// Rings currently allocated and not yet reclaimed.
+    pub fn rings_live(&self) -> usize {
+        self.rings_live.load(SeqCst) + self.domain.pending()
+    }
+
+    /// Approximate bytes currently held by live rings.
+    pub fn memory_footprint(&self) -> usize {
+        let per_ring = std::mem::size_of::<Crq>()
+            + (1usize << self.ring_order) * std::mem::size_of::<AtomicDouble>();
+        std::mem::size_of::<Self>() + self.rings_live() * per_ring
+    }
+}
+
+impl Drop for Lcrq {
+    fn drop(&mut self) {
+        let mut cur = self.head.load(SeqCst);
+        while !cur.is_null() {
+            // SAFETY: exclusive access during drop.
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(SeqCst);
+        }
+    }
+}
+
+/// Per-thread handle to an [`Lcrq`].
+pub struct LcrqHandle<'q> {
+    queue: &'q Lcrq,
+    hp: HazardHandle<'q>,
+}
+
+impl<'q> LcrqHandle<'q> {
+    /// Enqueues `value` (must be `< EMPTY`).
+    pub fn enqueue(&mut self, value: u64) {
+        assert!(value < EMPTY, "u64::MAX is reserved as the empty sentinel");
+        loop {
+            let ltail = self.hp.protect(0, &self.queue.tail);
+            // SAFETY: protected by hazard slot 0.
+            let ltail_ref = unsafe { &*ltail };
+            let next = ltail_ref.next.load(SeqCst);
+            if !next.is_null() {
+                let _ = self
+                    .queue
+                    .tail
+                    .compare_exchange(ltail, next, SeqCst, SeqCst);
+                continue;
+            }
+            if ltail_ref.enqueue(value).is_ok() {
+                self.hp.clear();
+                return;
+            }
+            // The ring closed under us: append a fresh ring carrying `value`.
+            let fresh = Box::into_raw(Box::new(Crq::new_with(self.queue.ring_order, value)));
+            self.queue.rings_allocated.fetch_add(1, SeqCst);
+            self.queue.rings_live.fetch_add(1, SeqCst);
+            if ltail_ref
+                .next
+                .compare_exchange(std::ptr::null_mut(), fresh, SeqCst, SeqCst)
+                .is_ok()
+            {
+                let _ = self
+                    .queue
+                    .tail
+                    .compare_exchange(ltail, fresh, SeqCst, SeqCst);
+                self.hp.clear();
+                return;
+            }
+            // Somebody else appended first; discard our ring and retry (the
+            // value is still ours to enqueue).
+            self.queue.rings_allocated.fetch_sub(1, SeqCst);
+            self.queue.rings_live.fetch_sub(1, SeqCst);
+            // SAFETY: `fresh` was never published.
+            drop(unsafe { Box::from_raw(fresh) });
+        }
+    }
+
+    /// Dequeues a value; `None` when the whole queue is empty.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        loop {
+            let lhead = self.hp.protect(0, &self.queue.head);
+            // SAFETY: protected by hazard slot 0.
+            let lhead_ref = unsafe { &*lhead };
+            if let Some(v) = lhead_ref.dequeue() {
+                self.hp.clear();
+                return Some(v);
+            }
+            let next = lhead_ref.next.load(SeqCst);
+            if next.is_null() {
+                self.hp.clear();
+                return None;
+            }
+            // Drained ring with a successor: advance the outer head and retire
+            // the drained ring.
+            if self
+                .queue
+                .head
+                .compare_exchange(lhead, next, SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.queue.rings_live.fetch_sub(1, SeqCst);
+                self.hp.clear();
+                // SAFETY: the ring is unreachable from the queue; retired once
+                // by the CAS winner.
+                unsafe { self.hp.retire(lhead) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = Lcrq::new(4, 2);
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn overflow_allocates_new_rings() {
+        let q = Lcrq::new(2, 1); // tiny 4-slot rings
+        let mut h = q.register().unwrap();
+        for i in 0..64 {
+            h.enqueue(i);
+        }
+        assert!(q.rings_allocated() > 1, "small rings must have been closed/linked");
+        for i in 0..64 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn crq_dequeue_on_empty_returns_none_and_recovers() {
+        let q = Lcrq::new(3, 1);
+        let mut h = q.register().unwrap();
+        for _ in 0..10 {
+            assert_eq!(h.dequeue(), None);
+        }
+        h.enqueue(5);
+        assert_eq!(h.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn mpmc_stress_sum_preserved() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 5_000;
+        let q = Lcrq::new(6, THREADS as usize);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let q = &q;
+                let sum = &sum;
+                let count = &count;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..PER_THREAD {
+                        h.enqueue(t * PER_THREAD + i);
+                        if let Some(v) = h.dequeue() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    while let Some(v) = h.dequeue() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = THREADS * PER_THREAD;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

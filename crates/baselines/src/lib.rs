@@ -1,0 +1,36 @@
+//! # wcq-baselines
+//!
+//! The baseline concurrent queues used in the wCQ paper's evaluation (§6).
+//! Every algorithm the paper compares against is reproduced here so the
+//! benchmark harness can regenerate each figure:
+//!
+//! | Module | Paper baseline | Progress | Notes |
+//! |---|---|---|---|
+//! | [`faa`] | FAA | n/a | not a real queue; the theoretical F&A upper bound |
+//! | [`msqueue`] | MSQueue | lock-free | Michael & Scott list queue + hazard pointers |
+//! | [`ccqueue`] | CCQueue | blocking (combining) | flat-combining queue |
+//! | [`lcrq`] | LCRQ | lock-free | CRQ rings linked by an MS-style outer list |
+//! | [`ymc`] | YMC | "wait-free" (flawed reclamation) | segment-based F&A queue; see module docs for the reproduced simplifications |
+//! | [`crturn`] | CRTurn | wait-free | turn-based wait-free queue with hazard pointers |
+//!
+//! All queues follow the same registration-based usage model as `wcq-core`
+//! (per-thread handles), because the hazard-pointer domain and the helping
+//! arrays are sized for a fixed maximum number of threads — exactly how the
+//! paper's benchmark configures them.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod ccqueue;
+pub mod crturn;
+pub mod faa;
+pub mod lcrq;
+pub mod msqueue;
+pub mod ymc;
+
+pub use ccqueue::CcQueue;
+pub use crturn::CrTurnQueue;
+pub use faa::FaaQueue;
+pub use lcrq::Lcrq;
+pub use msqueue::MsQueue;
+pub use ymc::YmcQueue;

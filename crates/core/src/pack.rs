@@ -1,0 +1,352 @@
+//! Bit-level layout shared by SCQ and wCQ: entry packing and `Cache_Remap`.
+//!
+//! Both queues index a physical array of `2n` entries, where `n = 2^order` is
+//! the usable capacity (the paper doubles the physical capacity to retain
+//! lock-freedom, §2 "Finite SCQ").  Every entry `Value` packs four fields into
+//! one 64-bit word:
+//!
+//! ```text
+//!  63                      idx_bits+2  idx_bits+1  idx_bits   idx_bits-1      0
+//!  +--------------------------+-----------+-----------+----------------------+
+//!  |          Cycle           |  IsSafe   |    Enq    |        Index         |
+//!  +--------------------------+-----------+-----------+----------------------+
+//! ```
+//!
+//! with `idx_bits = order + 1`, so an `Index` can address all `2n` physical
+//! positions plus the two reserved values `⊥ = 2n − 2` and `⊥c = 2n − 1`.
+//! `⊥c` is all-ones in the index field, which lets `consume` replace an index
+//! by `⊥c` with a single atomic `OR` (paper, §2 "SCQ Algorithm").  The `Enq`
+//! bit is wCQ's two-step insertion flag (Figure 4); SCQ always keeps it set.
+//!
+//! [`Layout::remap`] implements `Cache_Remap`: a bit rotation that places
+//! logically adjacent ring positions on different cache lines while remaining
+//! a permutation of `0..2n`.
+
+/// Queue geometry plus entry packing / unpacking helpers.
+///
+/// A `Layout` is defined by `order`: the usable capacity is `n = 2^order`
+/// elements and the physical ring holds `2n` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    order: u32,
+    /// log2 of the number of entries that share one 64-byte cache line.
+    line_shift: u32,
+}
+
+/// A decoded entry value (the paper's `{Cycle, IsSafe, Enq, Index}` tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Recycling cycle of the slot.
+    pub cycle: u64,
+    /// The paper's `IsSafe` bit: cleared by dequeuers that had to skip the
+    /// slot while it still held an old-cycle value.
+    pub is_safe: bool,
+    /// wCQ's two-step insertion flag; `false` only while a slow-path enqueuer
+    /// has produced the entry but the help request is not yet finalized.
+    pub enq: bool,
+    /// The stored index, or [`Layout::bottom`] / [`Layout::bottom_c`].
+    pub index: u64,
+}
+
+impl Layout {
+    /// Maximum supported order.  Cycle counters must fit in the bits above the
+    /// index/flag fields and stay clear of the `FIN`/`INC` record bits.
+    pub const MAX_ORDER: u32 = 31;
+
+    /// Creates the layout for a queue of usable capacity `2^order` with
+    /// 8-byte entries (SCQ).
+    pub fn new(order: u32) -> Self {
+        Self::with_entry_size(order, 8)
+    }
+
+    /// Creates the layout for a queue of usable capacity `2^order` whose
+    /// physical entries are `entry_size` bytes (8 for SCQ, 16 for wCQ pairs).
+    /// The entry size only affects the cache-remap stride.
+    pub fn with_entry_size(order: u32, entry_size: usize) -> Self {
+        assert!(order >= 1, "order must be at least 1 (capacity 2)");
+        assert!(order <= Self::MAX_ORDER, "order too large");
+        assert!(
+            entry_size.is_power_of_two() && entry_size <= 64,
+            "entry size must be a power of two no larger than a cache line"
+        );
+        let per_line = (64 / entry_size).max(1) as u32;
+        Self {
+            order,
+            line_shift: per_line.trailing_zeros(),
+        }
+    }
+
+    /// The configured order (`log2` of the usable capacity).
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Usable capacity `n = 2^order`.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        1 << self.order
+    }
+
+    /// Physical ring size `2n`.
+    #[inline]
+    pub fn ring_size(&self) -> u64 {
+        2 * self.capacity()
+    }
+
+    /// Number of bits used by the index field (`order + 1`).
+    #[inline]
+    pub fn idx_bits(&self) -> u32 {
+        self.order + 1
+    }
+
+    /// Bit mask of the index field.
+    #[inline]
+    pub fn idx_mask(&self) -> u64 {
+        self.ring_size() - 1
+    }
+
+    /// The reserved `⊥` index ("slot empty, never consumed this cycle").
+    #[inline]
+    pub fn bottom(&self) -> u64 {
+        self.ring_size() - 2
+    }
+
+    /// The reserved `⊥c` index ("slot consumed this cycle").
+    #[inline]
+    pub fn bottom_c(&self) -> u64 {
+        self.ring_size() - 1
+    }
+
+    /// `true` if `index` is one of the two reserved values.
+    #[inline]
+    pub fn is_reserved(&self, index: u64) -> bool {
+        index == self.bottom() || index == self.bottom_c()
+    }
+
+    /// The `Enq` flag bit position within a packed entry.
+    #[inline]
+    pub fn enq_bit(&self) -> u64 {
+        1 << self.idx_bits()
+    }
+
+    /// The `IsSafe` flag bit position within a packed entry.
+    #[inline]
+    pub fn safe_bit(&self) -> u64 {
+        1 << (self.idx_bits() + 1)
+    }
+
+    /// Number of low bits below the cycle field.
+    #[inline]
+    pub fn cycle_shift(&self) -> u32 {
+        self.idx_bits() + 2
+    }
+
+    /// The maximum threshold value, `3n − 1` (paper §2: the last dequeuer can
+    /// be `2n` slots behind the last inserted entry, plus `n − 1` earlier
+    /// dequeuers).
+    #[inline]
+    pub fn max_threshold(&self) -> i64 {
+        3 * self.capacity() as i64 - 1
+    }
+
+    /// The cycle of a raw head/tail counter value `t` (`t ÷ 2n`).
+    #[inline]
+    pub fn cycle(&self, t: u64) -> u64 {
+        t >> self.idx_bits()
+    }
+
+    /// The ring position of a raw head/tail counter value `t` (`t mod 2n`),
+    /// before cache remapping.
+    #[inline]
+    pub fn position(&self, t: u64) -> u64 {
+        t & self.idx_mask()
+    }
+
+    /// `Cache_Remap`: permutes positions so adjacent logical positions land on
+    /// different cache lines.  Implemented as a bit rotation of the
+    /// `idx_bits()`-bit position by `line_shift` bits, which is a bijection on
+    /// `0..2n`.
+    #[inline]
+    pub fn remap(&self, pos: u64) -> u64 {
+        let bits = self.idx_bits();
+        let shift = self.line_shift.min(bits);
+        if shift == 0 || shift == bits {
+            return pos & self.idx_mask();
+        }
+        let pos = pos & self.idx_mask();
+        ((pos << shift) | (pos >> (bits - shift))) & self.idx_mask()
+    }
+
+    /// Convenience: the physical slot for raw counter `t`
+    /// (`Cache_Remap(t mod 2n)`).
+    #[inline]
+    pub fn slot(&self, t: u64) -> usize {
+        self.remap(self.position(t)) as usize
+    }
+
+    /// Packs an entry into its 64-bit representation.
+    #[inline]
+    pub fn pack(&self, cycle: u64, is_safe: bool, enq: bool, index: u64) -> u64 {
+        debug_assert!(index <= self.idx_mask());
+        (cycle << self.cycle_shift())
+            | if is_safe { self.safe_bit() } else { 0 }
+            | if enq { self.enq_bit() } else { 0 }
+            | index
+    }
+
+    /// Unpacks a 64-bit entry value.
+    #[inline]
+    pub fn unpack(&self, raw: u64) -> Entry {
+        Entry {
+            cycle: raw >> self.cycle_shift(),
+            is_safe: raw & self.safe_bit() != 0,
+            enq: raw & self.enq_bit() != 0,
+            index: raw & self.idx_mask(),
+        }
+    }
+
+    /// The value every slot is initialized to: `{Cycle 0, IsSafe 1, Enq 1, ⊥}`.
+    #[inline]
+    pub fn init_entry(&self) -> u64 {
+        self.pack(0, true, true, self.bottom())
+    }
+
+    /// The initial head/tail counter.  The paper starts at `2n` so the first
+    /// cycle in use is 1, which lets `Note = 0` act as "no note yet".
+    #[inline]
+    pub fn init_counter(&self) -> u64 {
+        self.ring_size()
+    }
+
+    /// The OR mask used by `consume`: sets `Enq` and turns the index into
+    /// `⊥c` while leaving `Cycle`/`IsSafe` intact (Figure 5, line 3).
+    #[inline]
+    pub fn consume_mask(&self) -> u64 {
+        self.enq_bit() | self.bottom_c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn geometry_matches_paper_definitions() {
+        let l = Layout::new(4); // n = 16
+        assert_eq!(l.capacity(), 16);
+        assert_eq!(l.ring_size(), 32);
+        assert_eq!(l.bottom(), 30);
+        assert_eq!(l.bottom_c(), 31);
+        assert_eq!(l.max_threshold(), 47); // 3n - 1
+        assert_eq!(l.init_counter(), 32); // 2n
+        assert_eq!(l.cycle(32), 1);
+        assert_eq!(l.cycle(63), 1);
+        assert_eq!(l.cycle(64), 2);
+        assert_eq!(l.position(33), 1);
+    }
+
+    #[test]
+    fn reserved_indices_do_not_collide_with_real_ones() {
+        let l = Layout::new(6);
+        for idx in 0..l.capacity() {
+            assert!(!l.is_reserved(idx));
+        }
+        assert!(l.is_reserved(l.bottom()));
+        assert!(l.is_reserved(l.bottom_c()));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_specific_values() {
+        let l = Layout::new(8);
+        let raw = l.pack(12345, true, false, 77);
+        let e = l.unpack(raw);
+        assert_eq!(e.cycle, 12345);
+        assert!(e.is_safe);
+        assert!(!e.enq);
+        assert_eq!(e.index, 77);
+    }
+
+    #[test]
+    fn consume_mask_sets_enq_and_bottom_c() {
+        let l = Layout::new(5);
+        let raw = l.pack(9, true, false, 3);
+        let consumed = raw | l.consume_mask();
+        let e = l.unpack(consumed);
+        assert_eq!(e.cycle, 9);
+        assert!(e.is_safe);
+        assert!(e.enq);
+        assert_eq!(e.index, l.bottom_c());
+    }
+
+    #[test]
+    fn init_entry_is_cycle_zero_safe_bottom() {
+        let l = Layout::new(3);
+        let e = l.unpack(l.init_entry());
+        assert_eq!(e.cycle, 0);
+        assert!(e.is_safe);
+        assert!(e.enq);
+        assert_eq!(e.index, l.bottom());
+    }
+
+    #[test]
+    fn remap_is_a_permutation_for_all_small_orders() {
+        for order in 1..=10 {
+            for entry_size in [8usize, 16] {
+                let l = Layout::with_entry_size(order, entry_size);
+                let mut seen = vec![false; l.ring_size() as usize];
+                for pos in 0..l.ring_size() {
+                    let r = l.remap(pos) as usize;
+                    assert!(!seen[r], "order {order} size {entry_size}: collision at {pos}");
+                    seen[r] = true;
+                }
+                assert!(seen.iter().all(|&b| b));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_spreads_adjacent_positions_across_cache_lines() {
+        // With 8-byte entries, 8 entries share a line; adjacent logical
+        // positions must land in different lines once the ring is big enough.
+        let l = Layout::new(8);
+        let line = |slot: u64| slot / 8;
+        let mut same_line_pairs = 0;
+        for pos in 0..l.ring_size() - 1 {
+            if line(l.remap(pos)) == line(l.remap(pos + 1)) {
+                same_line_pairs += 1;
+            }
+        }
+        assert_eq!(same_line_pairs, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_roundtrip(order in 1u32..=16, cycle in 0u64..1_000_000,
+                                      is_safe: bool, enq: bool, idx_seed: u64) {
+            let l = Layout::new(order);
+            let index = idx_seed % l.ring_size();
+            let e = l.unpack(l.pack(cycle, is_safe, enq, index));
+            prop_assert_eq!(e.cycle, cycle);
+            prop_assert_eq!(e.is_safe, is_safe);
+            prop_assert_eq!(e.enq, enq);
+            prop_assert_eq!(e.index, index);
+        }
+
+        #[test]
+        fn prop_remap_bijective(order in 1u32..=12, entry_shift in 0u32..=1) {
+            let l = Layout::with_entry_size(order, if entry_shift == 0 { 8 } else { 16 });
+            let mut seen = std::collections::HashSet::new();
+            for pos in 0..l.ring_size() {
+                prop_assert!(seen.insert(l.remap(pos)));
+            }
+        }
+
+        #[test]
+        fn prop_cycle_and_position_reconstruct_counter(order in 1u32..=12, t in 0u64..u32::MAX as u64) {
+            let l = Layout::new(order);
+            prop_assert_eq!(l.cycle(t) * l.ring_size() + l.position(t), t);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Hardware-model abstraction for wCQ's double-width memory cells.
+//!
+//! The paper presents wCQ for two classes of machines:
+//!
+//! * §3 — machines with a true double-width CAS (`CAS2`): x86-64 and AArch64.
+//!   Entries are `(Value, Note)` pairs modified with `CAS2`, and the global
+//!   `Head`/`Tail` are `(counter, phase-2 reference)` pairs whose counter is
+//!   advanced with hardware F&A on the fast path.
+//! * §4 — machines with only single-word LL/SC (PowerPC, MIPS): entry pairs
+//!   share an LL/SC reservation granule and are updated with the `CAS2_Value`
+//!   / `CAS2_Note` constructions of Figure 9; `Head`/`Tail` pack a small
+//!   thread index next to a reduced-width counter in a single word, and F&A is
+//!   emulated with an LL/SC (CAS) loop.
+//!
+//! Both models are captured by the [`CellFamily`] trait so that a single
+//! implementation of the queue algorithm ([`super::WcqRing`]) covers both.
+//! [`NativeFamily`] uses `wcq-atomics`' `lock cmpxchg16b` path;
+//! [`LlscFamily`] uses the software LL/SC emulation (see DESIGN.md for why
+//! this substitution preserves the Figure 12 experiment).
+//!
+//! One deliberate simplification relative to the paper: instead of storing a
+//! raw `phase2rec_t*` pointer in the `Head`/`Tail` pair, both families store
+//! the *owner thread index plus one* (0 = no request).  Thread records live in
+//! a fixed array inside the ring, so the index identifies the same record the
+//! pointer would, removes all raw-pointer handling from the slow path, and is
+//! exactly the encoding §4 prescribes for LL/SC machines.  ABA on the
+//! reference is prevented by the monotonically increasing counter, as in the
+//! paper.
+
+use core::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+use wcq_atomics::llsc::Granule;
+use wcq_atomics::AtomicDouble;
+
+/// A 16-byte ring-entry cell holding the packed `Value` (low word) and the
+/// `Note` (high word).
+pub trait EntryCell: Send + Sync + Sized {
+    /// Creates a cell initialized to `(value, note)`.
+    fn new(value: u64, note: u64) -> Self;
+    /// Atomic double-width load of `(value, note)`.
+    fn load(&self) -> (u64, u64);
+    /// Atomic load of the `Value` word only (fast path).
+    fn load_value(&self) -> u64;
+    /// Single-word CAS on the `Value` word (fast path insertion).
+    fn cas_value(&self, expected: u64, new: u64) -> bool;
+    /// Atomic OR on the `Value` word (`consume`), returning the old value.
+    fn or_value(&self, bits: u64) -> u64;
+    /// Double-width CAS replacing the `Value` word while requiring the whole
+    /// `(value, note)` pair to match (`CAS2` / `CAS2_Value`).
+    fn cas2_value(&self, expected: (u64, u64), new_value: u64) -> bool;
+    /// Double-width CAS replacing the `Note` word while requiring the whole
+    /// pair to match (`CAS2` / `CAS2_Note`).
+    fn cas2_note(&self, expected: (u64, u64), new_note: u64) -> bool;
+}
+
+/// The global `Head` or `Tail` reference: a monotonically increasing counter
+/// plus a phase-2 help reference (`tid + 1`, `0` = none).
+pub trait GlobalCtr: Send + Sync + Sized {
+    /// Creates a counter initialized to `init` with no help reference.
+    fn new(init: u64) -> Self;
+    /// Atomically loads `(counter, help_ref)`.
+    fn load(&self) -> (u64, u64);
+    /// Atomically loads the counter only.
+    fn load_cnt(&self) -> u64;
+    /// Fast-path fetch-and-add on the counter, returning the previous value.
+    /// Leaves the help reference untouched.
+    fn fetch_add_cnt(&self) -> u64;
+    /// Double-width CAS on `(counter, help_ref)`.
+    fn cas(&self, expected: (u64, u64), new: (u64, u64)) -> bool;
+    /// Single attempt to move the counter from `expected_cnt` to `new_cnt`
+    /// while preserving the help reference (used by the bounded `catchup`).
+    fn cas_cnt_weak(&self, expected_cnt: u64, new_cnt: u64) -> bool;
+}
+
+/// Groups an [`EntryCell`] and a [`GlobalCtr`] implementation into one
+/// hardware model.
+pub trait CellFamily: 'static {
+    /// Ring-entry cell type.
+    type Entry: EntryCell;
+    /// Head/Tail counter type.
+    type Ctr: GlobalCtr;
+    /// Human-readable name used by benchmarks ("native-cas2", "llsc-emu").
+    const NAME: &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Native double-width CAS family (§3).
+// ---------------------------------------------------------------------------
+
+/// Hardware model of §3: entries and Head/Tail are 16-byte pairs manipulated
+/// with `lock cmpxchg16b`; the fast path uses hardware F&A and atomic OR.
+pub struct NativeFamily;
+
+/// Entry cell backed by [`AtomicDouble`].
+pub struct NativeEntry(AtomicDouble);
+
+impl EntryCell for NativeEntry {
+    fn new(value: u64, note: u64) -> Self {
+        Self(AtomicDouble::new(value, note))
+    }
+    #[inline]
+    fn load(&self) -> (u64, u64) {
+        self.0.load()
+    }
+    #[inline]
+    fn load_value(&self) -> u64 {
+        self.0.load_lo()
+    }
+    #[inline]
+    fn cas_value(&self, expected: u64, new: u64) -> bool {
+        self.0.cas_lo(expected, new)
+    }
+    #[inline]
+    fn or_value(&self, bits: u64) -> u64 {
+        self.0.fetch_or_lo(bits)
+    }
+    #[inline]
+    fn cas2_value(&self, expected: (u64, u64), new_value: u64) -> bool {
+        self.0.cas2_lo(expected, new_value)
+    }
+    #[inline]
+    fn cas2_note(&self, expected: (u64, u64), new_note: u64) -> bool {
+        self.0.cas2_hi(expected, new_note)
+    }
+}
+
+/// Head/Tail counter backed by [`AtomicDouble`]: counter in the low word,
+/// help reference in the high word.
+pub struct NativeCtr(AtomicDouble);
+
+impl GlobalCtr for NativeCtr {
+    fn new(init: u64) -> Self {
+        Self(AtomicDouble::new(init, 0))
+    }
+    #[inline]
+    fn load(&self) -> (u64, u64) {
+        self.0.load()
+    }
+    #[inline]
+    fn load_cnt(&self) -> u64 {
+        self.0.load_lo()
+    }
+    #[inline]
+    fn fetch_add_cnt(&self) -> u64 {
+        self.0.fetch_add_lo(1)
+    }
+    #[inline]
+    fn cas(&self, expected: (u64, u64), new: (u64, u64)) -> bool {
+        self.0.cas2(expected, new)
+    }
+    #[inline]
+    fn cas_cnt_weak(&self, expected_cnt: u64, new_cnt: u64) -> bool {
+        self.0.cas_lo(expected_cnt, new_cnt)
+    }
+}
+
+impl CellFamily for NativeFamily {
+    type Entry = NativeEntry;
+    type Ctr = NativeCtr;
+    const NAME: &'static str = "native-cas2";
+}
+
+// ---------------------------------------------------------------------------
+// Emulated LL/SC family (§4, Figure 9).
+// ---------------------------------------------------------------------------
+
+/// Hardware model of §4: no double-width CAS and no native F&A.  Entry pairs
+/// live in one emulated LL/SC reservation granule; Head/Tail pack the help
+/// reference into the top 16 bits of a single 64-bit word.
+pub struct LlscFamily;
+
+/// Entry cell backed by an emulated LL/SC [`Granule`]: word 0 is the `Value`,
+/// word 1 the `Note`.
+pub struct LlscEntry(Granule);
+
+impl EntryCell for LlscEntry {
+    fn new(value: u64, note: u64) -> Self {
+        Self(Granule::new(value, note))
+    }
+    #[inline]
+    fn load(&self) -> (u64, u64) {
+        self.0.snapshot()
+    }
+    #[inline]
+    fn load_value(&self) -> u64 {
+        self.0.load(0)
+    }
+    #[inline]
+    fn cas_value(&self, expected: u64, new: u64) -> bool {
+        self.0.cas_word(0, expected, new)
+    }
+    #[inline]
+    fn or_value(&self, bits: u64) -> u64 {
+        self.0.fetch_or_word(0, bits)
+    }
+    #[inline]
+    fn cas2_value(&self, expected: (u64, u64), new_value: u64) -> bool {
+        self.0.cas2_word0(expected, new_value)
+    }
+    #[inline]
+    fn cas2_note(&self, expected: (u64, u64), new_note: u64) -> bool {
+        self.0.cas2_word1(expected, new_note)
+    }
+}
+
+/// Head/Tail counter for LL/SC machines: a single 64-bit word with the
+/// counter in the low 48 bits and the help reference (`tid + 1`) in the top
+/// 16 bits, as §4 suggests ("packing a small thread index with a reduced
+/// counter").  F&A is emulated with a CAS loop because PowerPC/MIPS have no
+/// native wait-free F&A.
+pub struct LlscCtr(AtomicU64);
+
+impl LlscCtr {
+    /// Number of bits reserved for the counter.
+    pub const CNT_BITS: u32 = 48;
+    const CNT_MASK: u64 = (1 << Self::CNT_BITS) - 1;
+
+    #[inline]
+    fn pack(cnt: u64, help: u64) -> u64 {
+        debug_assert!(cnt <= Self::CNT_MASK, "counter exceeded 48 bits");
+        debug_assert!(help < (1 << 16), "help reference exceeds 16 bits");
+        (help << Self::CNT_BITS) | (cnt & Self::CNT_MASK)
+    }
+
+    #[inline]
+    fn unpack(word: u64) -> (u64, u64) {
+        (word & Self::CNT_MASK, word >> Self::CNT_BITS)
+    }
+}
+
+impl GlobalCtr for LlscCtr {
+    fn new(init: u64) -> Self {
+        Self(AtomicU64::new(Self::pack(init, 0)))
+    }
+    #[inline]
+    fn load(&self) -> (u64, u64) {
+        Self::unpack(self.0.load(SeqCst))
+    }
+    #[inline]
+    fn load_cnt(&self) -> u64 {
+        Self::unpack(self.0.load(SeqCst)).0
+    }
+    #[inline]
+    fn fetch_add_cnt(&self) -> u64 {
+        // Emulated F&A: CAS loop preserving the help reference.
+        loop {
+            let cur = self.0.load(SeqCst);
+            let (cnt, help) = Self::unpack(cur);
+            let new = Self::pack(cnt + 1, help);
+            if self.0.compare_exchange(cur, new, SeqCst, SeqCst).is_ok() {
+                return cnt;
+            }
+            core::hint::spin_loop();
+        }
+    }
+    #[inline]
+    fn cas(&self, expected: (u64, u64), new: (u64, u64)) -> bool {
+        self.0
+            .compare_exchange(
+                Self::pack(expected.0, expected.1),
+                Self::pack(new.0, new.1),
+                SeqCst,
+                SeqCst,
+            )
+            .is_ok()
+    }
+    #[inline]
+    fn cas_cnt_weak(&self, expected_cnt: u64, new_cnt: u64) -> bool {
+        let cur = self.0.load(SeqCst);
+        let (cnt, help) = Self::unpack(cur);
+        if cnt != expected_cnt {
+            return false;
+        }
+        self.0
+            .compare_exchange(cur, Self::pack(new_cnt, help), SeqCst, SeqCst)
+            .is_ok()
+    }
+}
+
+impl CellFamily for LlscFamily {
+    type Entry = LlscEntry;
+    type Ctr = LlscCtr;
+    const NAME: &'static str = "llsc-emu";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_cell_contract<E: EntryCell>() {
+        let c = E::new(5, 0);
+        assert_eq!(c.load(), (5, 0));
+        assert_eq!(c.load_value(), 5);
+        assert!(c.cas_value(5, 6));
+        assert!(!c.cas_value(5, 7));
+        assert_eq!(c.or_value(0b1000), 6);
+        assert_eq!(c.load_value(), 0b1110);
+        // cas2_value requires both words to match and keeps the note.
+        assert!(!c.cas2_value((0b1110, 99), 1));
+        assert!(c.cas2_value((0b1110, 0), 1));
+        assert_eq!(c.load(), (1, 0));
+        // cas2_note requires both words to match and keeps the value.
+        assert!(!c.cas2_note((2, 0), 7));
+        assert!(c.cas2_note((1, 0), 7));
+        assert_eq!(c.load(), (1, 7));
+    }
+
+    fn global_ctr_contract<C: GlobalCtr>() {
+        let c = C::new(100);
+        assert_eq!(c.load(), (100, 0));
+        assert_eq!(c.load_cnt(), 100);
+        assert_eq!(c.fetch_add_cnt(), 100);
+        assert_eq!(c.fetch_add_cnt(), 101);
+        assert_eq!(c.load_cnt(), 102);
+        // Install a help reference, counter must advance together with it.
+        assert!(c.cas((102, 0), (103, 5)));
+        assert_eq!(c.load(), (103, 5));
+        // Fast-path F&A leaves the help reference intact.
+        assert_eq!(c.fetch_add_cnt(), 103);
+        assert_eq!(c.load(), (104, 5));
+        // Clearing the reference needs the exact pair.
+        assert!(!c.cas((103, 5), (103, 0)));
+        assert!(c.cas((104, 5), (104, 0)));
+        // catchup-style weak counter CAS preserves the reference field.
+        assert!(c.cas((104, 0), (104, 3)));
+        assert!(c.cas_cnt_weak(104, 110));
+        assert_eq!(c.load(), (110, 3));
+        assert!(!c.cas_cnt_weak(104, 120));
+    }
+
+    #[test]
+    fn native_entry_contract() {
+        entry_cell_contract::<NativeEntry>();
+    }
+
+    #[test]
+    fn llsc_entry_contract() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        entry_cell_contract::<LlscEntry>();
+    }
+
+    #[test]
+    fn native_ctr_contract() {
+        global_ctr_contract::<NativeCtr>();
+    }
+
+    #[test]
+    fn llsc_ctr_contract() {
+        global_ctr_contract::<LlscCtr>();
+    }
+
+    #[test]
+    fn llsc_ctr_packing_bounds() {
+        let c = LlscCtr::new((1 << LlscCtr::CNT_BITS) - 2);
+        assert_eq!(c.load_cnt(), (1 << LlscCtr::CNT_BITS) - 2);
+        assert_eq!(c.fetch_add_cnt(), (1 << LlscCtr::CNT_BITS) - 2);
+    }
+}

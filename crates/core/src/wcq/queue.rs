@@ -1,0 +1,403 @@
+//! The user-facing wCQ data queue: two wait-free index rings plus a data
+//! array (the indirection scheme of Figure 2 applied to wCQ).
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+
+use super::cells::{CellFamily, NativeFamily};
+use super::ring::{WcqConfig, WcqHandle, WcqRing, WcqStats};
+
+/// A bounded, wait-free MPMC FIFO queue of `T` with capacity `2^order`.
+///
+/// Values live in a data array; a `fq` ring circulates free slot indices and
+/// an `aq` ring circulates allocated ones (`Enqueue_Ptr`/`Dequeue_Ptr`,
+/// Figure 2).  Because wCQ is wait-free and statically allocated, the whole
+/// queue is wait-free with bounded memory usage (Theorems 5.8–5.10): the only
+/// memory ever used is the two rings, the data array and one record per
+/// registered thread.
+///
+/// Threads operate through [`WcqQueueHandle`]s obtained from
+/// [`WcqQueue::register`].
+pub struct WcqQueue<T, F: CellFamily = NativeFamily> {
+    aq: WcqRing<F>,
+    fq: WcqRing<F>,
+    data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: slot indices are handed between threads through the rings; the slot
+// is exclusively owned by whoever holds its index, and sequentially consistent
+// ring operations order the data accesses around the hand-off.
+unsafe impl<T: Send, F: CellFamily> Send for WcqQueue<T, F> {}
+unsafe impl<T: Send, F: CellFamily> Sync for WcqQueue<T, F> {}
+
+impl<T, F: CellFamily> WcqQueue<T, F> {
+    /// Creates a queue with capacity `2^order` usable by up to `max_threads`
+    /// registered threads, with the default [`WcqConfig`].
+    pub fn new(order: u32, max_threads: usize) -> Self {
+        Self::with_config(order, max_threads, WcqConfig::default())
+    }
+
+    /// Creates a queue with an explicit wait-freedom configuration.
+    pub fn with_config(order: u32, max_threads: usize, config: WcqConfig) -> Self {
+        // One extra registration slot is used transiently to pre-fill `fq`.
+        let aq = WcqRing::<F>::with_config(order, max_threads, config);
+        let fq = WcqRing::<F>::with_config(order, max_threads, config);
+        {
+            let mut init = fq.register().expect("fresh ring always has a free slot");
+            for i in 0..fq.capacity() {
+                init.enqueue(i);
+            }
+        }
+        let capacity = aq.capacity() as usize;
+        let data = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { aq, fq, data }
+    }
+
+    /// Maximum number of elements the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.aq.max_threads()
+    }
+
+    /// Registers the calling thread with both internal rings, or `None` when
+    /// `max_threads` handles are already live.
+    pub fn register(&self) -> Option<WcqQueueHandle<'_, T, F>> {
+        let aq = self.aq.register()?;
+        let fq = self.fq.register()?;
+        Some(WcqQueueHandle { queue: self, aq, fq })
+    }
+
+    /// Returns `true` if a dequeue would currently observe an empty queue
+    /// (hint only under concurrency).
+    pub fn is_empty_hint(&self) -> bool {
+        self.aq.len_hint() == 0
+    }
+
+    /// Bytes occupied by the queue: both rings, thread records and the data
+    /// array.  This is the flat line wCQ shows in Figure 10a.
+    pub fn memory_footprint(&self) -> usize {
+        self.aq.memory_footprint()
+            + self.fq.memory_footprint()
+            + self.data.len() * std::mem::size_of::<UnsafeCell<MaybeUninit<T>>>()
+    }
+}
+
+impl<T, F: CellFamily> Drop for WcqQueue<T, F> {
+    fn drop(&mut self) {
+        // Drain and drop any remaining elements.  `&mut self` guarantees no
+        // concurrent handles exist (they borrow the queue).
+        let mut h = self
+            .aq
+            .register()
+            .expect("no handles can outlive the queue");
+        while let Some(index) = h.dequeue() {
+            // SAFETY: the index was delivered by `aq`, so the slot holds an
+            // initialized element that nobody else owns.
+            unsafe { (*self.data[index as usize].get()).assume_init_drop() };
+        }
+    }
+}
+
+impl<T, F: CellFamily> std::fmt::Debug for WcqQueue<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WcqQueue")
+            .field("family", &F::NAME)
+            .field("capacity", &self.capacity())
+            .field("max_threads", &self.max_threads())
+            .finish()
+    }
+}
+
+/// A per-thread handle to a [`WcqQueue`].
+pub struct WcqQueueHandle<'q, T, F: CellFamily = NativeFamily> {
+    queue: &'q WcqQueue<T, F>,
+    aq: WcqHandle<'q, F>,
+    fq: WcqHandle<'q, F>,
+}
+
+impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
+    /// Attempts to enqueue `value`; returns it back inside `Err` when the
+    /// queue is full (`Enqueue_Ptr`, Figure 2).
+    pub fn enqueue(&mut self, value: T) -> Result<(), T> {
+        let Some(index) = self.fq.dequeue() else {
+            return Err(value);
+        };
+        // SAFETY: the free index came from `fq`; we own the slot until we
+        // publish the index through `aq`.
+        unsafe { (*self.queue.data[index as usize].get()).write(value) };
+        self.aq.enqueue(index);
+        Ok(())
+    }
+
+    /// Attempts to dequeue an element; returns `None` when the queue is empty
+    /// (`Dequeue_Ptr`, Figure 2).
+    pub fn dequeue(&mut self) -> Option<T> {
+        let index = self.aq.dequeue()?;
+        // SAFETY: the index came from `aq`; the matching enqueue fully
+        // initialized the slot and nobody else touches it until we hand the
+        // index back to `fq`.
+        let value = unsafe { (*self.queue.data[index as usize].get()).assume_init_read() };
+        self.fq.enqueue(index);
+        Some(value)
+    }
+
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &'q WcqQueue<T, F> {
+        self.queue
+    }
+
+    /// Combined fast/slow path statistics of the underlying `aq`/`fq` rings.
+    pub fn stats(&self) -> (WcqStats, WcqStats) {
+        (self.aq.stats(), self.fq.stats())
+    }
+}
+
+impl<'q, T, F: CellFamily> std::fmt::Debug for WcqQueueHandle<'q, T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WcqQueueHandle")
+            .field("aq", &self.aq)
+            .field("fq", &self.fq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cells::LlscFamily;
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn enqueue_dequeue_roundtrip() {
+        let q: WcqQueue<String> = WcqQueue::new(3, 2);
+        let mut h = q.register().unwrap();
+        h.enqueue("x".into()).unwrap();
+        h.enqueue("y".into()).unwrap();
+        assert_eq!(h.dequeue().as_deref(), Some("x"));
+        assert_eq!(h.dequeue().as_deref(), Some("y"));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_recovers() {
+        let q: WcqQueue<u32> = WcqQueue::new(2, 1); // capacity 4
+        let mut h = q.register().unwrap();
+        for i in 0..4 {
+            h.enqueue(i).unwrap();
+        }
+        assert_eq!(h.enqueue(99), Err(99));
+        assert_eq!(h.dequeue(), Some(0));
+        h.enqueue(99).unwrap();
+        assert_eq!(h.dequeue(), Some(1));
+    }
+
+    #[test]
+    fn registration_limit_enforced() {
+        let q: WcqQueue<u8> = WcqQueue::new(3, 2);
+        let h1 = q.register().unwrap();
+        let h2 = q.register().unwrap();
+        assert!(q.register().is_none());
+        drop(h1);
+        assert!(q.register().is_some());
+        drop(h2);
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        use std::sync::Arc;
+        let probe = Arc::new(());
+        {
+            let q: WcqQueue<Arc<()>> = WcqQueue::new(3, 1);
+            let mut h = q.register().unwrap();
+            for _ in 0..5 {
+                h.enqueue(Arc::clone(&probe)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&probe), 6);
+            drop(h);
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn llsc_family_queue_works_end_to_end() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        let q: WcqQueue<u64, LlscFamily> = WcqQueue::new(4, 2);
+        let mut h = q.register().unwrap();
+        for i in 0..10 {
+            h.enqueue(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn mpmc_stress_sum_preserved() {
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: u64 = 3;
+        const PER_PRODUCER: u64 = 8_000;
+        let q: WcqQueue<u64> = WcqQueue::new(6, (PRODUCERS + CONSUMERS) as usize);
+        let consumed_sum = AtomicU64::new(0);
+        let consumed_cnt = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i;
+                        loop {
+                            match h.enqueue(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let consumed_sum = &consumed_sum;
+                let consumed_cnt = &consumed_cnt;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    loop {
+                        if consumed_cnt.load(Ordering::Relaxed) >= PRODUCERS * PER_PRODUCER {
+                            break;
+                        }
+                        match h.dequeue() {
+                            Some(v) => {
+                                consumed_sum.fetch_add(v, Ordering::Relaxed);
+                                consumed_cnt.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(consumed_cnt.load(Ordering::Relaxed), n);
+        assert_eq!(consumed_sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn per_producer_order_preserved_under_forced_slow_path() {
+        const PER_PRODUCER: u64 = 3_000;
+        let cfg = WcqConfig {
+            max_patience_enqueue: 1,
+            max_patience_dequeue: 1,
+            help_delay: 1,
+            catchup_bound: 8,
+        };
+        let q: WcqQueue<(u64, u64)> = WcqQueue::with_config(5, 3, cfg);
+
+        std::thread::scope(|s| {
+            for p in 0..2u64 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 1..=PER_PRODUCER {
+                        let mut item = (p, i);
+                        while let Err(back) = h.enqueue(item) {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let mut last_seen = [0u64; 2];
+                let mut got = 0;
+                while got < 2 * PER_PRODUCER {
+                    if let Some((p, i)) = h.dequeue() {
+                        assert!(i > last_seen[p as usize], "per-producer FIFO violated");
+                        last_seen[p as usize] = i;
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+
+    proptest! {
+        /// Sequential behaviour matches a VecDeque model for arbitrary
+        /// operation sequences, on both hardware families.
+        #[test]
+        fn prop_sequential_matches_model(ops in proptest::collection::vec(0u8..=1, 1..200),
+                                         order in 1u32..=3) {
+            let q: WcqQueue<u64> = WcqQueue::new(order, 1);
+            let mut h = q.register().unwrap();
+            let mut model: VecDeque<u64> = VecDeque::new();
+            let cap = q.capacity();
+            let mut next = 0u64;
+            for op in ops {
+                if op == 0 {
+                    let res = h.enqueue(next);
+                    if model.len() < cap {
+                        prop_assert!(res.is_ok());
+                        model.push_back(next);
+                    } else {
+                        prop_assert_eq!(res, Err(next));
+                    }
+                    next += 1;
+                } else {
+                    prop_assert_eq!(h.dequeue(), model.pop_front());
+                }
+            }
+            while let Some(expect) = model.pop_front() {
+                prop_assert_eq!(h.dequeue(), Some(expect));
+            }
+            prop_assert_eq!(h.dequeue(), None);
+        }
+
+        #[test]
+        fn prop_sequential_matches_model_llsc(ops in proptest::collection::vec(0u8..=1, 1..120),
+                                              order in 1u32..=3) {
+            wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+            let q: WcqQueue<u64, LlscFamily> = WcqQueue::new(order, 1);
+            let mut h = q.register().unwrap();
+            let mut model: VecDeque<u64> = VecDeque::new();
+            let cap = q.capacity();
+            let mut next = 0u64;
+            for op in ops {
+                if op == 0 {
+                    let res = h.enqueue(next);
+                    if model.len() < cap {
+                        prop_assert!(res.is_ok());
+                        model.push_back(next);
+                    } else {
+                        prop_assert_eq!(res, Err(next));
+                    }
+                    next += 1;
+                } else {
+                    prop_assert_eq!(h.dequeue(), model.pop_front());
+                }
+            }
+            while let Some(expect) = model.pop_front() {
+                prop_assert_eq!(h.dequeue(), Some(expect));
+            }
+        }
+    }
+}

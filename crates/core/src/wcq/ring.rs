@@ -1,0 +1,956 @@
+//! The wCQ ring algorithm: SCQ fast path + wait-free slow path (Figures 5–7).
+//!
+//! The implementation follows the paper's pseudo-code line by line; comments
+//! reference the figure/line they reproduce.  Differences are limited to the
+//! phase-2 reference encoding (thread index instead of a raw pointer — see
+//! `cells.rs`) and the `⊥c` guard in the slow-path result gathering, both
+//! documented in DESIGN.md.
+
+use core::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::SeqCst};
+
+use wcq_atomics::CachePadded;
+
+use crate::pack::Layout;
+
+use super::cells::{CellFamily, EntryCell, GlobalCtr, NativeFamily};
+use super::record::{counter, ThreadRecord, FIN, INC};
+
+/// Tuning knobs of the wait-free machinery.
+///
+/// The defaults follow §6 of the paper: "we set MAX_PATIENCE to 16 for
+/// Enqueue and 64 for Dequeue, which results in taking the slow path
+/// relatively infrequently."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcqConfig {
+    /// Fast-path attempts before an enqueue falls back to the slow path.
+    pub max_patience_enqueue: u32,
+    /// Fast-path attempts before a dequeue falls back to the slow path.
+    pub max_patience_dequeue: u32,
+    /// Operations between two helping checks (`HELP_DELAY`, Figure 6).
+    pub help_delay: u64,
+    /// Iteration bound of `catchup` (§3.2 "Bounding catchup").
+    pub catchup_bound: u32,
+}
+
+impl Default for WcqConfig {
+    fn default() -> Self {
+        Self {
+            max_patience_enqueue: 16,
+            max_patience_dequeue: 64,
+            help_delay: 16,
+            catchup_bound: 64,
+        }
+    }
+}
+
+/// Per-handle operation statistics, used to verify the paper's claim that the
+/// slow path is taken "relatively infrequently" (EXPERIMENTS.md, E7).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WcqStats {
+    /// Enqueues completed on the fast path.
+    pub fast_enqueues: u64,
+    /// Enqueues that fell back to the slow path.
+    pub slow_enqueues: u64,
+    /// Dequeues completed on the fast path (including empty results).
+    pub fast_dequeues: u64,
+    /// Dequeues that fell back to the slow path.
+    pub slow_dequeues: u64,
+}
+
+/// Result of one fast-path dequeue attempt.
+enum FastDeq {
+    Got(u64),
+    Empty,
+    Retry(u64),
+}
+
+/// The wait-free circular ring of *indices* (Figures 4–7).
+///
+/// Generic over the hardware model `F` ([`NativeFamily`] for machines with a
+/// double-width CAS, [`super::LlscFamily`] for the §4 LL/SC construction).
+/// Values must be in `[0, capacity)`; arbitrary payloads are stored through
+/// [`super::WcqQueue`].
+///
+/// Threads must register (obtaining a [`WcqHandle`]) before operating on the
+/// ring; the number of simultaneously registered threads is bounded by
+/// `max_threads`, matching the paper's `k ≤ n` assumption.
+pub struct WcqRing<F: CellFamily = NativeFamily> {
+    layout: Layout,
+    config: WcqConfig,
+    threshold: CachePadded<AtomicI64>,
+    tail: CachePadded<F::Ctr>,
+    head: CachePadded<F::Ctr>,
+    entries: Box<[F::Entry]>,
+    records: Box<[CachePadded<ThreadRecord>]>,
+    slots_taken: Box<[AtomicBool]>,
+}
+
+impl<F: CellFamily> std::fmt::Debug for WcqRing<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WcqRing")
+            .field("family", &F::NAME)
+            .field("capacity", &self.layout.capacity())
+            .field("max_threads", &self.records.len())
+            .field("head", &self.head.load_cnt())
+            .field("tail", &self.tail.load_cnt())
+            .field("threshold", &self.threshold.load(SeqCst))
+            .finish()
+    }
+}
+
+impl<F: CellFamily> WcqRing<F> {
+    /// Creates an empty ring of capacity `2^order` usable by up to
+    /// `max_threads` registered threads, with the default [`WcqConfig`].
+    pub fn new(order: u32, max_threads: usize) -> Self {
+        Self::with_config(order, max_threads, WcqConfig::default())
+    }
+
+    /// Creates an empty ring with an explicit configuration.
+    pub fn with_config(order: u32, max_threads: usize, config: WcqConfig) -> Self {
+        let layout = Layout::with_entry_size(order, 16);
+        assert!(max_threads >= 1, "at least one thread must be able to register");
+        assert!(
+            max_threads as u64 <= layout.capacity(),
+            "the paper assumes k <= n (threads <= capacity)"
+        );
+        assert!(
+            max_threads < (1 << 16),
+            "help references are encoded in 16 bits"
+        );
+        let entries = (0..layout.ring_size())
+            .map(|_| F::Entry::new(layout.init_entry(), 0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let records = (0..max_threads)
+            .map(|tid| {
+                CachePadded::new(ThreadRecord::new(
+                    config.help_delay,
+                    (tid + 1) % max_threads,
+                ))
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let slots_taken = (0..max_threads)
+            .map(|_| AtomicBool::new(false))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            layout,
+            config,
+            threshold: CachePadded::new(AtomicI64::new(-1)),
+            tail: CachePadded::new(F::Ctr::new(layout.init_counter())),
+            head: CachePadded::new(F::Ctr::new(layout.init_counter())),
+            entries,
+            records,
+            slots_taken,
+        }
+    }
+
+    /// The ring's geometry.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WcqConfig {
+        &self.config
+    }
+
+    /// Usable capacity (`2^order`).
+    pub fn capacity(&self) -> u64 {
+        self.layout.capacity()
+    }
+
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Current threshold value (test/benchmark introspection).
+    pub fn threshold(&self) -> i64 {
+        self.threshold.load(SeqCst)
+    }
+
+    /// Approximate number of stored values.
+    pub fn len_hint(&self) -> u64 {
+        self.tail.load_cnt().saturating_sub(self.head.load_cnt())
+    }
+
+    /// Bytes occupied by the ring, its entries and the thread records — the
+    /// quantity plotted in Figure 10a for wCQ/SCQ.
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.len() * std::mem::size_of::<F::Entry>()
+            + self.records.len() * std::mem::size_of::<CachePadded<ThreadRecord>>()
+            + self.slots_taken.len()
+    }
+
+    /// Registers the calling thread, returning a handle bound to a free
+    /// thread-record slot, or `None` when `max_threads` handles are live.
+    pub fn register(&self) -> Option<WcqHandle<'_, F>> {
+        for (tid, slot) in self.slots_taken.iter().enumerate() {
+            if slot
+                .compare_exchange(false, true, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some(WcqHandle {
+                    ring: self,
+                    tid,
+                    stats: WcqStats::default(),
+                });
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Fast path (identical to SCQ, Figure 3, over the Value half of pairs)
+    // ------------------------------------------------------------------
+
+    /// `catchup`, bounded per §3.2.
+    fn catchup(&self, mut tail: u64, mut head: u64) {
+        for _ in 0..self.config.catchup_bound {
+            if self.tail.cas_cnt_weak(tail, head) {
+                return;
+            }
+            head = self.head.load_cnt();
+            tail = self.tail.load_cnt();
+            if tail >= head {
+                return;
+            }
+        }
+    }
+
+    /// Fast-path enqueue attempt (`try_enq`).  On failure returns the tail
+    /// ticket, which seeds the slow path.
+    fn try_enq_fast(&self, index: u64) -> Result<(), u64> {
+        let l = &self.layout;
+        let t = self.tail.fetch_add_cnt();
+        let j = l.slot(t);
+        let cell = &self.entries[j];
+        loop {
+            let raw = cell.load_value();
+            let e = l.unpack(raw);
+            if e.cycle < l.cycle(t)
+                && (e.is_safe || self.head.load_cnt() <= t)
+                && l.is_reserved(e.index)
+            {
+                let new = l.pack(l.cycle(t), true, true, index);
+                if !cell.cas_value(raw, new) {
+                    continue; // Figure 3, line 25: re-read and re-evaluate.
+                }
+                if self.threshold.load(SeqCst) != l.max_threshold() {
+                    self.threshold.store(l.max_threshold(), SeqCst);
+                }
+                return Ok(());
+            }
+            return Err(t);
+        }
+    }
+
+    /// Fast-path dequeue attempt (`try_deq`).
+    fn try_deq_fast(&self, my_tid: usize) -> FastDeq {
+        let l = &self.layout;
+        let h = self.head.fetch_add_cnt();
+        let j = l.slot(h);
+        let cell = &self.entries[j];
+        loop {
+            let raw = cell.load_value();
+            let e = l.unpack(raw);
+            if e.cycle == l.cycle(h) {
+                self.consume(my_tid, h, j, raw);
+                return FastDeq::Got(e.index);
+            }
+            let new = if l.is_reserved(e.index) {
+                l.pack(l.cycle(h), e.is_safe, true, l.bottom())
+            } else {
+                // Keep the Enq bit: the entry may be a not-yet-finalized
+                // slow-path insertion of an older cycle.
+                l.pack(e.cycle, false, e.enq, e.index)
+            };
+            if e.cycle < l.cycle(h) {
+                if !cell.cas_value(raw, new) {
+                    continue;
+                }
+            }
+            let t = self.tail.load_cnt();
+            if t <= h + 1 {
+                self.catchup(t, h + 1);
+                self.threshold.fetch_sub(1, SeqCst);
+                return FastDeq::Empty;
+            }
+            if self.threshold.fetch_sub(1, SeqCst) <= 0 {
+                return FastDeq::Empty;
+            }
+            return FastDeq::Retry(h);
+        }
+    }
+
+    /// `consume` (Figure 5, lines 1–3): finalize a pending slow-path enqueue
+    /// if the entry still has `Enq = 0`, then mark the slot consumed with one
+    /// atomic OR.
+    fn consume(&self, my_tid: usize, h: u64, j: usize, raw_value: u64) {
+        let e = self.layout.unpack(raw_value);
+        if !e.enq {
+            self.finalize_request(my_tid, h);
+        }
+        self.entries[j].or_value(self.layout.consume_mask());
+    }
+
+    /// `finalize_request` (Figure 5, lines 4–11): find the enqueuer whose
+    /// pending slow-path request produced the entry at ticket `h` and set its
+    /// `FIN` flag so no helper re-inserts the element after the slot is
+    /// recycled.
+    fn finalize_request(&self, my_tid: usize, h: u64) {
+        let n = self.records.len();
+        let mut i = (my_tid + 1) % n;
+        while i != my_tid {
+            let tail = &self.records[i].local_tail;
+            if counter(tail.load(SeqCst)) == h {
+                let _ = tail.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                return;
+            }
+            i = (i + 1) % n;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helping (Figure 6)
+    // ------------------------------------------------------------------
+
+    /// `help_threads`: every `help_delay` operations, check one other thread
+    /// (round robin) for a pending request and help it to completion.
+    /// Returns `true` if help was actually performed (statistics only).
+    fn help_threads(&self, my_tid: usize) -> bool {
+        let rec = &self.records[my_tid];
+        let remaining = rec.next_check.load(SeqCst);
+        if remaining > 1 {
+            rec.next_check.store(remaining - 1, SeqCst);
+            return false;
+        }
+        let target = rec.next_tid.load(SeqCst) % self.records.len();
+        let mut helped = false;
+        if target != my_tid {
+            let thr = &self.records[target];
+            if thr.pending.load(SeqCst) {
+                if thr.enqueue.load(SeqCst) {
+                    self.help_enqueue(my_tid, target);
+                } else {
+                    self.help_dequeue(my_tid, target);
+                }
+                helped = true;
+            }
+        }
+        rec.next_check
+            .store(self.config.help_delay.max(1), SeqCst);
+        rec.next_tid
+            .store((target + 1) % self.records.len(), SeqCst);
+        helped
+    }
+
+    /// `help_enqueue`: atomically snapshot the request and run the slow path
+    /// on the helpee's behalf.
+    fn help_enqueue(&self, my_tid: usize, target: usize) {
+        let thr = &self.records[target];
+        let seq = thr.seq2.load(SeqCst);
+        let enqueue = thr.enqueue.load(SeqCst);
+        let idx = thr.index.load(SeqCst);
+        let tail = thr.init_tail.load(SeqCst);
+        if enqueue && thr.seq1.load(SeqCst) == seq {
+            self.enqueue_slow(my_tid, target, tail, idx);
+        }
+    }
+
+    /// `help_dequeue`: dequeue-side counterpart of [`Self::help_enqueue`].
+    fn help_dequeue(&self, my_tid: usize, target: usize) {
+        let thr = &self.records[target];
+        let seq = thr.seq2.load(SeqCst);
+        let enqueue = thr.enqueue.load(SeqCst);
+        let head = thr.init_head.load(SeqCst);
+        if !enqueue && thr.seq1.load(SeqCst) == seq {
+            self.dequeue_slow(my_tid, target, head);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slow path (Figure 7)
+    // ------------------------------------------------------------------
+
+    /// `enqueue_slow` (Figure 7, lines 70–72).
+    fn enqueue_slow(&self, my_tid: usize, helpee_tid: usize, mut t: u64, index: u64) {
+        while self.slow_faa(my_tid, helpee_tid, true, &mut t) {
+            if self.try_enq_slow(t, index, helpee_tid) {
+                break;
+            }
+        }
+    }
+
+    /// `dequeue_slow` (Figure 7, lines 73–76).
+    fn dequeue_slow(&self, my_tid: usize, helpee_tid: usize, mut h: u64) {
+        while self.slow_faa(my_tid, helpee_tid, false, &mut h) {
+            if self.try_deq_slow(h, helpee_tid) {
+                break;
+            }
+        }
+    }
+
+    /// `slow_F&A` (Figure 7, lines 21–37): agree with all cooperative threads
+    /// on the next ticket for the helpee's request, incrementing the global
+    /// counter exactly once per ticket.
+    ///
+    /// `is_tail` selects Tail/`localTail` (enqueue) vs Head/`localHead`
+    /// (dequeue); for the dequeue side the threshold is decremented once per
+    /// successful global increment (Lemma 5.6).  Returns `false` when the
+    /// request was finished (`FIN` observed) — the caller must stop.
+    fn slow_faa(&self, my_tid: usize, helpee_tid: usize, is_tail: bool, v: &mut u64) -> bool {
+        let global: &F::Ctr = if is_tail { &self.tail } else { &self.head };
+        let helpee = &self.records[helpee_tid];
+        let local: &AtomicU64 = if is_tail {
+            &helpee.local_tail
+        } else {
+            &helpee.local_head
+        };
+        let cnt;
+        loop {
+            let loaded = self.load_global_help_phase2(global, local);
+            // Phase 1 (line 25): move the helpee's local word from the ticket
+            // we last observed (*v) to the fresh global value, flagged INC.
+            let phase1 = match loaded {
+                Some(c) => {
+                    if local.compare_exchange(*v, c | INC, SeqCst, SeqCst).is_ok() {
+                        *v = c | INC;
+                        Some(c)
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
+            let c = match phase1 {
+                Some(c) => c,
+                None => {
+                    // Lines 26–29: somebody else moved the local word (or the
+                    // request is finished).
+                    *v = local.load(SeqCst);
+                    if *v & FIN != 0 {
+                        return false;
+                    }
+                    if *v & INC == 0 {
+                        // The increment already completed; *v holds the agreed
+                        // ticket for this round.
+                        return true;
+                    }
+                    counter(*v)
+                }
+            };
+            // Lines 31–32: publish the phase-2 request and increment the
+            // global counter together (CAS2).
+            self.records[my_tid].phase2.prepare(helpee_tid, is_tail, c);
+            if global.cas((c, 0), (c + 1, my_tid as u64 + 1)) {
+                cnt = c;
+                break;
+            }
+            // A fast-path F&A or another cooperative thread advanced the
+            // global counter first; run the body again (paper's do-while).
+        }
+        // Line 33: the dequeue side pays its threshold decrement exactly once
+        // per global head increment.
+        if !is_tail {
+            self.threshold.fetch_sub(1, SeqCst);
+        }
+        // Lines 34–36: phase 2 — clear INC on the local word, clear the
+        // phase-2 reference on the global pair.
+        let _ = local.compare_exchange(cnt | INC, cnt, SeqCst, SeqCst);
+        let _ = global.cas((cnt + 1, my_tid as u64 + 1), (cnt + 1, 0));
+        *v = cnt;
+        true
+    }
+
+    /// `load_global_help_phase2` (Figure 7, lines 77–88): read the global
+    /// counter, first helping to complete any phase-2 request published in its
+    /// reference half.  Returns `None` when the helpee's request is finished.
+    fn load_global_help_phase2(&self, global: &F::Ctr, mylocal: &AtomicU64) -> Option<u64> {
+        loop {
+            if mylocal.load(SeqCst) & FIN != 0 {
+                return None;
+            }
+            let (cnt, help) = global.load();
+            if help == 0 {
+                return Some(cnt);
+            }
+            let owner = (help - 1) as usize;
+            if owner < self.records.len() {
+                if let Some((target_tid, is_tail, p2cnt)) = self.records[owner].phase2.snapshot() {
+                    let rec = &self.records[target_tid % self.records.len()];
+                    let target_local: &AtomicU64 = if is_tail {
+                        &rec.local_tail
+                    } else {
+                        &rec.local_head
+                    };
+                    // Line 86: complete phase 1→2 for that request (no-op if
+                    // already done).
+                    let _ = target_local.compare_exchange(p2cnt | INC, p2cnt, SeqCst, SeqCst);
+                }
+            }
+            // Line 87: clear the reference; monotone counters rule out ABA.
+            if global.cas((cnt, help), (cnt, 0)) {
+                return Some(cnt);
+            }
+        }
+    }
+
+    /// `try_enq_slow` (Figure 7, lines 1–20): attempt to insert `index` at
+    /// ticket `t` on behalf of the request owned by `helpee_tid`.  Returns
+    /// `true` when the request needs no further tickets.
+    fn try_enq_slow(&self, t: u64, index: u64, helpee_tid: usize) -> bool {
+        let l = &self.layout;
+        let j = l.slot(t);
+        let cell = &self.entries[j];
+        loop {
+            let pair = cell.load();
+            let e = l.unpack(pair.0);
+            let note = pair.1;
+            if e.cycle < l.cycle(t) && note < l.cycle(t) {
+                if !(e.is_safe || self.head.load_cnt() <= t) || !l.is_reserved(e.index) {
+                    // Lines 6–10: the slot is unusable for this cycle; advance
+                    // the Note so every other helper skips it too.
+                    if !cell.cas2_note(pair, l.cycle(t)) {
+                        continue;
+                    }
+                    return false;
+                }
+                // Lines 11–13: produce the entry with Enq = 0 (step one of the
+                // two-step insertion).
+                let produced = l.pack(l.cycle(t), true, false, index);
+                if !cell.cas2_value(pair, produced) {
+                    continue;
+                }
+                // Lines 14–17: finalize the help request; the winner of the
+                // FIN CAS flips Enq to 1 (step two).
+                let local_tail = &self.records[helpee_tid].local_tail;
+                if local_tail
+                    .compare_exchange(t, t | FIN, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    let finalized = produced | l.enq_bit();
+                    let _ = cell.cas2_value((produced, note), finalized);
+                }
+                // Line 18.
+                if self.threshold.load(SeqCst) != l.max_threshold() {
+                    self.threshold.store(l.max_threshold(), SeqCst);
+                }
+                return true;
+            } else if e.cycle != l.cycle(t) {
+                // Line 19: the slot moved to a different cycle and no
+                // cooperative thread inserted for ticket `t`; grab a new one.
+                return false;
+            }
+            // Line 20: e.cycle == cycle(t) — some cooperative thread already
+            // inserted the element for this ticket.
+            return true;
+        }
+    }
+
+    /// `try_deq_slow` (Figure 7, lines 43–69): attempt to resolve the dequeue
+    /// request of `helpee_tid` at ticket `h`.
+    fn try_deq_slow(&self, h: u64, helpee_tid: usize) -> bool {
+        let l = &self.layout;
+        let j = l.slot(h);
+        let cell = &self.entries[j];
+        let local_head = &self.records[helpee_tid].local_head;
+        loop {
+            let pair = cell.load();
+            let e = l.unpack(pair.0);
+            let note = pair.1;
+            // Lines 47–49: the slot holds this cycle's element (or it was
+            // already consumed) — terminate all helpers; the owner gathers the
+            // result afterwards.
+            if e.cycle == l.cycle(h) && e.index != l.bottom() {
+                let _ = local_head.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                return true;
+            }
+            let mut val = l.pack(l.cycle(h), e.is_safe, true, l.bottom());
+            if !l.is_reserved(e.index) {
+                if e.cycle < l.cycle(h) && note < l.cycle(h) {
+                    // Lines 53–57: advance the Note so late helpers do not use
+                    // a slot one of us already skipped, then re-read.
+                    let _ = cell.cas2_note(pair, l.cycle(h));
+                    continue;
+                }
+                // Line 58: old unconsumed value — only mark it unsafe.
+                val = l.pack(e.cycle, false, e.enq, e.index);
+            }
+            // Lines 59–62.
+            if e.cycle < l.cycle(h) {
+                if !cell.cas2_value(pair, val) {
+                    continue;
+                }
+            }
+            // Lines 63–68: empty detection.  The threshold was already
+            // decremented by `slow_faa` for this ticket.
+            let t = self.tail.load_cnt();
+            if t <= h + 1 {
+                self.catchup(t, h + 1);
+            }
+            if self.threshold.load(SeqCst) < 0 {
+                let _ = local_head.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                return true;
+            }
+            return false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public operations (Figure 5), driven through handles.
+    // ------------------------------------------------------------------
+
+    /// Full enqueue operation for the thread owning record `tid`
+    /// (`Enqueue_wCQ`).  Returns `true` if the slow path was taken.
+    fn enqueue_index(&self, tid: usize, index: u64) -> bool {
+        debug_assert!(index < self.layout.capacity());
+        self.help_threads(tid);
+        // Fast path.
+        let mut tail = 0;
+        for _ in 0..self.config.max_patience_enqueue.max(1) {
+            match self.try_enq_fast(index) {
+                Ok(()) => return false,
+                Err(t) => tail = t,
+            }
+        }
+        // Slow path: publish the request, then run it; helpers may finish it
+        // for us.
+        let rec = &self.records[tid];
+        let seq = rec.seq1.load(SeqCst);
+        rec.local_tail.store(tail, SeqCst);
+        rec.init_tail.store(tail, SeqCst);
+        rec.index.store(index, SeqCst);
+        rec.enqueue.store(true, SeqCst);
+        rec.seq2.store(seq, SeqCst);
+        rec.pending.store(true, SeqCst);
+        self.enqueue_slow(tid, tid, tail, index);
+        rec.pending.store(false, SeqCst);
+        rec.seq1.store(seq + 1, SeqCst);
+        true
+    }
+
+    /// Full dequeue operation for the thread owning record `tid`
+    /// (`Dequeue_wCQ`).  Returns `(value, took_slow_path)`.
+    fn dequeue_index(&self, tid: usize) -> (Option<u64>, bool) {
+        let l = &self.layout;
+        if self.threshold.load(SeqCst) < 0 {
+            return (None, false); // Line 30: empty.
+        }
+        self.help_threads(tid);
+        // Fast path.
+        let mut head = 0;
+        for _ in 0..self.config.max_patience_dequeue.max(1) {
+            match self.try_deq_fast(tid) {
+                FastDeq::Got(idx) => return (Some(idx), false),
+                FastDeq::Empty => return (None, false),
+                FastDeq::Retry(h) => head = h,
+            }
+        }
+        // Slow path.
+        let rec = &self.records[tid];
+        let seq = rec.seq1.load(SeqCst);
+        rec.local_head.store(head, SeqCst);
+        rec.init_head.store(head, SeqCst);
+        rec.enqueue.store(false, SeqCst);
+        rec.seq2.store(seq, SeqCst);
+        rec.pending.store(true, SeqCst);
+        self.dequeue_slow(tid, tid, head);
+        rec.pending.store(false, SeqCst);
+        rec.seq1.store(seq + 1, SeqCst);
+        // Gather the slow-path result (Figure 5, lines 48–54).
+        let h = counter(rec.local_head.load(SeqCst));
+        let j = l.slot(h);
+        let raw = self.entries[j].load_value();
+        let e = l.unpack(raw);
+        if e.cycle == l.cycle(h) && !l.is_reserved(e.index) {
+            self.consume(tid, h, j, raw);
+            return (Some(e.index), true);
+        }
+        (None, true)
+    }
+}
+
+// SAFETY: every shared field is an atomic (or an atomic-only struct); the
+// cell/counter types are Send + Sync by their trait bounds.
+unsafe impl<F: CellFamily> Send for WcqRing<F> {}
+unsafe impl<F: CellFamily> Sync for WcqRing<F> {}
+
+/// A per-thread handle to a [`WcqRing`].
+///
+/// The handle owns one of the ring's thread records for its lifetime; dropping
+/// it releases the slot for another thread.
+pub struct WcqHandle<'q, F: CellFamily = NativeFamily> {
+    ring: &'q WcqRing<F>,
+    tid: usize,
+    stats: WcqStats,
+}
+
+impl<'q, F: CellFamily> WcqHandle<'q, F> {
+    /// The thread-record index owned by this handle.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The ring this handle operates on.
+    pub fn ring(&self) -> &'q WcqRing<F> {
+        self.ring
+    }
+
+    /// Operation statistics accumulated by this handle.
+    pub fn stats(&self) -> WcqStats {
+        self.stats
+    }
+
+    /// Enqueues `index` (must be `< capacity`).  Always succeeds provided the
+    /// capacity discipline is respected (at most `capacity` values circulate).
+    pub fn enqueue(&mut self, index: u64) {
+        if self.ring.enqueue_index(self.tid, index) {
+            self.stats.slow_enqueues += 1;
+        } else {
+            self.stats.fast_enqueues += 1;
+        }
+    }
+
+    /// Dequeues an index; `None` means the ring was empty.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        let (value, slow) = self.ring.dequeue_index(self.tid);
+        if slow {
+            self.stats.slow_dequeues += 1;
+        } else {
+            self.stats.fast_dequeues += 1;
+        }
+        value
+    }
+}
+
+impl<'q, F: CellFamily> std::fmt::Debug for WcqHandle<'q, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WcqHandle")
+            .field("tid", &self.tid)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'q, F: CellFamily> Drop for WcqHandle<'q, F> {
+    fn drop(&mut self) {
+        self.ring.slots_taken[self.tid].store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cells::LlscFamily;
+    use super::*;
+
+    fn ring<F: CellFamily>(order: u32, threads: usize) -> WcqRing<F> {
+        WcqRing::<F>::with_config(order, threads, WcqConfig::default())
+    }
+
+    fn fifo_single_thread<F: CellFamily>() {
+        let r = ring::<F>(4, 2);
+        let mut h = r.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+        for i in 0..r.capacity() {
+            h.enqueue(i);
+        }
+        for i in 0..r.capacity() {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_single_thread_native() {
+        fifo_single_thread::<NativeFamily>();
+    }
+
+    #[test]
+    fn fifo_single_thread_llsc() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        fifo_single_thread::<LlscFamily>();
+    }
+
+    #[test]
+    fn wraparound_many_cycles() {
+        let r = ring::<NativeFamily>(2, 2);
+        let mut h = r.register().unwrap();
+        for round in 0..500u64 {
+            h.enqueue(round % 4);
+            assert_eq!(h.dequeue(), Some(round % 4));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn registration_respects_max_threads() {
+        let r = ring::<NativeFamily>(4, 2);
+        let h1 = r.register().unwrap();
+        let h2 = r.register().unwrap();
+        assert!(r.register().is_none());
+        assert_ne!(h1.tid(), h2.tid());
+        drop(h1);
+        assert!(r.register().is_some());
+        drop(h2);
+    }
+
+    #[test]
+    fn forced_slow_path_still_fifo() {
+        // MAX_PATIENCE = 1 forces (almost) every operation through the slow
+        // path machinery even without contention.
+        let cfg = WcqConfig {
+            max_patience_enqueue: 1,
+            max_patience_dequeue: 1,
+            help_delay: 1,
+            catchup_bound: 8,
+        };
+        let r = WcqRing::<NativeFamily>::with_config(4, 2, cfg);
+        let mut h = r.register().unwrap();
+        for i in 0..r.capacity() {
+            h.enqueue(i);
+        }
+        for i in 0..r.capacity() {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn stats_track_fast_and_slow_paths() {
+        let r = ring::<NativeFamily>(4, 1);
+        let mut h = r.register().unwrap();
+        h.enqueue(1);
+        assert_eq!(h.dequeue(), Some(1));
+        let s = h.stats();
+        assert_eq!(s.fast_enqueues + s.slow_enqueues, 1);
+        assert_eq!(s.fast_dequeues + s.slow_dequeues, 1);
+    }
+
+    fn mpmc_stress<F: CellFamily>(producers: usize, consumers: usize, per_producer: u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let order = 6;
+        let r = ring::<F>(order, producers + consumers);
+        let capacity = r.capacity();
+        let consumed = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        let inflight = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..producers {
+                let r = &r;
+                let inflight = &inflight;
+                s.spawn(move || {
+                    let mut h = r.register().unwrap();
+                    let mut sent = 0;
+                    while sent < per_producer {
+                        // Respect capacity discipline: never exceed `capacity`
+                        // values in flight.
+                        if inflight.fetch_add(1, Ordering::SeqCst) < capacity - 8 {
+                            h.enqueue(sent % capacity);
+                            sent += 1;
+                        } else {
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let r = &r;
+                let consumed = &consumed;
+                let sum = &sum;
+                let inflight = &inflight;
+                let total = producers as u64 * per_producer;
+                s.spawn(move || {
+                    let mut h = r.register().unwrap();
+                    loop {
+                        if consumed.load(Ordering::SeqCst) >= total {
+                            break;
+                        }
+                        match h.dequeue() {
+                            Some(v) => {
+                                assert!(v < capacity);
+                                sum.fetch_add(v, Ordering::SeqCst);
+                                consumed.fetch_add(1, Ordering::SeqCst);
+                                inflight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), producers as u64 * per_producer);
+        // Whatever remains in flight (none) — queue must now be empty.
+        let mut h = r.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn mpmc_stress_native() {
+        mpmc_stress::<NativeFamily>(3, 3, 4_000);
+    }
+
+    #[test]
+    fn mpmc_stress_llsc() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        mpmc_stress::<LlscFamily>(2, 2, 2_000);
+    }
+
+    #[test]
+    fn mpmc_stress_with_forced_slow_path() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cfg = WcqConfig {
+            max_patience_enqueue: 1,
+            max_patience_dequeue: 1,
+            help_delay: 1,
+            catchup_bound: 8,
+        };
+        let r = WcqRing::<NativeFamily>::with_config(5, 4, cfg);
+        let capacity = r.capacity();
+        let total = 8_000u64;
+        let consumed = AtomicU64::new(0);
+        let inflight = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let r = &r;
+                let inflight = &inflight;
+                s.spawn(move || {
+                    let mut h = r.register().unwrap();
+                    let mut sent = 0;
+                    while sent < total / 2 {
+                        if inflight.fetch_add(1, Ordering::SeqCst) < capacity - 4 {
+                            h.enqueue(sent % capacity);
+                            sent += 1;
+                        } else {
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let r = &r;
+                let consumed = &consumed;
+                let inflight = &inflight;
+                s.spawn(move || {
+                    let mut h = r.register().unwrap();
+                    while consumed.load(Ordering::SeqCst) < total {
+                        if h.dequeue().is_some() {
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), total);
+    }
+}

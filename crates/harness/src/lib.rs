@@ -1,0 +1,31 @@
+//! # wcq-harness
+//!
+//! The benchmark harness that regenerates the wCQ paper's evaluation (§6).
+//!
+//! The paper's methodology, reproduced here:
+//!
+//! * every queue is driven through the same workloads — an empty-dequeue tight
+//!   loop (Figs. 11a/12a), pairwise enqueue–dequeue (Figs. 11b/12b), a 50%/50%
+//!   random mix (Figs. 11c/12c) and the memory test with tiny random delays
+//!   (Fig. 10);
+//! * each configuration is measured `repeats` times over a fixed number of
+//!   operations and reported as mean Mops/s with the coefficient of variation;
+//! * memory usage is tracked with a counting global allocator plus each
+//!   queue's self-reported static footprint (Fig. 10a).
+//!
+//! The [`queues`] module adapts every implementation (wCQ in both hardware
+//! models, SCQ, MSQueue, LCRQ, YMC, CCQueue, CRTurn, FAA) to one
+//! registration-based trait so the workload driver and the integration tests
+//! can treat them uniformly.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod memtrack;
+pub mod queues;
+pub mod report;
+pub mod stats;
+pub mod workload;
+
+pub use queues::{make_queue, BenchHandle, BenchQueue, QueueKind};
+pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};

@@ -1,0 +1,109 @@
+//! Counting global allocator for the memory-usage experiment (Figure 10a).
+//!
+//! The paper measures how much memory each queue consumes while running the
+//! random-operations workload: LCRQ and YMC keep allocating rings/segments,
+//! SCQ and wCQ stay at one statically allocated ring.  Instead of sampling the
+//! process RSS (which depends on allocator/OS page behaviour), the harness
+//! wraps the system allocator and counts live and peak heap bytes; the
+//! figure-reproduction binaries install it with `#[global_allocator]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// A `GlobalAlloc` wrapper around the system allocator that tracks live bytes,
+/// peak live bytes, and the total number of allocations.
+pub struct CountingAllocator;
+
+// SAFETY: defers every allocation to `System` and only adds atomic counter
+// updates around it.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim.
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            TOTAL_ALLOCS.fetch_add(1, SeqCst);
+            let live = LIVE_BYTES.fetch_add(layout.size(), SeqCst) + layout.size();
+            PEAK_BYTES.fetch_max(live, SeqCst);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size(), SeqCst);
+        // SAFETY: forwarded verbatim.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// A snapshot of the allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSnapshot {
+    /// Bytes currently allocated and not yet freed.
+    pub live_bytes: usize,
+    /// Highest value `live_bytes` ever reached.
+    pub peak_bytes: usize,
+    /// Number of allocations performed so far.
+    pub total_allocs: usize,
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> MemSnapshot {
+    MemSnapshot {
+        live_bytes: LIVE_BYTES.load(SeqCst),
+        peak_bytes: PEAK_BYTES.load(SeqCst),
+        total_allocs: TOTAL_ALLOCS.load(SeqCst),
+    }
+}
+
+/// Resets the peak to the current live value (call between measurement
+/// phases).
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(SeqCst), SeqCst);
+}
+
+/// Difference in live/peak bytes between two snapshots (saturating).
+pub fn delta(before: MemSnapshot, after: MemSnapshot) -> MemSnapshot {
+    MemSnapshot {
+        live_bytes: after.live_bytes.saturating_sub(before.live_bytes),
+        peak_bytes: after.peak_bytes.saturating_sub(before.live_bytes),
+        total_allocs: after.total_allocs.saturating_sub(before.total_allocs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in unit tests (that would affect the
+    // whole test binary); we only test the bookkeeping helpers here.  The
+    // fig10 binary exercises the GlobalAlloc implementation end to end.
+
+    #[test]
+    fn snapshot_and_delta_arithmetic() {
+        let before = MemSnapshot {
+            live_bytes: 100,
+            peak_bytes: 150,
+            total_allocs: 7,
+        };
+        let after = MemSnapshot {
+            live_bytes: 260,
+            peak_bytes: 300,
+            total_allocs: 10,
+        };
+        let d = delta(before, after);
+        assert_eq!(d.live_bytes, 160);
+        assert_eq!(d.peak_bytes, 200);
+        assert_eq!(d.total_allocs, 3);
+    }
+
+    #[test]
+    fn counters_are_monotone_without_allocator_installed() {
+        let a = snapshot();
+        let b = snapshot();
+        assert!(b.total_allocs >= a.total_allocs);
+    }
+}

@@ -1,0 +1,70 @@
+//! Small statistics helpers (mean, standard deviation, coefficient of
+//! variation) used to summarize repeated benchmark runs, matching the paper's
+//! reporting ("each point is measured 10 times ... the coefficient of
+//! variation is small (< 0.01)").
+
+/// Summary of a set of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`), 0 when the mean is 0.
+    pub cv: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Summarizes a slice of measurements.  Panics on an empty slice.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarize zero samples");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    let std_dev = var.sqrt();
+    Summary {
+        mean,
+        std_dev,
+        cv: if mean.abs() > f64::EPSILON { std_dev / mean } else { 0.0 },
+        min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = summarize(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert!((s.cv - 0.427617987).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_input_panics() {
+        let _ = summarize(&[]);
+    }
+}

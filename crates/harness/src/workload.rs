@@ -1,0 +1,222 @@
+//! Workload definitions and the multi-threaded measurement driver.
+//!
+//! The four workloads are those of §6:
+//!
+//! * [`Workload::EmptyDequeue`] — dequeue on an empty queue in a tight loop
+//!   (Figures 11a / 12a); isolates the cost of the empty check (wCQ/SCQ win
+//!   because of the threshold).
+//! * [`Workload::Pairs`] — each thread alternates enqueue and dequeue
+//!   (Figures 11b / 12b).
+//! * [`Workload::Mixed`] — each operation is an enqueue or a dequeue with
+//!   probability ½ (Figures 11c / 12c).
+//! * [`Workload::MemoryTest`] — the Figure 10 workload: 50/50 random
+//!   operations with tiny random delays in between, which amplifies the
+//!   memory-consumption differences between the algorithms.
+//!
+//! [`run_workload`] spawns the requested number of threads, each registered
+//! with its own handle, measures wall-clock time for a fixed total number of
+//! operations, repeats the measurement, and reports throughput statistics —
+//! the same loop structure as the benchmark of [45] that the paper extends.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::queues::BenchQueue;
+use crate::stats::{summarize, Summary};
+
+/// The benchmark workloads of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Tight-loop dequeue on an empty queue.
+    EmptyDequeue,
+    /// Enqueue immediately followed by dequeue, per thread.
+    Pairs,
+    /// 50% enqueue / 50% dequeue chosen randomly per operation.
+    Mixed,
+    /// 50/50 random operations with tiny random delays (the memory test).
+    MemoryTest,
+}
+
+impl Workload {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::EmptyDequeue => "empty-dequeue",
+            Workload::Pairs => "pairwise enq-deq",
+            Workload::Mixed => "50/50 mixed",
+            Workload::MemoryTest => "memory test",
+        }
+    }
+}
+
+/// Parameters of one measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Total operations across all threads per repetition.
+    pub total_ops: u64,
+    /// Number of repetitions (the paper uses 10).
+    pub repeats: u32,
+    /// Seed for the per-thread RNGs (mixed / memory workloads).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            total_ops: 1_000_000,
+            repeats: 10,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// Result of a full measurement (all repetitions).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Throughput in million operations per second, across repetitions.
+    pub mops: Summary,
+    /// Per-repetition raw throughput values (Mops/s).
+    pub samples: Vec<f64>,
+    /// Queue-reported memory footprint after the last repetition, in bytes.
+    pub queue_footprint: usize,
+}
+
+/// Runs `workload` against `queue` and reports throughput statistics.
+pub fn run_workload(queue: &dyn BenchQueue, workload: Workload, cfg: &WorkloadConfig) -> RunResult {
+    assert!(cfg.threads >= 1);
+    let ops_per_thread = (cfg.total_ops / cfg.threads as u64).max(1);
+    let mut samples = Vec::with_capacity(cfg.repeats as usize);
+    for rep in 0..cfg.repeats {
+        let elapsed = run_once(queue, workload, cfg, ops_per_thread, rep as u64);
+        let total = ops_per_thread * cfg.threads as u64;
+        samples.push(total as f64 / elapsed / 1e6);
+    }
+    RunResult {
+        mops: summarize(&samples),
+        samples,
+        queue_footprint: queue.memory_footprint(),
+    }
+}
+
+/// One timed repetition; returns elapsed seconds.
+fn run_once(
+    queue: &dyn BenchQueue,
+    workload: Workload,
+    cfg: &WorkloadConfig,
+    ops_per_thread: u64,
+    rep: u64,
+) -> f64 {
+    let start_flag = AtomicBool::new(false);
+    let mut elapsed = 0.0;
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for tid in 0..cfg.threads {
+            let queue = &queue;
+            let start_flag = &start_flag;
+            let seed = cfg
+                .seed
+                .wrapping_add(rep.wrapping_mul(0x9E37_79B9))
+                .wrapping_add(tid as u64);
+            joins.push(s.spawn(move || {
+                let mut handle = queue.register();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                while !start_flag.load(SeqCst) {
+                    std::hint::spin_loop();
+                }
+                match workload {
+                    Workload::EmptyDequeue => {
+                        for _ in 0..ops_per_thread {
+                            let _ = handle.dequeue();
+                        }
+                    }
+                    Workload::Pairs => {
+                        for i in 0..ops_per_thread {
+                            handle.enqueue(i & 0xFFFF);
+                            let _ = handle.dequeue();
+                        }
+                    }
+                    Workload::Mixed => {
+                        for i in 0..ops_per_thread {
+                            if rng.gen_bool(0.5) {
+                                handle.enqueue(i & 0xFFFF);
+                            } else {
+                                let _ = handle.dequeue();
+                            }
+                        }
+                    }
+                    Workload::MemoryTest => {
+                        for i in 0..ops_per_thread {
+                            if rng.gen_bool(0.5) {
+                                handle.enqueue(i & 0xFFFF);
+                            } else {
+                                let _ = handle.dequeue();
+                            }
+                            // Tiny random delay, as in the paper's memory test.
+                            for _ in 0..rng.gen_range(0..32u32) {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let start = Instant::now();
+        start_flag.store(true, SeqCst);
+        for j in joins {
+            j.join().expect("benchmark worker panicked");
+        }
+        elapsed = start.elapsed().as_secs_f64();
+    });
+    // Drain the queue between repetitions so the memory/empty-queue state is
+    // comparable across repeats.
+    let mut cleaner = queue.register();
+    while cleaner.dequeue().is_some() {}
+    elapsed.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::{make_queue, QueueKind};
+
+    fn small_cfg(threads: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads,
+            total_ops: 20_000,
+            repeats: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn pairs_workload_reports_positive_throughput() {
+        let q = make_queue(QueueKind::Wcq, 3, 10);
+        let res = run_workload(q.as_ref(), Workload::Pairs, &small_cfg(2));
+        assert!(res.mops.mean > 0.0);
+        assert_eq!(res.samples.len(), 2);
+        assert!(res.queue_footprint > 0);
+    }
+
+    #[test]
+    fn empty_dequeue_workload_runs_for_all_kinds() {
+        for kind in [QueueKind::Wcq, QueueKind::Scq, QueueKind::MsQueue, QueueKind::Faa] {
+            let q = make_queue(kind, 2, 8);
+            let res = run_workload(q.as_ref(), Workload::EmptyDequeue, &small_cfg(1));
+            assert!(res.mops.mean > 0.0, "kind {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_multi_threaded() {
+        let q = make_queue(QueueKind::Scq, 3, 10);
+        let res = run_workload(q.as_ref(), Workload::Mixed, &small_cfg(2));
+        assert!(res.mops.mean > 0.0);
+        assert!(res.mops.cv >= 0.0);
+    }
+}

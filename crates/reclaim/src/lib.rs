@@ -1,0 +1,30 @@
+//! # wcq-reclaim
+//!
+//! Hazard-pointer based safe memory reclamation.
+//!
+//! The wCQ paper's evaluation (§6) uses hazard pointers for the dynamically
+//! allocating baseline queues: "we use customized reclamation for YMC and
+//! hazard pointers elsewhere (LCRQ, MSQueue, CRTurn)".  wCQ itself never needs
+//! reclamation — that is the whole point of the paper — but reproducing the
+//! evaluation requires the baselines, and the baselines require this
+//! substrate.
+//!
+//! The implementation is a classical Michael-style hazard pointer scheme with
+//! a statically bounded number of participants:
+//!
+//! * a [`HazardDomain`] owns `max_threads × hazards_per_thread` hazard slots,
+//! * each participating thread registers once and obtains a
+//!   [`HazardHandle`], which it uses to publish protections and to retire
+//!   nodes,
+//! * retired nodes are buffered per thread and freed during a `scan` once the
+//!   buffer exceeds a threshold proportional to the total number of hazard
+//!   slots, guaranteeing a bounded number of unreclaimed nodes at any time,
+//! * when a handle is dropped its remaining retired nodes are handed to the
+//!   domain and freed either by a later scan or when the domain itself drops.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod hazard;
+
+pub use hazard::{HazardDomain, HazardHandle};

@@ -1,0 +1,76 @@
+//! Quickstart: the smallest useful wCQ program.
+//!
+//! Creates a bounded wait-free queue, registers a producer and a consumer
+//! thread, and moves a million integers through it while printing the
+//! fast-path/slow-path statistics at the end.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use wcq_core::wcq::WcqQueue;
+
+const ITEMS: u64 = 1_000_000;
+
+fn main() {
+    // Capacity 2^12 = 4096 elements, up to 4 registered threads.
+    let queue: WcqQueue<u64> = WcqQueue::new(12, 4);
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        // Producer.
+        s.spawn(|| {
+            let mut handle = queue.register().expect("a registration slot is free");
+            for i in 0..ITEMS {
+                let mut item = i;
+                // `enqueue` returns the value back when the queue is full —
+                // bounded queues make backpressure explicit.
+                while let Err(back) = handle.enqueue(item) {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        // Consumer.
+        s.spawn(|| {
+            let mut handle = queue.register().expect("a registration slot is free");
+            let mut received = 0u64;
+            let mut sum = 0u64;
+            while received < ITEMS {
+                match handle.dequeue() {
+                    Some(v) => {
+                        sum += v;
+                        received += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            assert_eq!(sum, ITEMS * (ITEMS - 1) / 2, "no element lost or duplicated");
+            let (aq, fq) = handle.stats();
+            println!("consumer done: {received} items, checksum OK");
+            println!(
+                "  aq ring: {} fast / {} slow dequeues",
+                aq.fast_dequeues, aq.slow_dequeues
+            );
+            println!(
+                "  fq ring: {} fast / {} slow enqueues",
+                fq.fast_enqueues, fq.slow_enqueues
+            );
+        });
+    });
+
+    let elapsed = start.elapsed();
+    println!(
+        "moved {ITEMS} items in {:.3} s ({:.2} Mops/s enqueue+dequeue)",
+        elapsed.as_secs_f64(),
+        2.0 * ITEMS as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "queue memory footprint: {} KiB (bounded — Theorem 5.8)",
+        queue.memory_footprint() / 1024
+    );
+}

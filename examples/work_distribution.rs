@@ -1,0 +1,134 @@
+//! Work distribution: an MPMC task pool built on wCQ.
+//!
+//! The paper's introduction motivates fast wait-free queues with "user-space
+//! message passing and scheduling".  This example builds a tiny work
+//! distribution system: several producers submit independent tasks (numbers
+//! to factor), several workers pull tasks and publish results through a
+//! second wCQ acting as the completion queue.  Because both queues are
+//! wait-free, no producer or worker can be starved by a stalled peer.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example work_distribution
+//! ```
+
+use wcq_core::wcq::WcqQueue;
+
+const PRODUCERS: usize = 2;
+const WORKERS: usize = 3;
+const TASKS_PER_PRODUCER: u64 = 20_000;
+
+/// A unit of work: trial-factor `n` and report the smallest prime factor.
+#[derive(Debug)]
+struct Task {
+    id: u64,
+    n: u64,
+}
+
+#[derive(Debug)]
+struct Completion {
+    id: u64,
+    smallest_factor: u64,
+}
+
+fn smallest_factor(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return d;
+        }
+        d += 1;
+    }
+    n
+}
+
+fn main() {
+    let tasks: WcqQueue<Task> = WcqQueue::new(10, (PRODUCERS + WORKERS + 1) as usize);
+    let completions: WcqQueue<Completion> = WcqQueue::new(10, (WORKERS + 2) as usize);
+    let total_tasks = PRODUCERS as u64 * TASKS_PER_PRODUCER;
+
+    std::thread::scope(|s| {
+        // Producers submit tasks.
+        for p in 0..PRODUCERS as u64 {
+            let tasks = &tasks;
+            s.spawn(move || {
+                let mut h = tasks.register().unwrap();
+                for i in 0..TASKS_PER_PRODUCER {
+                    let id = p * TASKS_PER_PRODUCER + i;
+                    let mut task = Task { id, n: 1_000_003 + id * 7 };
+                    while let Err(back) = h.enqueue(task) {
+                        task = back;
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+
+        // Workers process tasks until the expected number of completions has
+        // been produced.
+        for _ in 0..WORKERS {
+            let tasks = &tasks;
+            let completions = &completions;
+            s.spawn(move || {
+                let mut input = tasks.register().unwrap();
+                let mut output = completions.register().unwrap();
+                let mut idle_spins = 0u32;
+                loop {
+                    match input.dequeue() {
+                        Some(task) => {
+                            idle_spins = 0;
+                            let mut done = Completion {
+                                id: task.id,
+                                smallest_factor: smallest_factor(task.n),
+                            };
+                            while let Err(back) = output.enqueue(done) {
+                                done = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                        None => {
+                            idle_spins += 1;
+                            if idle_spins > 10_000 {
+                                break; // producers are done and the queue drained
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+
+        // The collector tallies results.
+        let completions = &completions;
+        s.spawn(move || {
+            let mut h = completions.register().unwrap();
+            let mut seen = vec![false; total_tasks as usize];
+            let mut collected = 0u64;
+            let mut prime_inputs = 0u64;
+            while collected < total_tasks {
+                match h.dequeue() {
+                    Some(c) => {
+                        assert!(!seen[c.id as usize], "task {} completed twice", c.id);
+                        seen[c.id as usize] = true;
+                        if c.smallest_factor > 1_000 {
+                            prime_inputs += 1;
+                        }
+                        collected += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            println!("collected {collected} completions, every task exactly once");
+            println!("{prime_inputs} inputs had no small factor (likely prime)");
+        });
+    });
+
+    println!(
+        "task queue footprint: {} KiB, completion queue footprint: {} KiB",
+        tasks.memory_footprint() / 1024,
+        completions.memory_footprint() / 1024
+    );
+}

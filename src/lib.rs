@@ -1,0 +1,2 @@
+//! Workspace umbrella crate: hosts runnable examples and cross-crate integration tests.
+pub use wcq_core as core_queue;

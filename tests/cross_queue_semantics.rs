@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: every queue in the evaluation is driven
+//! through the harness' uniform `BenchQueue` trait and must satisfy the same
+//! MPMC semantics (no loss, no duplication, per-producer FIFO), matching how
+//! the paper's benchmark treats all algorithms uniformly.
+//!
+//! FAA is excluded from the semantic tests — the paper itself labels it "not
+//! a true queue algorithm".
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wcq_harness::{make_queue, QueueKind};
+
+/// Every real queue algorithm (everything except FAA).
+fn real_queues() -> Vec<QueueKind> {
+    vec![
+        QueueKind::Wcq,
+        QueueKind::WcqLlsc,
+        QueueKind::Scq,
+        QueueKind::MsQueue,
+        QueueKind::Lcrq,
+        QueueKind::Ymc,
+        QueueKind::CcQueue,
+        QueueKind::CrTurn,
+    ]
+}
+
+#[test]
+fn all_queues_fifo_single_thread() {
+    for kind in real_queues() {
+        let q = make_queue(kind, 2, 8);
+        let mut h = q.register();
+        assert_eq!(h.dequeue(), None, "{kind:?} must start empty");
+        for i in 0..200 {
+            h.enqueue(i);
+        }
+        for i in 0..200 {
+            assert_eq!(h.dequeue(), Some(i), "{kind:?} FIFO order");
+        }
+        assert_eq!(h.dequeue(), None, "{kind:?} must end empty");
+    }
+}
+
+#[test]
+fn all_queues_mpmc_no_loss_no_duplication() {
+    const PRODUCERS: u64 = 2;
+    const CONSUMERS: u64 = 2;
+    const PER_PRODUCER: u64 = 4_000;
+    for kind in real_queues() {
+        let q = make_queue(kind, (PRODUCERS + CONSUMERS) as usize, 10);
+        let consumed = Mutex::new(Vec::<u64>::new());
+        let done = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = q.as_ref();
+                s.spawn(move || {
+                    let mut h = q.register();
+                    for i in 0..PER_PRODUCER {
+                        h.enqueue(p * PER_PRODUCER + i);
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = q.as_ref();
+                let consumed = &consumed;
+                let done = &done;
+                s.spawn(move || {
+                    let mut h = q.register();
+                    let mut local = Vec::new();
+                    loop {
+                        if done.load(Ordering::Relaxed) >= PRODUCERS * PER_PRODUCER {
+                            break;
+                        }
+                        match h.dequeue() {
+                            Some(v) => {
+                                local.push(v);
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    consumed.lock().unwrap().extend(local);
+                });
+            }
+        });
+
+        let consumed = consumed.into_inner().unwrap();
+        assert_eq!(
+            consumed.len() as u64,
+            PRODUCERS * PER_PRODUCER,
+            "{kind:?}: every element consumed exactly once"
+        );
+        let distinct: HashSet<u64> = consumed.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            consumed.len(),
+            "{kind:?}: duplicated element detected"
+        );
+    }
+}
+
+#[test]
+fn all_queues_per_producer_order_with_single_consumer() {
+    const PER_PRODUCER: u64 = 3_000;
+    for kind in real_queues() {
+        let q = make_queue(kind, 3, 10);
+        std::thread::scope(|s| {
+            for p in 0..2u64 {
+                let q = q.as_ref();
+                s.spawn(move || {
+                    let mut h = q.register();
+                    for i in 1..=PER_PRODUCER {
+                        h.enqueue(p * 10_000_000 + i);
+                    }
+                });
+            }
+            let q = q.as_ref();
+            s.spawn(move || {
+                let mut h = q.register();
+                let mut last = [0u64; 2];
+                let mut got = 0;
+                while got < 2 * PER_PRODUCER {
+                    if let Some(v) = h.dequeue() {
+                        let p = (v / 10_000_000) as usize;
+                        let i = v % 10_000_000;
+                        assert!(
+                            i > last[p],
+                            "{kind:?}: per-producer FIFO violated ({i} after {})",
+                            last[p]
+                        );
+                        last[p] = i;
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+}
