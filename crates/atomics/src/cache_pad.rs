@@ -1,0 +1,92 @@
+//! Cache-line padding.
+//!
+//! Both SCQ and wCQ pad their `Head`, `Tail` and `Threshold` words to separate
+//! cache lines (the paper's implementations align to 128 bytes on x86-64 to
+//! defeat the adjacent-line prefetcher).  This is a dependency-free stand-in
+//! for `crossbeam_utils::CachePadded` with the same alignment choices.
+
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (twice) the length of a cache line.
+///
+/// 128 bytes on x86-64/AArch64 (spatial prefetcher pulls pairs of lines),
+/// 64 bytes elsewhere.
+#[cfg_attr(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    repr(align(128))
+)]
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    repr(align(64))
+)]
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: core::fmt::Debug> core::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_a_cache_line() {
+        assert!(core::mem::align_of::<CachePadded<u64>>() >= 64);
+        let a = CachePadded::new(1u64);
+        assert_eq!((&a as *const _ as usize) % core::mem::align_of::<CachePadded<u64>>(), 0);
+    }
+
+    #[test]
+    fn two_padded_values_never_share_a_line() {
+        let pair = [CachePadded::new(0u8), CachePadded::new(0u8)];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 64);
+    }
+
+    #[test]
+    fn deref_and_into_inner_roundtrip() {
+        let mut p = CachePadded::new(5u32);
+        assert_eq!(*p, 5);
+        *p = 6;
+        assert_eq!(p.into_inner(), 6);
+    }
+}

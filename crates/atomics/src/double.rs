@@ -271,7 +271,10 @@ unsafe fn cmpxchg16b(
     new_lo: u64,
     new_hi: u64,
 ) -> (bool, u64, u64) {
-    debug_assert!(ptr as usize % 16 == 0, "cmpxchg16b requires 16-byte alignment");
+    debug_assert!(
+        (ptr as usize).is_multiple_of(16),
+        "cmpxchg16b requires 16-byte alignment"
+    );
     let ok: u8;
     let out_lo: u64;
     let out_hi: u64;

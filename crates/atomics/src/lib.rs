@@ -22,7 +22,8 @@
 //!   reproduce the paper's §4 PowerPC/MIPS construction (`CAS2_Value` /
 //!   `CAS2_Note`, Figure 9) on commodity hardware.
 //! * [`Backoff`] — bounded exponential backoff used by the baseline queues.
-//! * [`CachePadded`] — cache-line padding (re-exported from `crossbeam-utils`).
+//! * [`CachePadded`] — cache-line padding (dependency-free local
+//!   implementation; the build environment is offline).
 //!
 //! All operations in this crate use sequentially-consistent ordering, matching
 //! the paper's presentation ("we assume a sequentially consistent memory
@@ -34,19 +35,15 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod backoff;
+mod cache_pad;
 mod double;
 pub mod llsc;
 mod u128_atomic;
 
 pub use backoff::Backoff;
+pub use cache_pad::CachePadded;
 pub use double::AtomicDouble;
 pub use u128_atomic::AtomicU128;
-
-/// Cache-line padded wrapper, re-exported from `crossbeam-utils`.
-///
-/// Both SCQ and wCQ pad their `Head`, `Tail` and `Threshold` words to separate
-/// cache lines, and the benchmark harness pads per-thread statistics.
-pub use crossbeam_utils::CachePadded;
 
 /// Returns `true` when the double-width operations use the native
 /// `lock cmpxchg16b` instruction rather than the portable lock-based fallback.

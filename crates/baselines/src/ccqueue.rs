@@ -10,14 +10,14 @@
 //! touched by one thread at a time.
 //!
 //! This reproduction keeps the combining structure (announce → combine →
-//! collect) with a `parking_lot` mutex electing the combiner, which matches
-//! the progress class (blocking, combining) the paper assigns to CCQueue.
+//! collect) with a mutex electing the combiner, which matches the progress
+//! class (blocking, combining) the paper assigns to CCQueue.
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering::SeqCst};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use wcq_atomics::CachePadded;
 
 /// No operation published.
@@ -88,7 +88,13 @@ impl<T> CcQueue<T> {
 
     /// Current number of stored elements (approximate under concurrency).
     pub fn len_hint(&self) -> usize {
-        self.inner.lock().len()
+        // A poisoned lock only means a combiner panicked mid-batch; the
+        // VecDeque itself is still structurally valid, so keep serving
+        // rather than hanging every other thread.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
     }
 
     /// Serve every pending announcement.  Called with the combiner lock held.
@@ -134,10 +140,15 @@ impl<'q, T> CcQueueHandle<'q, T> {
             if slot.state.load(SeqCst) == DONE {
                 break;
             }
-            if let Some(mut inner) = self.queue.inner.try_lock() {
-                self.queue.combine(&mut inner);
-            } else {
-                std::hint::spin_loop();
+            match self.queue.inner.try_lock() {
+                Ok(mut inner) => self.queue.combine(&mut inner),
+                // Recover from a combiner that panicked while holding the
+                // lock: std mutexes poison, and treating Poisoned as "busy"
+                // would spin every announcing thread forever.
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    self.queue.combine(&mut poisoned.into_inner());
+                }
+                Err(std::sync::TryLockError::WouldBlock) => std::hint::spin_loop(),
             }
         }
         slot.state.store(IDLE, SeqCst);

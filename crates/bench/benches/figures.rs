@@ -1,7 +1,12 @@
-//! Criterion benchmarks mirroring every figure of the paper's evaluation at
-//! reduced size, so `cargo bench --workspace` regenerates one row of each
-//! figure.  The full thread sweeps (and the paper-scale operation counts) are
-//! produced by the `fig10_memory` / `fig11_x86` / `fig12_llsc` binaries.
+//! Benchmarks mirroring every figure of the paper's evaluation at reduced
+//! size, so `cargo bench --workspace` regenerates one row of each figure.
+//! The full thread sweeps (and the paper-scale operation counts) are produced
+//! by the `fig10_memory` / `fig11_x86` / `fig12_llsc` binaries.
+//!
+//! This is a plain `harness = false` bench (the offline build environment has
+//! no Criterion); it times each workload a few times with `std::time` and
+//! prints mean throughput with the coefficient of variation, the same summary
+//! statistics the paper reports.
 //!
 //! Groups:
 //! * `fig11a_empty_dequeue` / `fig11b_pairs` / `fig11c_mixed` — x86 set.
@@ -9,84 +14,95 @@
 //!   — PowerPC (LL/SC) set.
 //! * `fig10_memory_test` — the Figure 10 workload (throughput side; the
 //!   memory side needs the counting allocator and lives in the binary).
-//! * `wcq_ablation` — MAX_PATIENCE ablation (E8).
+//! * `wcq_ablation` — MAX_PATIENCE ablation.
 
-use std::time::Duration;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wcq_core::wcq::{WcqConfig, WcqQueue};
 use wcq_harness::{make_queue, run_workload, QueueKind, Workload, WorkloadConfig};
 
 const RING_ORDER: u32 = 10;
 const THREADS: usize = 2;
 const OPS: u64 = 20_000;
+const REPEATS: u32 = 3;
 
-fn bench_workload(c: &mut Criterion, group_name: &str, kinds: &[QueueKind], workload: Workload) {
-    let mut group = c.benchmark_group(group_name);
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200));
+fn bench_workload(group_name: &str, kinds: &[QueueKind], workload: Workload) {
+    println!("\n## {group_name}");
     for &kind in kinds {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let queue = make_queue(kind, THREADS + 1, RING_ORDER);
-            let cfg = WorkloadConfig {
-                threads: THREADS,
-                total_ops: OPS,
-                repeats: 1,
-                seed: 7,
-            };
-            b.iter(|| run_workload(queue.as_ref(), workload, &cfg).mops.mean);
-        });
+        let queue = make_queue(kind, THREADS + 1, RING_ORDER);
+        let cfg = WorkloadConfig {
+            threads: THREADS,
+            total_ops: OPS,
+            repeats: REPEATS,
+            seed: 7,
+        };
+        let res = run_workload(queue.as_ref(), workload, &cfg);
+        println!(
+            "  {:<12} {:>10.3} Mops/s (cv {:.4})",
+            kind.name(),
+            res.mops.mean,
+            res.mops.cv
+        );
     }
-    group.finish();
 }
 
-fn fig11(c: &mut Criterion) {
+fn fig11() {
     let kinds = QueueKind::x86_set();
-    bench_workload(c, "fig11a_empty_dequeue", &kinds, Workload::EmptyDequeue);
-    bench_workload(c, "fig11b_pairs", &kinds, Workload::Pairs);
-    bench_workload(c, "fig11c_mixed", &kinds, Workload::Mixed);
+    bench_workload("fig11a_empty_dequeue", &kinds, Workload::EmptyDequeue);
+    bench_workload("fig11b_pairs", &kinds, Workload::Pairs);
+    bench_workload("fig11c_mixed", &kinds, Workload::Mixed);
 }
 
-fn fig12(c: &mut Criterion) {
+fn fig12() {
     let kinds = QueueKind::powerpc_set();
-    bench_workload(c, "fig12a_empty_dequeue_llsc", &kinds, Workload::EmptyDequeue);
-    bench_workload(c, "fig12b_pairs_llsc", &kinds, Workload::Pairs);
-    bench_workload(c, "fig12c_mixed_llsc", &kinds, Workload::Mixed);
+    bench_workload("fig12a_empty_dequeue_llsc", &kinds, Workload::EmptyDequeue);
+    bench_workload("fig12b_pairs_llsc", &kinds, Workload::Pairs);
+    bench_workload("fig12c_mixed_llsc", &kinds, Workload::Mixed);
 }
 
-fn fig10(c: &mut Criterion) {
+fn fig10() {
     let kinds = QueueKind::x86_set();
-    bench_workload(c, "fig10_memory_test", &kinds, Workload::MemoryTest);
+    bench_workload("fig10_memory_test", &kinds, Workload::MemoryTest);
 }
 
-fn ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wcq_ablation");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200));
-    for (label, pe, pd) in [("patience_1_1", 1u32, 1u32), ("patience_16_64", 16, 64), ("patience_64_256", 64, 256)] {
-        group.bench_function(label, |b| {
-            let cfg = WcqConfig {
-                max_patience_enqueue: pe,
-                max_patience_dequeue: pd,
-                help_delay: 16,
-                catchup_bound: 64,
-            };
-            let queue: WcqQueue<u64> = WcqQueue::with_config(RING_ORDER, 2, cfg);
-            b.iter(|| {
-                let mut h = queue.register().unwrap();
-                for i in 0..2_000u64 {
-                    while h.enqueue(i & 0xFF).is_err() {}
-                    let _ = h.dequeue();
-                }
-            });
-        });
+fn ablation() {
+    println!("\n## wcq_ablation");
+    for (label, pe, pd) in [
+        ("patience_1_1", 1u32, 1u32),
+        ("patience_16_64", 16, 64),
+        ("patience_64_256", 64, 256),
+    ] {
+        let cfg = WcqConfig {
+            max_patience_enqueue: pe,
+            max_patience_dequeue: pd,
+            help_delay: 16,
+            catchup_bound: 64,
+        };
+        let queue: WcqQueue<u64> = WcqQueue::with_config(RING_ORDER, 2, cfg);
+        let mut samples = Vec::new();
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            let mut h = queue.register().unwrap();
+            for i in 0..2_000u64 {
+                while h.enqueue(i & 0xFF).is_err() {}
+                let _ = h.dequeue();
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            samples.push(4_000.0 / elapsed / 1e6);
+        }
+        let summary = wcq_harness::stats::summarize(&samples);
+        println!(
+            "  {label:<16} {:>10.3} Mops/s (cv {:.4})",
+            summary.mean, summary.cv
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, fig11, fig12, fig10, ablation);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; a plain runner just
+    // ignores them.
+    fig11();
+    fig12();
+    fig10();
+    ablation();
+}

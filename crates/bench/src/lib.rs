@@ -16,8 +16,8 @@
 //!
 //! The binaries accept `--threads`, `--ops`, and `--repeats` overrides so the
 //! full paper-scale sweep and a quick smoke run use the same code.  The
-//! Criterion benches in `benches/` mirror the same workloads at reduced sizes
-//! so `cargo bench --workspace` regenerates a row of every figure.
+//! plain-runner benches in `benches/` mirror the same workloads at reduced
+//! sizes so `cargo bench --workspace` regenerates a row of every figure.
 
 #![warn(missing_docs)]
 

@@ -61,3 +61,18 @@ pub mod wcq;
 pub use pack::Layout;
 pub use scq::{ScqQueue, ScqRing};
 pub use wcq::{WcqConfig, WcqQueue, WcqRing};
+
+/// Deterministic xorshift64* PRNG shared by this crate's test modules:
+/// reproducible randomized coverage without external crates (the build
+/// environment is offline, and depending on `wcq-harness` would be cyclic).
+#[cfg(test)]
+pub(crate) mod test_util {
+    pub(crate) fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+}

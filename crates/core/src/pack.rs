@@ -230,7 +230,7 @@ impl Layout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_util::xorshift;
 
     #[test]
     fn geometry_matches_paper_definitions() {
@@ -321,32 +321,110 @@ mod tests {
         assert_eq!(same_line_pairs, 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_pack_unpack_roundtrip(order in 1u32..=16, cycle in 0u64..1_000_000,
-                                      is_safe: bool, enq: bool, idx_seed: u64) {
+    #[test]
+    fn randomized_pack_unpack_roundtrip_all_orders() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for order in 1..=16u32 {
             let l = Layout::new(order);
-            let index = idx_seed % l.ring_size();
-            let e = l.unpack(l.pack(cycle, is_safe, enq, index));
-            prop_assert_eq!(e.cycle, cycle);
-            prop_assert_eq!(e.is_safe, is_safe);
-            prop_assert_eq!(e.enq, enq);
-            prop_assert_eq!(e.index, index);
-        }
-
-        #[test]
-        fn prop_remap_bijective(order in 1u32..=12, entry_shift in 0u32..=1) {
-            let l = Layout::with_entry_size(order, if entry_shift == 0 { 8 } else { 16 });
-            let mut seen = std::collections::HashSet::new();
-            for pos in 0..l.ring_size() {
-                prop_assert!(seen.insert(l.remap(pos)));
+            for _ in 0..500 {
+                let cycle = xorshift(&mut state) % 1_000_000;
+                let is_safe = xorshift(&mut state) & 1 == 0;
+                let enq = xorshift(&mut state) & 1 == 0;
+                let index = xorshift(&mut state) % l.ring_size();
+                let e = l.unpack(l.pack(cycle, is_safe, enq, index));
+                assert_eq!(e.cycle, cycle, "order {order}");
+                assert_eq!(e.is_safe, is_safe, "order {order}");
+                assert_eq!(e.enq, enq, "order {order}");
+                assert_eq!(e.index, index, "order {order}");
             }
         }
+    }
 
-        #[test]
-        fn prop_cycle_and_position_reconstruct_counter(order in 1u32..=12, t in 0u64..u32::MAX as u64) {
+    #[test]
+    fn roundtrip_at_boundary_values() {
+        // Satellite coverage: cycle wraparound and maximal index values for
+        // the smallest, a middle, and the largest supported order.
+        for order in [1u32, 16, Layout::MAX_ORDER] {
             let l = Layout::new(order);
-            prop_assert_eq!(l.cycle(t) * l.ring_size() + l.position(t), t);
+            // Largest cycle that still fits below the FIN/INC record bits used
+            // by `localTail`/`localHead` (bit 62 is INC).
+            let max_cycle = (1u64 << (62 - l.cycle_shift())) - 1;
+            for cycle in [0, 1, max_cycle - 1, max_cycle] {
+                for index in [0, 1, l.capacity() - 1, l.bottom(), l.bottom_c()] {
+                    for (is_safe, enq) in [(false, false), (true, false), (false, true), (true, true)] {
+                        let e = l.unpack(l.pack(cycle, is_safe, enq, index));
+                        assert_eq!(
+                            (e.cycle, e.is_safe, e.enq, e.index),
+                            (cycle, is_safe, enq, index),
+                            "order {order} cycle {cycle} index {index}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_wraparound_of_counters_is_consistent() {
+        // Head/tail counters wrap modulo 2^64; cycle() and position() must
+        // keep reconstructing the counter right up to the edge.
+        for order in [1u32, 8, 20] {
+            let l = Layout::new(order);
+            for t in [
+                0,
+                l.ring_size() - 1,
+                l.ring_size(),
+                u64::MAX - l.ring_size(),
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                assert_eq!(
+                    l.cycle(t).wrapping_mul(l.ring_size()) + l.position(t),
+                    t,
+                    "order {order} t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_order_geometry_does_not_overflow() {
+        let l = Layout::new(Layout::MAX_ORDER);
+        assert_eq!(l.capacity(), 1 << 31);
+        assert_eq!(l.ring_size(), 1 << 32);
+        assert_eq!(l.bottom(), (1u64 << 32) - 2);
+        assert_eq!(l.bottom_c(), (1u64 << 32) - 1);
+        assert!(l.max_threshold() > 0);
+        // Packing the maximum index at max order must not clobber flag bits.
+        let e = l.unpack(l.pack(3, true, false, l.bottom_c()));
+        assert_eq!(e.cycle, 3);
+        assert!(e.is_safe);
+        assert!(!e.enq);
+        assert_eq!(e.index, l.bottom_c());
+    }
+
+    #[test]
+    fn randomized_remap_bijective_both_entry_sizes() {
+        for order in 1..=12u32 {
+            for entry_size in [8usize, 16] {
+                let l = Layout::with_entry_size(order, entry_size);
+                let mut seen = std::collections::HashSet::new();
+                for pos in 0..l.ring_size() {
+                    assert!(seen.insert(l.remap(pos)), "order {order} size {entry_size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_cycle_and_position_reconstruct_counter() {
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        for order in 1..=12u32 {
+            let l = Layout::new(order);
+            for _ in 0..1_000 {
+                let t = xorshift(&mut state) % (u32::MAX as u64);
+                assert_eq!(l.cycle(t) * l.ring_size() + l.position(t), t);
+            }
         }
     }
 }

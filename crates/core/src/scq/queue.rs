@@ -112,7 +112,7 @@ impl<T> std::fmt::Debug for ScqQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_util::xorshift;
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -252,35 +252,38 @@ mod tests {
         });
     }
 
-    proptest! {
-        /// Sequential behaviour matches a VecDeque model for arbitrary
-        /// operation sequences (bounded capacity included).
-        #[test]
-        fn prop_sequential_matches_model(ops in proptest::collection::vec(0u8..=1, 1..300),
-                                         order in 1u32..=4) {
-            let q: ScqQueue<u64> = ScqQueue::new(order);
-            let mut model: VecDeque<u64> = VecDeque::new();
-            let cap = q.capacity();
-            let mut next = 0u64;
-            for op in ops {
-                if op == 0 {
-                    let res = q.enqueue(next);
-                    if model.len() < cap {
-                        prop_assert!(res.is_ok());
-                        model.push_back(next);
+    /// Sequential behaviour matches a VecDeque model for randomized operation
+    /// sequences (bounded capacity included), across many seeds and orders.
+    #[test]
+    fn sequential_matches_model_randomized() {
+        for seed in 1..=64u64 {
+            for order in 1..=4u32 {
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let len = 1 + (xorshift(&mut state) % 300) as usize;
+                let q: ScqQueue<u64> = ScqQueue::new(order);
+                let mut model: VecDeque<u64> = VecDeque::new();
+                let cap = q.capacity();
+                let mut next = 0u64;
+                for _ in 0..len {
+                    if xorshift(&mut state) & 1 == 0 {
+                        let res = q.enqueue(next);
+                        if model.len() < cap {
+                            assert!(res.is_ok(), "seed {seed} order {order}");
+                            model.push_back(next);
+                        } else {
+                            assert_eq!(res, Err(next), "seed {seed} order {order}");
+                        }
+                        next += 1;
                     } else {
-                        prop_assert_eq!(res, Err(next));
+                        assert_eq!(q.dequeue(), model.pop_front(), "seed {seed} order {order}");
                     }
-                    next += 1;
-                } else {
-                    prop_assert_eq!(q.dequeue(), model.pop_front());
                 }
+                // Drain and compare the tail of the model.
+                while let Some(expect) = model.pop_front() {
+                    assert_eq!(q.dequeue(), Some(expect), "seed {seed} order {order}");
+                }
+                assert_eq!(q.dequeue(), None, "seed {seed} order {order}");
             }
-            // Drain and compare the tail of the model.
-            while let Some(expect) = model.pop_front() {
-                prop_assert_eq!(q.dequeue(), Some(expect));
-            }
-            prop_assert_eq!(q.dequeue(), None);
         }
     }
 }

@@ -190,14 +190,12 @@ impl ScqRing {
                 // mark it unsafe rather than destroying it.
                 l.pack(e.cycle, false, true, e.index)
             };
-            if e.cycle < l.cycle(h) {
-                if self
-                    .entries[j]
+            if e.cycle < l.cycle(h)
+                && self.entries[j]
                     .compare_exchange(raw, new, SeqCst, SeqCst)
                     .is_err()
-                {
-                    continue;
-                }
+            {
+                continue;
             }
             // Empty detection.
             let t = self.tail.load(SeqCst);

@@ -172,9 +172,36 @@ impl<'q, T, F: CellFamily> std::fmt::Debug for WcqQueueHandle<'q, T, F> {
 mod tests {
     use super::super::cells::LlscFamily;
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_util::xorshift;
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Drives `q` through `len` random enqueue/dequeue operations mirrored
+    /// against a VecDeque model, then drains and compares the remainder.
+    fn check_against_model<F: CellFamily>(q: &WcqQueue<u64, F>, state: &mut u64, len: usize) {
+        let mut h = q.register().unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let cap = q.capacity();
+        let mut next = 0u64;
+        for _ in 0..len {
+            if xorshift(state) & 1 == 0 {
+                let res = h.enqueue(next);
+                if model.len() < cap {
+                    assert!(res.is_ok());
+                    model.push_back(next);
+                } else {
+                    assert_eq!(res, Err(next));
+                }
+                next += 1;
+            } else {
+                assert_eq!(h.dequeue(), model.pop_front());
+            }
+        }
+        while let Some(expect) = model.pop_front() {
+            assert_eq!(h.dequeue(), Some(expect));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
 
     #[test]
     fn enqueue_dequeue_roundtrip() {
@@ -341,62 +368,29 @@ mod tests {
         });
     }
 
-    proptest! {
-        /// Sequential behaviour matches a VecDeque model for arbitrary
-        /// operation sequences, on both hardware families.
-        #[test]
-        fn prop_sequential_matches_model(ops in proptest::collection::vec(0u8..=1, 1..200),
-                                         order in 1u32..=3) {
-            let q: WcqQueue<u64> = WcqQueue::new(order, 1);
-            let mut h = q.register().unwrap();
-            let mut model: VecDeque<u64> = VecDeque::new();
-            let cap = q.capacity();
-            let mut next = 0u64;
-            for op in ops {
-                if op == 0 {
-                    let res = h.enqueue(next);
-                    if model.len() < cap {
-                        prop_assert!(res.is_ok());
-                        model.push_back(next);
-                    } else {
-                        prop_assert_eq!(res, Err(next));
-                    }
-                    next += 1;
-                } else {
-                    prop_assert_eq!(h.dequeue(), model.pop_front());
-                }
+    /// Sequential behaviour matches a VecDeque model for randomized operation
+    /// sequences, on both hardware families, across many seeds and orders.
+    #[test]
+    fn sequential_matches_model_randomized_native() {
+        for seed in 1..=48u64 {
+            for order in 1..=3u32 {
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let len = 1 + (xorshift(&mut state) % 200) as usize;
+                let q: WcqQueue<u64> = WcqQueue::new(order, 1);
+                check_against_model(&q, &mut state, len);
             }
-            while let Some(expect) = model.pop_front() {
-                prop_assert_eq!(h.dequeue(), Some(expect));
-            }
-            prop_assert_eq!(h.dequeue(), None);
         }
+    }
 
-        #[test]
-        fn prop_sequential_matches_model_llsc(ops in proptest::collection::vec(0u8..=1, 1..120),
-                                              order in 1u32..=3) {
-            wcq_atomics::llsc::set_spurious_failure_rate(0.0);
-            let q: WcqQueue<u64, LlscFamily> = WcqQueue::new(order, 1);
-            let mut h = q.register().unwrap();
-            let mut model: VecDeque<u64> = VecDeque::new();
-            let cap = q.capacity();
-            let mut next = 0u64;
-            for op in ops {
-                if op == 0 {
-                    let res = h.enqueue(next);
-                    if model.len() < cap {
-                        prop_assert!(res.is_ok());
-                        model.push_back(next);
-                    } else {
-                        prop_assert_eq!(res, Err(next));
-                    }
-                    next += 1;
-                } else {
-                    prop_assert_eq!(h.dequeue(), model.pop_front());
-                }
-            }
-            while let Some(expect) = model.pop_front() {
-                prop_assert_eq!(h.dequeue(), Some(expect));
+    #[test]
+    fn sequential_matches_model_randomized_llsc() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        for seed in 1..=24u64 {
+            for order in 1..=3u32 {
+                let mut state = seed.wrapping_mul(0xA24B_AED4_963E_E407) | 1;
+                let len = 1 + (xorshift(&mut state) % 120) as usize;
+                let q: WcqQueue<u64, LlscFamily> = WcqQueue::new(order, 1);
+                check_against_model(&q, &mut state, len);
             }
         }
     }

@@ -268,10 +268,8 @@ impl<F: CellFamily> WcqRing<F> {
                 // slow-path insertion of an older cycle.
                 l.pack(e.cycle, false, e.enq, e.index)
             };
-            if e.cycle < l.cycle(h) {
-                if !cell.cas_value(raw, new) {
-                    continue;
-                }
+            if e.cycle < l.cycle(h) && !cell.cas_value(raw, new) {
+                continue;
             }
             let t = self.tail.load_cnt();
             if t <= h + 1 {
@@ -581,10 +579,8 @@ impl<F: CellFamily> WcqRing<F> {
                 val = l.pack(e.cycle, false, e.enq, e.index);
             }
             // Lines 59–62.
-            if e.cycle < l.cycle(h) {
-                if !cell.cas2_value(pair, val) {
-                    continue;
-                }
+            if e.cycle < l.cycle(h) && !cell.cas2_value(pair, val) {
+                continue;
             }
             // Lines 63–68: empty detection.  The threshold was already
             // decremented by `slow_faa` for this ticket.

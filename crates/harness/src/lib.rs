@@ -17,6 +17,11 @@
 //! models, SCQ, MSQueue, LCRQ, YMC, CCQueue, CRTurn, FAA) to one
 //! registration-based trait so the workload driver and the integration tests
 //! can treat them uniformly.
+//!
+//! Beyond benchmarking, the harness is also the project's correctness-test
+//! subsystem: [`stress`] provides seed-reproducible [`StressPlan`]s with a
+//! loss/duplication/per-producer-FIFO oracle shared by every queue kind, and
+//! [`rng`] the deterministic PRNG both layers draw from.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -24,8 +29,13 @@
 pub mod memtrack;
 pub mod queues;
 pub mod report;
+pub mod rng;
 pub mod stats;
+pub mod stress;
 pub mod workload;
 
-pub use queues::{make_queue, BenchHandle, BenchQueue, QueueKind};
+pub use queues::{make_queue, make_queue_configured, BenchHandle, BenchQueue, QueueKind};
+pub use rng::DetRng;
+pub use stress::{all_real_queues, StressPlan, StressReport};
 pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};
+pub use wcq_core::wcq::WcqConfig;

@@ -10,7 +10,7 @@
 //! enqueues small integers / pointers).
 
 use wcq_baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
-use wcq_core::wcq::{LlscFamily, NativeFamily, WcqQueue, WcqQueueHandle};
+use wcq_core::wcq::{LlscFamily, NativeFamily, WcqConfig, WcqQueue, WcqQueueHandle};
 use wcq_core::ScqQueue;
 
 /// Which queue algorithm to instantiate.
@@ -105,9 +105,22 @@ pub trait BenchQueue: Send + Sync {
 /// `max_threads` bounds concurrent registrations and `ring_order` sizes the
 /// bounded rings (the paper uses 2^16 for wCQ/SCQ and 2^12 rings for LCRQ).
 pub fn make_queue(kind: QueueKind, max_threads: usize, ring_order: u32) -> Box<dyn BenchQueue> {
+    make_queue_configured(kind, max_threads, ring_order, None)
+}
+
+/// Like [`make_queue`], but with an explicit wait-freedom configuration for
+/// the wCQ kinds (`Wcq` / `WcqLlsc`).  Stress plans use this to force the
+/// slow path with `max_patience = 1`; other kinds ignore the configuration.
+pub fn make_queue_configured(
+    kind: QueueKind,
+    max_threads: usize,
+    ring_order: u32,
+    wcq_config: Option<WcqConfig>,
+) -> Box<dyn BenchQueue> {
+    let cfg = wcq_config.unwrap_or_default();
     match kind {
-        QueueKind::Wcq => Box::new(WcqBench::<NativeFamily>::new(ring_order, max_threads)),
-        QueueKind::WcqLlsc => Box::new(WcqBench::<LlscFamily>::new(ring_order, max_threads)),
+        QueueKind::Wcq => Box::new(WcqBench::<NativeFamily>::new(ring_order, max_threads, cfg)),
+        QueueKind::WcqLlsc => Box::new(WcqBench::<LlscFamily>::new(ring_order, max_threads, cfg)),
         QueueKind::Scq => Box::new(ScqBench::new(ring_order)),
         QueueKind::MsQueue => Box::new(MsBench::new(max_threads)),
         QueueKind::Lcrq => Box::new(LcrqBench::new(ring_order.min(12), max_threads)),
@@ -128,9 +141,9 @@ struct WcqBench<F: wcq_core::wcq::CellFamily> {
 }
 
 impl<F: wcq_core::wcq::CellFamily> WcqBench<F> {
-    fn new(order: u32, max_threads: usize) -> Self {
+    fn new(order: u32, max_threads: usize, config: WcqConfig) -> Self {
         Self {
-            queue: WcqQueue::new(order, max_threads),
+            queue: WcqQueue::with_config(order, max_threads, config),
             llsc: F::NAME == "llsc-emu",
         }
     }

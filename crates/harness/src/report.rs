@@ -79,9 +79,8 @@ impl FigureTable {
             out.push_str(&threads.to_string());
             for c in &self.columns {
                 out.push(',');
-                match row.get(c) {
-                    Some(v) => out.push_str(&format!("{v:.4}")),
-                    None => {}
+                if let Some(v) = row.get(c) {
+                    out.push_str(&format!("{v:.4}"));
                 }
             }
             out.push('\n');

@@ -1,0 +1,137 @@
+//! Deterministic pseudo-random number generation for workloads and stress
+//! plans.
+//!
+//! The harness must be reproducible: every randomized decision (op mix,
+//! delays, plan geometry) is derived from an explicit seed so a failing run
+//! can be replayed exactly by re-running with the printed seed.  The build
+//! environment is offline, so this is a small self-contained generator
+//! rather than an external crate: SplitMix64 (Steele, Lea & Flood) for
+//! seeding/streams and xorshift64* for the hot loop — both are well-studied,
+//! fast, and more than adequate for workload shaping (they are *not*
+//! cryptographic).
+
+/// A small deterministic PRNG (SplitMix64-seeded xorshift64*).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from `seed`.  Any seed (including 0) is valid;
+    /// SplitMix64 whitening guarantees a non-zero internal state.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 step: decorrelates adjacent seeds (0, 1, 2, ...).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: z | 1 }
+    }
+
+    /// Derives an independent stream for sub-task `index` (per-thread RNGs).
+    pub fn stream(&self, index: u64) -> Self {
+        Self::new(self.state ^ index.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.  `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction; the tiny modulo bias is irrelevant
+        // for workload shaping.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// `true` with probability `p` (clamped to `0.0..=1.0`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let root = DetRng::new(7);
+        let mut s0 = root.stream(0);
+        let mut s1 = root.stream(1);
+        let mut s0_again = root.stream(0);
+        assert_eq!(s0.next_u64(), s0_again.next_u64());
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = DetRng::new(9);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut r = DetRng::new(11);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let v = r.range_inclusive(10, 13);
+            assert!((10..=13).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a tiny range appear");
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = DetRng::new(13);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits for p=0.25");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -21,10 +21,8 @@
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::time::Instant;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::queues::BenchQueue;
+use crate::rng::DetRng;
 use crate::stats::{summarize, Summary};
 
 /// The benchmark workloads of §6.
@@ -125,7 +123,7 @@ fn run_once(
                 .wrapping_add(tid as u64);
             joins.push(s.spawn(move || {
                 let mut handle = queue.register();
-                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut rng = DetRng::new(seed);
                 while !start_flag.load(SeqCst) {
                     std::hint::spin_loop();
                 }
@@ -143,7 +141,7 @@ fn run_once(
                     }
                     Workload::Mixed => {
                         for i in 0..ops_per_thread {
-                            if rng.gen_bool(0.5) {
+                            if rng.chance(0.5) {
                                 handle.enqueue(i & 0xFFFF);
                             } else {
                                 let _ = handle.dequeue();
@@ -152,13 +150,13 @@ fn run_once(
                     }
                     Workload::MemoryTest => {
                         for i in 0..ops_per_thread {
-                            if rng.gen_bool(0.5) {
+                            if rng.chance(0.5) {
                                 handle.enqueue(i & 0xFFFF);
                             } else {
                                 let _ = handle.dequeue();
                             }
                             // Tiny random delay, as in the paper's memory test.
-                            for _ in 0..rng.gen_range(0..32u32) {
+                            for _ in 0..rng.next_below(32) {
                                 std::hint::spin_loop();
                             }
                         }

@@ -37,7 +37,7 @@ fn smallest_factor(n: u64) -> u64 {
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return d;
         }
         d += 1;
@@ -46,8 +46,8 @@ fn smallest_factor(n: u64) -> u64 {
 }
 
 fn main() {
-    let tasks: WcqQueue<Task> = WcqQueue::new(10, (PRODUCERS + WORKERS + 1) as usize);
-    let completions: WcqQueue<Completion> = WcqQueue::new(10, (WORKERS + 2) as usize);
+    let tasks: WcqQueue<Task> = WcqQueue::new(10, PRODUCERS + WORKERS + 1);
+    let completions: WcqQueue<Completion> = WcqQueue::new(10, WORKERS + 2);
     let total_tasks = PRODUCERS as u64 * TASKS_PER_PRODUCER;
 
     std::thread::scope(|s| {
