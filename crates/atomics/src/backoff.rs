@@ -51,6 +51,19 @@ impl Backoff {
         self.step >= Self::MAX_SHIFT
     }
 
+    /// Spins while the exponential delay is still growing, then yields the
+    /// thread once the cap is reached — the standard wait policy for loops
+    /// that block on another thread's progress (full/empty channel endpoints,
+    /// waiting out an in-flight peer operation).
+    #[inline]
+    pub fn snooze_or_yield(&mut self) {
+        if self.is_completed() {
+            std::thread::yield_now();
+        } else {
+            self.snooze();
+        }
+    }
+
     /// Current step (exposed for tests and statistics).
     #[inline]
     pub fn step(&self) -> u32 {

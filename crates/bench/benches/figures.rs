@@ -14,6 +14,8 @@
 //!   — PowerPC (LL/SC) set.
 //! * `fig10_memory_test` — the Figure 10 workload (throughput side; the
 //!   memory side needs the counting allocator and lives in the binary).
+//! * `wlscq_unbounded_pairs` / `wlscq_unbounded_mixed` — the unbounded
+//!   comparison set (wLSCQ vs. LCRQ/MSQueue; full sweep in `bench_unbounded`).
 //! * `wcq_ablation` — MAX_PATIENCE ablation.
 
 use std::time::Instant;
@@ -65,6 +67,12 @@ fn fig10() {
     bench_workload("fig10_memory_test", &kinds, Workload::MemoryTest);
 }
 
+fn unbounded() {
+    let kinds = QueueKind::unbounded_set();
+    bench_workload("wlscq_unbounded_pairs", &kinds, Workload::Pairs);
+    bench_workload("wlscq_unbounded_mixed", &kinds, Workload::Mixed);
+}
+
 fn ablation() {
     println!("\n## wcq_ablation");
     for (label, pe, pd) in [
@@ -104,5 +112,6 @@ fn main() {
     fig11();
     fig12();
     fig10();
+    unbounded();
     ablation();
 }

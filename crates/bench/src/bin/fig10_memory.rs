@@ -12,7 +12,7 @@
 //!     [--threads 1,2,4,8] [--ops N] [--repeats N] [--order N] [--paper]
 //! ```
 
-use wcq_bench::sweep::print_table;
+use wcq_bench::sweep::{print_table, write_tables_json};
 use wcq_bench::{queue_set, BenchOpts};
 use wcq_harness::memtrack::{self, CountingAllocator};
 use wcq_harness::report::FigureTable;
@@ -60,4 +60,5 @@ fn main() {
 
     print_table(&mem_table);
     print_table(&thr_table);
+    write_tables_json("BENCH_memory.json", &[mem_table, thr_table]);
 }

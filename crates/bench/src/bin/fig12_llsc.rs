@@ -8,14 +8,15 @@
 //!     [--threads 1,2,4,8] [--ops N] [--repeats N] [--order N]
 //! ```
 
-use wcq_bench::sweep::{print_table, throughput_sweep};
-use wcq_bench::{queue_set, select_workloads, BenchOpts};
+use wcq_bench::sweep::{print_table, throughput_sweep, write_tables_json};
+use wcq_bench::{json_artifact_name, queue_set, select_workloads, BenchOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let workload_arg = args.first().filter(|a| !a.starts_with("--")).cloned();
     let opts = BenchOpts::parse(args.into_iter());
     let kinds = queue_set(true);
+    let mut tables = Vec::new();
     for workload in select_workloads(workload_arg.as_deref()) {
         let figure = match workload {
             wcq_harness::Workload::EmptyDequeue => {
@@ -26,5 +27,7 @@ fn main() {
         };
         let table = throughput_sweep(figure, &kinds, workload, &opts);
         print_table(&table);
+        tables.push(table);
     }
+    write_tables_json(&json_artifact_name("fig12", workload_arg.as_deref()), &tables);
 }

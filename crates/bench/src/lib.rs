@@ -13,11 +13,16 @@
 //!   LL/SC (PowerPC) hardware model; LCRQ is omitted as in the paper.
 //! * `ablation_patience` — the §6 claim that the slow path is taken rarely
 //!   with MAX_PATIENCE = 16/64, plus a patience/help-delay sweep.
+//! * `bench_unbounded` — beyond the paper: wLSCQ (`wcq-unbounded`, both
+//!   hardware models) against the unbounded baselines LCRQ and MSQueue,
+//!   throughput plus post-run footprint.
 //!
 //! The binaries accept `--threads`, `--ops`, and `--repeats` overrides so the
 //! full paper-scale sweep and a quick smoke run use the same code.  The
 //! plain-runner benches in `benches/` mirror the same workloads at reduced
 //! sizes so `cargo bench --workspace` regenerates a row of every figure.
+//! Each figure binary additionally writes its tables as machine-readable
+//! `BENCH_*.json` (`{algorithm → threads → value}`) for cross-PR tracking.
 
 #![warn(missing_docs)]
 
@@ -124,6 +129,17 @@ pub fn queue_set(ppc: bool) -> Vec<QueueKind> {
     }
 }
 
+/// Filename for a figure's JSON artifact: the canonical `BENCH_<figure>.json`
+/// only when the full workload set ran; a workload-filtered run gets
+/// `BENCH_<figure>_<workload>.json` instead, so a partial smoke run never
+/// overwrites the cross-PR tracking artifact with a subset of its series.
+pub fn json_artifact_name(figure: &str, workload_arg: Option<&str>) -> String {
+    match workload_arg {
+        Some(w @ ("empty" | "pairs" | "mixed")) => format!("BENCH_{figure}_{w}.json"),
+        _ => format!("BENCH_{figure}.json"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +179,17 @@ mod tests {
     fn queue_sets_differ_between_architectures() {
         assert_eq!(queue_set(false).len(), 8);
         assert_eq!(queue_set(true).len(), 7);
+    }
+
+    #[test]
+    fn json_artifacts_keep_filtered_runs_separate() {
+        assert_eq!(json_artifact_name("fig11", None), "BENCH_fig11.json");
+        assert_eq!(
+            json_artifact_name("fig11", Some("pairs")),
+            "BENCH_fig11_pairs.json"
+        );
+        // An unknown filter argument selects all workloads (lenient parsing),
+        // so it maps to the canonical artifact.
+        assert_eq!(json_artifact_name("fig11", Some("bogus")), "BENCH_fig11.json");
     }
 }

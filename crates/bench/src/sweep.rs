@@ -43,6 +43,21 @@ pub fn print_table(table: &FigureTable) {
     println!("{}", table.render_csv());
 }
 
+/// Writes several figure tables to `path` as one JSON array (the
+/// `BENCH_*.json` files tracked across PRs).  IO errors are logged, not
+/// fatal, so the binaries still print their tables on read-only filesystems.
+pub fn write_tables_json(path: &str, tables: &[FigureTable]) {
+    let parts: Vec<String> = tables
+        .iter()
+        .map(|t| t.render_json().trim_end().to_string())
+        .collect();
+    let body = format!("[\n{}\n]\n", parts.join(",\n"));
+    match std::fs::write(path, body) {
+        Ok(()) => eprintln!("  [json] wrote {path}"),
+        Err(e) => eprintln!("  [json] could not write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

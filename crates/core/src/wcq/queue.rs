@@ -69,8 +69,15 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     /// Registers the calling thread with both internal rings, or `None` when
     /// `max_threads` handles are already live.
     pub fn register(&self) -> Option<WcqQueueHandle<'_, T, F>> {
-        let aq = self.aq.register()?;
-        let fq = self.fq.register()?;
+        (0..self.max_threads()).find_map(|tid| self.register_at(tid))
+    }
+
+    /// Registers the calling thread at a *specific* record slot of both
+    /// internal rings (see [`WcqRing::register_at`]).  Returns `None` when the
+    /// slot is taken or out of range.
+    pub fn register_at(&self, tid: usize) -> Option<WcqQueueHandle<'_, T, F>> {
+        let aq = self.aq.register_at(tid)?;
+        let fq = self.fq.register_at(tid)?;
         Some(WcqQueueHandle { queue: self, aq, fq })
     }
 

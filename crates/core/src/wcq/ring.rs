@@ -188,19 +188,24 @@ impl<F: CellFamily> WcqRing<F> {
     /// Registers the calling thread, returning a handle bound to a free
     /// thread-record slot, or `None` when `max_threads` handles are live.
     pub fn register(&self) -> Option<WcqHandle<'_, F>> {
-        for (tid, slot) in self.slots_taken.iter().enumerate() {
-            if slot
-                .compare_exchange(false, true, SeqCst, SeqCst)
-                .is_ok()
-            {
-                return Some(WcqHandle {
-                    ring: self,
-                    tid,
-                    stats: WcqStats::default(),
-                });
-            }
-        }
-        None
+        (0..self.slots_taken.len()).find_map(|tid| self.register_at(tid))
+    }
+
+    /// Registers the calling thread at a *specific* thread-record slot, or
+    /// `None` when `tid` is out of range or the slot is already taken.
+    ///
+    /// Callers that already own a stable per-thread index (e.g. a hazard
+    /// domain participant id) can use this to acquire a record with a single
+    /// CAS instead of scanning, which matters when a ring is registered with
+    /// on every operation (the unbounded queue's segments do exactly that).
+    pub fn register_at(&self, tid: usize) -> Option<WcqHandle<'_, F>> {
+        let slot = self.slots_taken.get(tid)?;
+        slot.compare_exchange(false, true, SeqCst, SeqCst).ok()?;
+        Some(WcqHandle {
+            ring: self,
+            tid,
+            stats: WcqStats::default(),
+        })
     }
 
     // ------------------------------------------------------------------

@@ -12,6 +12,7 @@
 use wcq_baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
 use wcq_core::wcq::{LlscFamily, NativeFamily, WcqConfig, WcqQueue, WcqQueueHandle};
 use wcq_core::ScqQueue;
+use wcq_unbounded::{UnboundedWcq, UnboundedWcqHandle};
 
 /// Which queue algorithm to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +35,10 @@ pub enum QueueKind {
     CrTurn,
     /// FAA counters-only pseudo-queue (throughput upper bound).
     Faa,
+    /// wLSCQ: unbounded queue of linked wCQ segments (`wcq-unbounded`).
+    WcqUnbounded,
+    /// wLSCQ over the emulated LL/SC construction.
+    WcqUnboundedLlsc,
 }
 
 impl QueueKind {
@@ -65,6 +70,23 @@ impl QueueKind {
         ]
     }
 
+    /// The unbounded-queue comparison set: wLSCQ (both hardware models)
+    /// against the dynamically allocating baselines that are also unbounded.
+    pub fn unbounded_set() -> Vec<QueueKind> {
+        vec![
+            QueueKind::WcqUnbounded,
+            QueueKind::WcqUnboundedLlsc,
+            QueueKind::Lcrq,
+            QueueKind::MsQueue,
+        ]
+    }
+
+    /// `true` for the kinds that run over the emulated LL/SC hardware model
+    /// (and therefore react to the injected spurious-failure rate).
+    pub fn is_llsc(&self) -> bool {
+        matches!(self, QueueKind::WcqLlsc | QueueKind::WcqUnboundedLlsc)
+    }
+
     /// Display name matching the paper's legends.
     pub fn name(&self) -> &'static str {
         match self {
@@ -77,6 +99,8 @@ impl QueueKind {
             QueueKind::CcQueue => "CCQueue",
             QueueKind::CrTurn => "CRTurn",
             QueueKind::Faa => "FAA",
+            QueueKind::WcqUnbounded => "wLSCQ",
+            QueueKind::WcqUnboundedLlsc => "wLSCQ (LL/SC)",
         }
     }
 }
@@ -128,6 +152,20 @@ pub fn make_queue_configured(
         QueueKind::CcQueue => Box::new(CcBench::new(max_threads)),
         QueueKind::CrTurn => Box::new(CrTurnBench::new(max_threads)),
         QueueKind::Faa => Box::new(FaaBench::new(ring_order)),
+        // Segment order is capped at 2^12 like LCRQ's rings above: both are
+        // segmented designs whose *total* capacity is unbounded, so a paper
+        // scale `--order 16` should size their segments, not one giant ring —
+        // and the shared cap keeps the wLSCQ-vs-LCRQ comparison like for like.
+        QueueKind::WcqUnbounded => Box::new(UnboundedBench::<NativeFamily>::new(
+            ring_order.min(12),
+            max_threads,
+            cfg,
+        )),
+        QueueKind::WcqUnboundedLlsc => Box::new(UnboundedBench::<LlscFamily>::new(
+            ring_order.min(12),
+            max_threads,
+            cfg,
+        )),
     }
 }
 
@@ -215,6 +253,49 @@ impl BenchQueue for ScqBench {
     }
     fn register(&self) -> Box<dyn BenchHandle + '_> {
         Box::new(ScqBenchHandle(&self.queue))
+    }
+    fn memory_footprint(&self) -> usize {
+        self.queue.memory_footprint()
+    }
+}
+
+struct UnboundedBench<F: wcq_core::wcq::CellFamily> {
+    queue: UnboundedWcq<u64, F>,
+    llsc: bool,
+}
+
+impl<F: wcq_core::wcq::CellFamily> UnboundedBench<F> {
+    fn new(seg_order: u32, max_threads: usize, config: WcqConfig) -> Self {
+        Self {
+            queue: UnboundedWcq::with_config(seg_order, max_threads, config),
+            llsc: F::NAME == "llsc-emu",
+        }
+    }
+}
+
+struct UnboundedBenchHandle<'q, F: wcq_core::wcq::CellFamily>(UnboundedWcqHandle<'q, u64, F>);
+
+impl<'q, F: wcq_core::wcq::CellFamily> BenchHandle for UnboundedBenchHandle<'q, F> {
+    fn enqueue(&mut self, value: u64) {
+        self.0.enqueue(value);
+    }
+    fn dequeue(&mut self) -> Option<u64> {
+        self.0.dequeue()
+    }
+}
+
+impl<F: wcq_core::wcq::CellFamily> BenchQueue for UnboundedBench<F> {
+    fn name(&self) -> &'static str {
+        if self.llsc {
+            "wLSCQ (LL/SC)"
+        } else {
+            "wLSCQ"
+        }
+    }
+    fn register(&self) -> Box<dyn BenchHandle + '_> {
+        Box::new(UnboundedBenchHandle(
+            self.queue.register().expect("benchmark sized max_threads"),
+        ))
     }
     fn memory_footprint(&self) -> usize {
         self.queue.memory_footprint()
@@ -463,6 +544,22 @@ mod tests {
             assert_eq!(h.dequeue(), Some(42), "kind {:?}", kind);
             assert!(q.memory_footprint() > 0);
             assert!(!q.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unbounded_kinds_construct_and_round_trip() {
+        for kind in QueueKind::unbounded_set() {
+            let q = make_queue(kind, 2, 6);
+            let mut h = q.register();
+            for i in 0..200 {
+                h.enqueue(i); // 200 values through 64-slot segments forces growth
+            }
+            for i in 0..200 {
+                assert_eq!(h.dequeue(), Some(i), "kind {:?}", kind);
+            }
+            assert_eq!(h.dequeue(), None, "kind {:?}", kind);
+            assert!(q.memory_footprint() > 0);
         }
     }
 

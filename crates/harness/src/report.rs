@@ -66,6 +66,42 @@ impl FigureTable {
         out
     }
 
+    /// Renders the table as machine-readable JSON:
+    /// `{"title", "unit", "series": {algorithm: {threads: value}}}`.
+    ///
+    /// This is the `BENCH_*.json` format the bench binaries emit so the perf
+    /// trajectory can be tracked across PRs without parsing tables.
+    pub fn render_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"title\": \"{}\",\n", escape(&self.title)));
+        out.push_str(&format!("  \"unit\": \"{}\",\n", escape(&self.unit)));
+        out.push_str("  \"series\": {\n");
+        for (ci, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{", escape(c)));
+            let mut first = true;
+            for (threads, row) in &self.rows {
+                if let Some(v) = row.get(c) {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    out.push_str(&format!("\"{threads}\": {v:.4}"));
+                }
+            }
+            out.push('}');
+            if ci + 1 < self.columns.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
     /// Renders the same data as CSV (header row first).
     pub fn render_csv(&self) -> String {
         let mut out = String::new();
@@ -109,5 +145,20 @@ mod tests {
         assert!(csv.starts_with("threads,wCQ,SCQ"));
         assert!(csv.contains("1,10.5000,11.0000"));
         assert!(csv.contains("2,9.2500,"));
+    }
+
+    #[test]
+    fn json_maps_algorithm_to_threads_to_value() {
+        let mut t = FigureTable::new("Fig \"X\"", "Mops/s");
+        t.record("wCQ", 1, 10.5);
+        t.record("wCQ", 2, 9.25);
+        t.record("SCQ", 1, 11.0);
+        let json = t.render_json();
+        assert!(json.contains("\"title\": \"Fig \\\"X\\\"\""), "{json}");
+        assert!(json.contains("\"unit\": \"Mops/s\""));
+        assert!(json.contains("\"wCQ\": {\"1\": 10.5000, \"2\": 9.2500}"), "{json}");
+        assert!(json.contains("\"SCQ\": {\"1\": 11.0000}"), "{json}");
+        // Missing cells are omitted, not emitted as null.
+        assert!(!json.contains("null"));
     }
 }

@@ -94,7 +94,8 @@ pub struct StressPlan {
     /// Ignored by non-wCQ kinds.
     pub wcq_config: WcqConfig,
     /// Injected LL/SC spurious store-conditional failure rate, applied only
-    /// when `kind` is [`QueueKind::WcqLlsc`].  The underlying knob is a
+    /// to the LL/SC-emulated kinds ([`QueueKind::WcqLlsc`],
+    /// [`QueueKind::WcqUnboundedLlsc`]).  The underlying knob is a
     /// process-global (it models the hardware), so [`StressPlan::run`]
     /// serializes LL/SC plans behind an internal lock; spurious failures
     /// never affect correctness, only how often retry paths run.
@@ -131,7 +132,7 @@ impl StressPlan {
                 catchup_bound: 8,
             }
         };
-        let spurious_rate = if kind == QueueKind::WcqLlsc && rng.chance(0.5) {
+        let spurious_rate = if kind.is_llsc() && rng.chance(0.5) {
             (rng.range_inclusive(5, 30) as f64) / 100.0 // 0.05..=0.30
         } else {
             0.0
@@ -163,7 +164,7 @@ impl StressPlan {
         // hardware).  Serialize LL/SC plans so parallel test threads cannot
         // reset the rate out from under an in-flight injection run.
         static LLSC_RATE_LOCK: Mutex<()> = Mutex::new(());
-        let _llsc_guard = (self.kind == QueueKind::WcqLlsc).then(|| {
+        let _llsc_guard = self.kind.is_llsc().then(|| {
             let guard = LLSC_RATE_LOCK
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -266,7 +267,7 @@ impl StressPlan {
             }
         });
 
-        if self.kind == QueueKind::WcqLlsc {
+        if self.kind.is_llsc() {
             wcq_atomics::llsc::set_spurious_failure_rate(0.0);
         }
         drop(_llsc_guard);
@@ -356,8 +357,9 @@ impl StressReport {
     }
 }
 
-/// The eight real queue algorithms (everything except FAA), in a stable
-/// order — the set the cross-queue semantic tests sweep.
+/// The real queue algorithms (everything except FAA), in a stable order —
+/// the set the cross-queue semantic tests sweep.  The eight paper algorithms
+/// come first, then the unbounded wLSCQ kinds this repo adds on top.
 pub fn all_real_queues() -> Vec<QueueKind> {
     vec![
         QueueKind::Wcq,
@@ -368,6 +370,8 @@ pub fn all_real_queues() -> Vec<QueueKind> {
         QueueKind::Ymc,
         QueueKind::CcQueue,
         QueueKind::CrTurn,
+        QueueKind::WcqUnbounded,
+        QueueKind::WcqUnboundedLlsc,
     ]
 }
 

@@ -16,7 +16,7 @@
 //! [`run_workload`] spawns the requested number of threads, each registered
 //! with its own handle, measures wall-clock time for a fixed total number of
 //! operations, repeats the measurement, and reports throughput statistics —
-//! the same loop structure as the benchmark of [45] that the paper extends.
+//! the same loop structure as the benchmark of \[45\] that the paper extends.
 
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::time::Instant;

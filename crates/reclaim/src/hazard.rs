@@ -45,6 +45,13 @@ impl Retired {
         }
     }
 
+    fn with_reclaimer<T>(ptr: *mut T, reclaim_fn: unsafe fn(*mut u8)) -> Self {
+        Self {
+            ptr: ptr.cast(),
+            drop_fn: reclaim_fn,
+        }
+    }
+
     /// Frees the allocation.
     fn reclaim(self) {
         // SAFETY: per construction, `ptr` is a valid, uniquely owned
@@ -286,8 +293,26 @@ impl<'d> HazardHandle<'d> {
     /// `ptr` must have been produced by `Box::into_raw`, must not be reachable
     /// by new readers, and must not be retired twice.
     pub unsafe fn retire<T>(&mut self, ptr: *mut T) {
+        self.push_retired(Retired::new(ptr));
+    }
+
+    /// Like [`HazardHandle::retire`], but the node is handed to `reclaim_fn`
+    /// instead of being freed once no thread protects it.  This lets callers
+    /// recycle memory (e.g. return a drained queue segment to a free-list)
+    /// rather than release it.
+    ///
+    /// # Safety
+    /// `ptr` must have been produced by `Box::into_raw`, must not be reachable
+    /// by new readers, and must not be retired twice.  `reclaim_fn` receives
+    /// the erased pointer exactly once and becomes its owner; it must free or
+    /// re-own the allocation without dereferencing anything else unsafely.
+    pub unsafe fn retire_with<T>(&mut self, ptr: *mut T, reclaim_fn: unsafe fn(*mut u8)) {
+        self.push_retired(Retired::with_reclaimer(ptr, reclaim_fn));
+    }
+
+    fn push_retired(&mut self, node: Retired) {
         self.domain.retired_count.fetch_add(1, Ordering::Relaxed);
-        self.retired.push(Retired::new(ptr));
+        self.retired.push(node);
         if self.retired.len() >= self.domain.scan_threshold {
             self.domain.scan(&mut self.retired);
         }

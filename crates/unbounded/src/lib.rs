@@ -1,0 +1,65 @@
+//! # wcq-unbounded
+//!
+//! **wLSCQ** — an unbounded MPMC FIFO queue built from linked wCQ ring
+//! segments, the paper's §2.3 recipe ("SCQ rings can be linked into LSCQ to
+//! make the queue unbounded") applied to the *wait-free* wCQ ring.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  head ──▶ [Segment] ──▶ [Segment] ──▶ [Segment] ◀── tail
+//!            wCQ ring      wCQ ring      wCQ ring
+//!            (drained:     (partially    (accepting
+//!             retire via    full)         enqueues)
+//!             hazard ptrs)
+//!                 │                           ▲
+//!                 ▼                           │
+//!            SegmentCache ────────────────────┘  (bounded reuse free-list)
+//! ```
+//!
+//! * Every segment is a bounded, wait-free [`wcq_core::wcq::WcqQueue`];
+//!   operations inside a segment inherit its wait-freedom and bounded memory.
+//! * When the tail segment fills up it is **closed** (a credit counter makes
+//!   full/closed one atomic decision) and a fresh segment — pre-loaded with
+//!   the element that triggered the append, as in LCRQ — is linked behind it.
+//! * Drained segments are unlinked by dequeuers and **retired** through a
+//!   [`wcq_reclaim::HazardDomain`]; once unprotected they are **recycled**
+//!   into a bounded [`DEFAULT_SEGMENT_CACHE`]-sized free-list, so steady
+//!   traffic performs no per-operation allocation.
+//! * The whole queue is generic over the paper's two hardware models
+//!   ([`wcq_core::wcq::NativeFamily`], [`wcq_core::wcq::LlscFamily`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use wcq_unbounded::UnboundedWcq;
+//!
+//! // 2^4-element segments, up to 4 registered threads, unbounded overall.
+//! let q: UnboundedWcq<u64> = UnboundedWcq::new(4, 4);
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut h = q.register().unwrap();
+//!         for i in 0..1000 {
+//!             h.enqueue(i); // never fails: the queue grows by segments
+//!         }
+//!     });
+//!     s.spawn(|| {
+//!         let mut h = q.register().unwrap();
+//!         let mut got = 0;
+//!         while got < 1000 {
+//!             if h.dequeue().is_some() {
+//!                 got += 1;
+//!             }
+//!         }
+//!     });
+//! });
+//! assert_eq!(q.segments_live(), 1); // drained segments were retired
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod queue;
+mod segment;
+
+pub use queue::{SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};

@@ -1,0 +1,561 @@
+//! The unbounded queue: a Michael–Scott-style outer list of wCQ segments.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+
+use wcq_atomics::{Backoff, CachePadded};
+use wcq_core::wcq::{CellFamily, NativeFamily, WcqConfig};
+use wcq_reclaim::{HazardDomain, HazardHandle};
+
+use crate::segment::{recycle_segment, Segment, SegmentCache};
+
+/// Default number of drained segments kept for reuse.
+pub const DEFAULT_SEGMENT_CACHE: usize = 4;
+
+/// Live/allocated/cached segment counts of an [`UnboundedWcq`] (statistics
+/// for the memory tests and the bench JSON output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segments currently linked into the queue (always >= 1).
+    pub live: usize,
+    /// Drained segments parked in the reuse cache.
+    pub cached: usize,
+    /// Retired segments awaiting hazard-pointer reclamation.
+    pub retired_pending: usize,
+    /// Segments ever obtained from the allocator (not from the cache).
+    pub allocated_total: usize,
+    /// Appends served from the cache instead of the allocator.
+    pub reused_total: usize,
+}
+
+impl SegmentStats {
+    /// Segments currently occupying memory, whatever their role.
+    pub fn resident(&self) -> usize {
+        self.live + self.cached + self.retired_pending
+    }
+}
+
+/// An unbounded MPMC FIFO queue of `T`: fixed-capacity wait-free wCQ ring
+/// segments linked into a Michael–Scott-style outer list (the paper's LSCQ
+/// construction, §2.3, with wCQ rings — "wLSCQ").
+///
+/// * **Within a segment** every operation is wait-free (the wCQ guarantee).
+/// * **Across segments** appending and retiring uses the MS-queue CAS
+///   discipline (lock-free: some thread always makes progress, an individual
+///   append can be delayed).  Additionally, a dequeuer advancing the head
+///   past a drained segment first waits for enqueuers that obtained a slot
+///   credit before the segment closed; that wait is bounded by one inner
+///   *wait-free* enqueue per straggler, so it is finite whenever the
+///   stragglers are scheduled, but it is not a lock-free step — the same
+///   trade LSCQ makes when the ring cannot atomically reject late enqueuers.
+/// * **Memory usage** is bounded by the traffic's actual backlog: drained
+///   segments are retired through a [`HazardDomain`] and recycled via a
+///   bounded segment cache, so steady-state operation performs no
+///   per-operation allocation (the bounded-memory property of the paper,
+///   amortized to O(segments in flight)).
+///
+/// Generic over the same hardware families as [`wcq_core::wcq::WcqQueue`]:
+/// [`NativeFamily`] (double-width CAS) and [`wcq_core::wcq::LlscFamily`].
+///
+/// Threads operate through [`UnboundedWcqHandle`]s obtained from
+/// [`UnboundedWcq::register`]; at most `max_threads` handles can be live.
+pub struct UnboundedWcq<T, F: CellFamily = NativeFamily> {
+    head: CachePadded<AtomicPtr<Segment<T, F>>>,
+    tail: CachePadded<AtomicPtr<Segment<T, F>>>,
+    domain: HazardDomain,
+    /// Must be declared after `domain`: dropping the domain reclaims orphans
+    /// through `recycle_segment`, which dereferences the cache.
+    cache: Box<SegmentCache<T, F>>,
+    seg_order: u32,
+    max_threads: usize,
+    config: WcqConfig,
+    per_segment_bytes: usize,
+    segments_live: AtomicUsize,
+    segments_allocated: AtomicUsize,
+}
+
+// SAFETY: segments are shared through hazard-protected atomic pointers; the
+// cache and domain are Sync; `T: Send` values cross threads through the
+// inner wait-free queues.
+unsafe impl<T: Send, F: CellFamily> Send for UnboundedWcq<T, F> {}
+unsafe impl<T: Send, F: CellFamily> Sync for UnboundedWcq<T, F> {}
+
+impl<T, F: CellFamily> UnboundedWcq<T, F> {
+    /// Creates a queue whose segments hold `2^seg_order` elements, usable by
+    /// up to `max_threads` registered threads, with the default [`WcqConfig`]
+    /// and segment-cache size.
+    pub fn new(seg_order: u32, max_threads: usize) -> Self {
+        Self::with_config(seg_order, max_threads, WcqConfig::default())
+    }
+
+    /// Like [`UnboundedWcq::new`] with an explicit wait-freedom
+    /// configuration for the inner rings.
+    pub fn with_config(seg_order: u32, max_threads: usize, config: WcqConfig) -> Self {
+        Self::with_config_and_cache(seg_order, max_threads, config, DEFAULT_SEGMENT_CACHE)
+    }
+
+    /// Fully explicit constructor: `cache_limit` bounds how many drained
+    /// segments are kept for reuse instead of being freed.
+    pub fn with_config_and_cache(
+        seg_order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        cache_limit: usize,
+    ) -> Self {
+        assert!(max_threads >= 1, "at least one thread must register");
+        assert!(
+            max_threads as u64 <= (1u64 << seg_order),
+            "segment capacity must be >= max_threads (the paper's k <= n)"
+        );
+        let cache = Box::new(SegmentCache::new(cache_limit));
+        let cache_ptr: *const SegmentCache<T, F> = &*cache;
+        let first = Box::into_raw(Box::new(Segment::new(
+            seg_order,
+            max_threads,
+            config,
+            cache_ptr,
+        )));
+        // SAFETY: freshly allocated, exclusively owned.
+        let per_segment_bytes = unsafe { (*first).footprint() };
+        Self {
+            head: CachePadded::new(AtomicPtr::new(first)),
+            tail: CachePadded::new(AtomicPtr::new(first)),
+            domain: HazardDomain::new(max_threads, 1),
+            cache,
+            seg_order,
+            max_threads,
+            config,
+            per_segment_bytes,
+            segments_live: AtomicUsize::new(1),
+            segments_allocated: AtomicUsize::new(1),
+        }
+    }
+
+    /// Capacity of a single segment (`2^seg_order`).
+    pub fn segment_capacity(&self) -> usize {
+        1 << self.seg_order
+    }
+
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Registers the calling thread, or `None` when `max_threads` handles
+    /// are already live.
+    pub fn register(&self) -> Option<UnboundedWcqHandle<'_, T, F>> {
+        Some(UnboundedWcqHandle {
+            queue: self,
+            hp: self.domain.register()?,
+        })
+    }
+
+    /// Current segment statistics.
+    pub fn segment_stats(&self) -> SegmentStats {
+        SegmentStats {
+            live: self.segments_live.load(SeqCst),
+            cached: self.cache.len(),
+            retired_pending: self.domain.pending(),
+            allocated_total: self.segments_allocated.load(SeqCst),
+            reused_total: self.cache.reused_total(),
+        }
+    }
+
+    /// Segments currently linked into the queue.
+    pub fn segments_live(&self) -> usize {
+        self.segments_live.load(SeqCst)
+    }
+
+    /// Segments ever obtained from the allocator.
+    pub fn segments_allocated(&self) -> usize {
+        self.segments_allocated.load(SeqCst)
+    }
+
+    /// Segments recycled through the cache so far.
+    pub fn segments_recycled(&self) -> usize {
+        self.cache.recycled_total()
+    }
+
+    /// Approximate bytes currently held: every resident segment (live,
+    /// cached or awaiting reclamation) plus the queue header.
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.segment_stats().resident() * self.per_segment_bytes
+    }
+
+    /// Obtains a fresh tail segment — from the cache when possible — already
+    /// holding `value` as its first element, ready to be linked.  The `bool`
+    /// reports whether the segment came from the cache (the reuse statistic
+    /// is only recorded once the link race is won).
+    fn fresh_segment_with(&self, tid: usize, value: T) -> (*mut Segment<T, F>, bool) {
+        let cached = self.cache.take();
+        let from_cache = cached.is_some();
+        let seg = cached.unwrap_or_else(|| {
+            self.segments_allocated.fetch_add(1, SeqCst);
+            Box::into_raw(Box::new(Segment::new(
+                self.seg_order,
+                self.max_threads,
+                self.config,
+                &*self.cache,
+            )))
+        });
+        self.segments_live.fetch_add(1, SeqCst);
+        // SAFETY: unpublished, exclusively owned by this thread.
+        let seg_ref = unsafe { &*seg };
+        if seg_ref.try_enqueue(tid, value).is_err() {
+            unreachable!("a fresh segment must accept its first element");
+        }
+        (seg, from_cache)
+    }
+
+    /// Takes back the pre-loaded value from an unpublished segment (another
+    /// thread won the append race) and parks the segment in the cache.
+    fn abandon_fresh(&self, tid: usize, seg: *mut Segment<T, F>) -> T {
+        // SAFETY: unpublished, exclusively owned by this thread.
+        let seg_ref = unsafe { &*seg };
+        let value = seg_ref
+            .try_dequeue(tid)
+            .expect("unpublished segment holds exactly the pre-loaded element");
+        self.segments_live.fetch_sub(1, SeqCst);
+        // SAFETY: still exclusively owned; never linked, so no hazard can
+        // point at it.
+        unsafe { SegmentCache::give_back(&*self.cache, seg) };
+        value
+    }
+}
+
+impl<T, F: CellFamily> Drop for UnboundedWcq<T, F> {
+    fn drop(&mut self) {
+        // Free every segment still linked; the inner `WcqQueue` drops drain
+        // remaining elements.  Retired-but-unreclaimed segments are owned by
+        // `domain` (dropped next), which recycles them into `cache` (dropped
+        // last) — field order in the struct enforces this.
+        let mut cur = self.head.load(SeqCst);
+        while !cur.is_null() {
+            // SAFETY: `&mut self` means no handles are live; the list is ours.
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(SeqCst);
+        }
+    }
+}
+
+impl<T, F: CellFamily> std::fmt::Debug for UnboundedWcq<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnboundedWcq")
+            .field("family", &F::NAME)
+            .field("segment_capacity", &self.segment_capacity())
+            .field("max_threads", &self.max_threads)
+            .field("segments", &self.segment_stats())
+            .finish()
+    }
+}
+
+/// A per-thread handle to an [`UnboundedWcq`].
+///
+/// The handle owns one hazard-domain participant slot; its participant id
+/// doubles as the thread-record index inside every segment, so binding to a
+/// segment is a single CAS per ring.
+pub struct UnboundedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
+    queue: &'q UnboundedWcq<T, F>,
+    hp: HazardHandle<'q>,
+}
+
+impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
+    /// The stable per-thread index of this handle.
+    pub fn tid(&self) -> usize {
+        self.hp.tid()
+    }
+
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &'q UnboundedWcq<T, F> {
+        self.queue
+    }
+
+    /// Enqueues `value`.  Never fails: when the tail segment is full it is
+    /// closed and a new segment (pre-loaded with `value`) is appended.
+    pub fn enqueue(&mut self, value: T) {
+        let tid = self.hp.tid();
+        let mut value = value;
+        loop {
+            let tailp = self.hp.protect(0, &self.queue.tail);
+            // SAFETY: protected by hazard slot 0; segments are retired only
+            // after becoming unreachable and unprotected.
+            let seg = unsafe { &*tailp };
+            let next = seg.next.load(SeqCst);
+            if !next.is_null() {
+                // Help swing the lagging outer tail, as in MSQueue.
+                let _ = self
+                    .queue
+                    .tail
+                    .compare_exchange(tailp, next, SeqCst, SeqCst);
+                continue;
+            }
+            match seg.try_enqueue(tid, value) {
+                Ok(()) => {
+                    self.hp.clear();
+                    return;
+                }
+                Err(back) => {
+                    value = back;
+                    // Full: close so no later enqueue can land (the LSCQ
+                    // discipline — a segment is closed before it gains a
+                    // successor), then append a fresh segment carrying the
+                    // value, so winning the link race completes the enqueue.
+                    seg.close();
+                    let (fresh, from_cache) = self.queue.fresh_segment_with(tid, value);
+                    if seg
+                        .next
+                        .compare_exchange(ptr::null_mut(), fresh, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        if from_cache {
+                            self.queue.cache.note_reused();
+                        }
+                        let _ = self
+                            .queue
+                            .tail
+                            .compare_exchange(tailp, fresh, SeqCst, SeqCst);
+                        self.hp.clear();
+                        return;
+                    }
+                    // Lost the race: reclaim the value and retry on the
+                    // now-extended list.
+                    value = self.queue.abandon_fresh(tid, fresh);
+                }
+            }
+        }
+    }
+
+    /// Dequeues an element; `None` when the whole queue was observed empty.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let tid = self.hp.tid();
+        let mut backoff = Backoff::new();
+        loop {
+            let headp = self.hp.protect(0, &self.queue.head);
+            // SAFETY: protected by hazard slot 0.
+            let seg = unsafe { &*headp };
+            if let Some(v) = seg.try_dequeue(tid) {
+                self.hp.clear();
+                return Some(v);
+            }
+            let next = seg.next.load(SeqCst);
+            if next.is_null() {
+                // Empty head segment with no successor: the queue was empty
+                // at the inner dequeue's linearization point.
+                self.hp.clear();
+                return None;
+            }
+            // The segment is closed (it has a successor).  Before advancing,
+            // wait out enqueuers that hold a pre-close credit, then re-check
+            // emptiness: after that, the segment is permanently empty.
+            if seg.inflight() != 0 {
+                // Bounded exponential backoff, then yield: the straggler
+                // completes a *wait-free* inner enqueue as soon as it gets
+                // CPU, so giving it the core beats burning ours.
+                backoff.snooze_or_yield();
+                continue;
+            }
+            if let Some(v) = seg.try_dequeue(tid) {
+                self.hp.clear();
+                return Some(v);
+            }
+            // Help a lagging tail past the segment we are about to retire
+            // (MS-queue discipline).  The appender's hazard pins the segment
+            // until its own tail swing, so this is not needed for safety, but
+            // it keeps `head` from ever overtaking `tail`.
+            let _ = self
+                .queue
+                .tail
+                .compare_exchange(headp, next, SeqCst, SeqCst);
+            if self
+                .queue
+                .head
+                .compare_exchange(headp, next, SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.queue.segments_live.fetch_sub(1, SeqCst);
+                self.hp.clear();
+                // SAFETY: the CAS winner is the unique retirer of the now
+                // unreachable segment; `recycle_segment` matches `T, F`.
+                unsafe { self.hp.retire_with(headp, recycle_segment::<T, F>) };
+            }
+        }
+    }
+
+    /// Forces a hazard-pointer scan of this handle's retired segments right
+    /// now (used by tests to make recycling deterministic).
+    pub fn flush_reclamation(&mut self) {
+        self.hp.flush();
+    }
+}
+
+impl<'q, T, F: CellFamily> std::fmt::Debug for UnboundedWcqHandle<'q, T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnboundedWcqHandle")
+            .field("tid", &self.hp.tid())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use wcq_core::wcq::LlscFamily;
+
+    #[test]
+    fn fifo_single_thread_within_one_segment() {
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(6, 2);
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+        for i in 0..32 {
+            h.enqueue(i);
+        }
+        for i in 0..32 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+        assert_eq!(q.segments_live(), 1);
+    }
+
+    #[test]
+    fn bursts_grow_segments_and_preserve_fifo() {
+        // 8-slot segments, 100 elements: growth is forced.
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 2);
+        let mut h = q.register().unwrap();
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        assert!(
+            q.segments_live() > 1,
+            "a burst beyond one segment must link new segments: {:?}",
+            q.segment_stats()
+        );
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn drained_segments_are_retired_and_recycled() {
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 1);
+        let mut h = q.register().unwrap();
+        for round in 0..4 {
+            for i in 0..64 {
+                h.enqueue(round * 64 + i);
+            }
+            for i in 0..64 {
+                assert_eq!(h.dequeue(), Some(round * 64 + i));
+            }
+            h.flush_reclamation();
+            assert_eq!(
+                q.segments_live(),
+                1,
+                "after a full drain only the tail segment stays live"
+            );
+        }
+        let stats = q.segment_stats();
+        assert!(stats.reused_total > 0, "later bursts must reuse cached segments: {stats:?}");
+        assert!(
+            stats.allocated_total < 4 * (64 / 8) ,
+            "the cache must cap allocations across rounds: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn llsc_family_roundtrip_with_growth() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        let q: UnboundedWcq<u64, LlscFamily> = UnboundedWcq::new(3, 2);
+        let mut h = q.register().unwrap();
+        for i in 0..50 {
+            h.enqueue(i);
+        }
+        for i in 0..50 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn registration_limit_enforced() {
+        let q: UnboundedWcq<u8> = UnboundedWcq::new(4, 2);
+        let h1 = q.register().unwrap();
+        let h2 = q.register().unwrap();
+        assert!(q.register().is_none());
+        drop(h1);
+        assert!(q.register().is_some());
+        drop(h2);
+    }
+
+    #[test]
+    fn drop_releases_elements_across_segments() {
+        let probe = Arc::new(());
+        {
+            let q: UnboundedWcq<Arc<()>> = UnboundedWcq::new(3, 1);
+            let mut h = q.register().unwrap();
+            for _ in 0..50 {
+                h.enqueue(Arc::clone(&probe));
+            }
+            assert!(q.segments_live() > 1);
+            assert_eq!(Arc::strong_count(&probe), 51);
+            drop(h);
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn mpmc_stress_sum_preserved_across_growth() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 5_000;
+        // Tiny 16-slot segments guarantee constant segment churn.
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(4, THREADS as usize);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let q = &q;
+                let sum = &sum;
+                let count = &count;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..PER_THREAD {
+                        h.enqueue(t * PER_THREAD + i);
+                        if let Some(v) = h.dequeue() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    while let Some(v) = h.dequeue() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = THREADS * PER_THREAD;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn memory_footprint_tracks_resident_segments() {
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 1);
+        let empty_footprint = q.memory_footprint();
+        let mut h = q.register().unwrap();
+        for i in 0..200 {
+            h.enqueue(i);
+        }
+        assert!(q.memory_footprint() > empty_footprint);
+        for i in 0..200 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        h.flush_reclamation();
+        let stats = q.segment_stats();
+        assert_eq!(stats.live, 1, "{stats:?}");
+        assert!(
+            stats.resident() <= 1 + DEFAULT_SEGMENT_CACHE,
+            "resident segments bounded by live + cache: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Ring segments and the segment cache of the unbounded queue.
+//!
+//! A [`Segment`] wraps one bounded [`WcqQueue`] together with the bookkeeping
+//! the outer linked list needs:
+//!
+//! * a **credit counter** (`state`) that makes "is there room?" and "has the
+//!   segment been closed?" one atomic decision — the LCRQ/LSCQ closing idea
+//!   lifted to the data-queue layer, since wCQ's own enqueue cannot be told
+//!   to fail permanently;
+//! * an **in-flight counter** so dequeuers can wait out enqueuers that
+//!   acquired a credit before the segment closed (those enqueues *will* land
+//!   and must not be lost when the outer head advances past the segment);
+//! * the outer `next` link;
+//! * a back-pointer to the owning queue's [`SegmentCache`] so the hazard
+//!   domain can *recycle* a drained segment instead of freeing it.
+//!
+//! ## Why credits make closing sound
+//!
+//! `state` starts at the segment capacity.  An enqueuer first increments
+//! `inflight`, then does `state.fetch_sub(1)`: a positive pre-value is a
+//! credit guaranteeing the inner free-index ring holds a slot for it (the
+//! classic semaphore invariant — credits never exceed free slots, and free
+//! slots are only taken by credit holders).  Closing subtracts a huge
+//! constant, so every later claim observes a non-positive value and fails —
+//! no check-then-act race, exactly like LCRQ's tail `CLOSED` bit.
+//!
+//! A dequeuer may advance the outer head past a segment only after it
+//! observes, in order: a non-null `next` (segments are closed before they are
+//! linked past), `inflight == 0` (every credit holder has finished its inner
+//! enqueue), and one more empty inner dequeue.  At that point the segment is
+//! permanently empty: no credit can be granted any more, and everything that
+//! was in flight is visible.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use wcq_atomics::CachePadded;
+use wcq_core::wcq::{CellFamily, WcqConfig, WcqQueue};
+
+/// Subtracted from `state` when a segment closes.  Far larger than any
+/// capacity or thread count, so the counter stays negative against every
+/// transient `±1` from concurrent claims and credit returns.
+const CLOSE_DELTA: i64 = 1 << 40;
+
+/// One ring segment of the unbounded queue.
+pub(crate) struct Segment<T, F: CellFamily> {
+    queue: WcqQueue<T, F>,
+    /// Outer list link; doubles as the cache free-list link via reset.
+    pub(crate) next: AtomicPtr<Segment<T, F>>,
+    /// Free credits; `<= 0` means full or closed (see module docs).
+    state: CachePadded<AtomicI64>,
+    /// Close-once latch so `CLOSE_DELTA` is subtracted exactly once.
+    closed: AtomicBool,
+    /// Enqueuers currently between their `inflight` increment and decrement.
+    inflight: CachePadded<AtomicUsize>,
+    /// The owning queue's cache, for hazard-domain recycling.
+    pub(crate) cache: *const SegmentCache<T, F>,
+    capacity: i64,
+}
+
+impl<T, F: CellFamily> Segment<T, F> {
+    pub(crate) fn new(
+        order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        cache: *const SegmentCache<T, F>,
+    ) -> Self {
+        let queue = WcqQueue::with_config(order, max_threads, config);
+        let capacity = queue.capacity() as i64;
+        Self {
+            queue,
+            next: AtomicPtr::new(ptr::null_mut()),
+            state: CachePadded::new(AtomicI64::new(capacity)),
+            closed: AtomicBool::new(false),
+            inflight: CachePadded::new(AtomicUsize::new(0)),
+            cache,
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue `value` under the credit discipline.  `Err` means
+    /// the segment is full or closed and will never accept this value.
+    pub(crate) fn try_enqueue(&self, tid: usize, value: T) -> Result<(), T> {
+        self.inflight.fetch_add(1, SeqCst);
+        let credit = self.state.fetch_sub(1, SeqCst);
+        if credit <= 0 {
+            self.state.fetch_add(1, SeqCst);
+            self.inflight.fetch_sub(1, SeqCst);
+            return Err(value);
+        }
+        let mut h = self
+            .queue
+            .register_at(tid)
+            .expect("outer tid is exclusive to one in-flight operation");
+        let res = h.enqueue(value);
+        drop(h);
+        if res.is_err() {
+            // A credit guarantees a free inner slot, so this branch is
+            // unreachable; restore the credit if the invariant ever breaks.
+            debug_assert!(false, "credit-holding enqueue found the inner ring full");
+            self.state.fetch_add(1, SeqCst);
+        }
+        self.inflight.fetch_sub(1, SeqCst);
+        res
+    }
+
+    /// Attempts to dequeue; `None` means the inner ring was observed empty.
+    pub(crate) fn try_dequeue(&self, tid: usize) -> Option<T> {
+        let mut h = self
+            .queue
+            .register_at(tid)
+            .expect("outer tid is exclusive to one in-flight operation");
+        let v = h.dequeue();
+        drop(h);
+        if v.is_some() {
+            self.state.fetch_add(1, SeqCst);
+        }
+        v
+    }
+
+    /// Permanently rejects future enqueue credits (idempotent).
+    pub(crate) fn close(&self) {
+        if !self.closed.swap(true, SeqCst) {
+            self.state.fetch_sub(CLOSE_DELTA, SeqCst);
+        }
+    }
+
+    /// Number of enqueuers currently inside [`Segment::try_enqueue`].
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight.load(SeqCst)
+    }
+
+    /// Resets the outer bookkeeping of a drained, unreachable segment so it
+    /// can serve as a fresh tail.  The inner rings need no reset: a drained
+    /// wCQ is simply an empty wCQ whose cycle counters have advanced.
+    pub(crate) fn reopen(&self) {
+        self.next.store(ptr::null_mut(), SeqCst);
+        self.inflight.store(0, SeqCst);
+        self.state.store(self.capacity, SeqCst);
+        self.closed.store(false, SeqCst);
+    }
+
+    /// Bytes occupied by this segment (struct + inner rings and data array).
+    pub(crate) fn footprint(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<WcqQueue<T, F>>()
+            + self.queue.memory_footprint()
+    }
+}
+
+/// The reclaimer installed with [`wcq_reclaim::HazardHandle::retire_with`]:
+/// once no thread protects the segment, hand it back to the owning queue's
+/// cache (or free it if the cache is full).
+///
+/// # Safety
+/// `p` must point to a `Segment<T, F>` produced by `Box::into_raw` that has
+/// been unlinked from the queue; the hazard domain guarantees exclusive
+/// ownership when this runs, and the cache outlives the domain (field order
+/// in `UnboundedWcq`).
+pub(crate) unsafe fn recycle_segment<T, F: CellFamily>(p: *mut u8) {
+    let seg = p.cast::<Segment<T, F>>();
+    // SAFETY: per the function contract the segment is exclusively owned and
+    // its cache back-pointer is still alive.
+    let cache = unsafe { (*seg).cache };
+    unsafe { SegmentCache::give_back(cache, seg) };
+}
+
+/// A bounded free-list of drained segments.
+///
+/// Steady-state traffic that repeatedly grows and shrinks by a few segments
+/// allocates nothing: retired segments come back through
+/// [`recycle_segment`] and are reused by the next append.  The cache is off
+/// the hot path — it is touched only on segment transitions — so a mutex-
+/// protected, pre-allocated `Vec` is the simplest correct structure (a
+/// Treiber stack would need ABA protection for no measurable gain here).
+pub(crate) struct SegmentCache<T, F: CellFamily> {
+    slots: Mutex<Vec<*mut Segment<T, F>>>,
+    limit: usize,
+    /// Segments accepted back into the cache (statistics).
+    recycled: AtomicUsize,
+    /// Appends served from the cache instead of the allocator (statistics).
+    reused: AtomicUsize,
+}
+
+// SAFETY: the raw pointers are exclusively owned by the cache while stored;
+// all mutation happens under the mutex or via atomics.
+unsafe impl<T: Send, F: CellFamily> Send for SegmentCache<T, F> {}
+unsafe impl<T: Send, F: CellFamily> Sync for SegmentCache<T, F> {}
+
+impl<T, F: CellFamily> SegmentCache<T, F> {
+    pub(crate) fn new(limit: usize) -> Self {
+        Self {
+            // Pre-allocate so a steady-state `give_back` never allocates.
+            slots: Mutex::new(Vec::with_capacity(limit)),
+            limit,
+            recycled: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a reopened segment from the cache, if any.  The reuse statistic
+    /// is *not* bumped here: a taken segment only counts as reused once its
+    /// append wins the link race (see [`SegmentCache::note_reused`]) —
+    /// otherwise a lost race that hands the segment straight back would
+    /// overstate cache effectiveness.
+    pub(crate) fn take(&self) -> Option<*mut Segment<T, F>> {
+        self.slots.lock().unwrap().pop()
+    }
+
+    /// Records that a cache-served segment was actually linked into a queue.
+    pub(crate) fn note_reused(&self) {
+        self.reused.fetch_add(1, SeqCst);
+    }
+
+    /// Accepts an exclusively owned, unreachable segment back (or frees it
+    /// when the cache is at its limit).
+    ///
+    /// # Safety
+    /// `cache` must be live and `seg` exclusively owned by the caller.
+    pub(crate) unsafe fn give_back(cache: *const Self, seg: *mut Segment<T, F>) {
+        // SAFETY: per the function contract.
+        let this = unsafe { &*cache };
+        // SAFETY: exclusive ownership allows the (atomic-only) reset.
+        unsafe { (*seg).reopen() };
+        let mut slots = this.slots.lock().unwrap();
+        if slots.len() < this.limit {
+            slots.push(seg);
+            drop(slots);
+            this.recycled.fetch_add(1, SeqCst);
+        } else {
+            drop(slots);
+            // SAFETY: exclusively owned and produced by `Box::into_raw`.
+            drop(unsafe { Box::from_raw(seg) });
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    pub(crate) fn recycled_total(&self) -> usize {
+        self.recycled.load(SeqCst)
+    }
+
+    pub(crate) fn reused_total(&self) -> usize {
+        self.reused.load(SeqCst)
+    }
+}
+
+impl<T, F: CellFamily> Drop for SegmentCache<T, F> {
+    fn drop(&mut self) {
+        for seg in self.slots.get_mut().unwrap().drain(..) {
+            // SAFETY: cached segments are exclusively owned by the cache.
+            drop(unsafe { Box::from_raw(seg) });
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //! `recv` blocks while it is empty, `close` wakes all receivers) and runs a
 //! pipeline of three stages connected by two channels.
 //!
+//! Waiting uses the bounded exponential `Backoff` from `wcq-atomics` — spin
+//! briefly with growing delays to ride out short full/empty windows, then
+//! fall back to `yield_now` so a stalled peer still gets the CPU.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example buffered_channel
@@ -13,6 +17,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use wcq_atomics::Backoff;
 use wcq_core::wcq::{WcqQueue, WcqQueueHandle};
 
 /// A bounded, wait-free buffered channel.
@@ -53,6 +58,7 @@ impl<'c, T> Endpoint<'c, T> {
     /// channel is closed.
     fn send(&mut self, value: T) -> Result<(), T> {
         let mut item = value;
+        let mut backoff = Backoff::new();
         loop {
             if self.channel.closed.load(Ordering::SeqCst) {
                 return Err(item);
@@ -61,7 +67,7 @@ impl<'c, T> Endpoint<'c, T> {
                 Ok(()) => return Ok(()),
                 Err(back) => {
                     item = back;
-                    std::thread::yield_now();
+                    backoff.snooze_or_yield();
                 }
             }
         }
@@ -70,6 +76,7 @@ impl<'c, T> Endpoint<'c, T> {
     /// Receives a value, waiting while the buffer is empty.  Returns `None`
     /// once the channel is closed *and* drained.
     fn recv(&mut self) -> Option<T> {
+        let mut backoff = Backoff::new();
         loop {
             if let Some(v) = self.handle.dequeue() {
                 return Some(v);
@@ -78,7 +85,7 @@ impl<'c, T> Endpoint<'c, T> {
                 // One more look to avoid racing with a send-then-close.
                 return self.handle.dequeue();
             }
-            std::thread::yield_now();
+            backoff.snooze_or_yield();
         }
     }
 }

@@ -1,0 +1,100 @@
+//! A bursty producer over the unbounded wLSCQ queue (`wcq-unbounded`).
+//!
+//! Bounded queues force a choice when traffic is bursty: either size the ring
+//! for the worst burst (wasting memory) or make producers block at the peak
+//! (losing throughput).  `UnboundedWcq` absorbs bursts by linking fresh wCQ
+//! segments and gives the memory back afterwards: drained segments are
+//! retired through hazard pointers and recycled via a bounded cache.
+//!
+//! The example runs a producer that alternates bursts and idle phases against
+//! slower, steady consumers, then prints the segment statistics: the queue
+//! grows during bursts, shrinks back to one live segment after draining, and
+//! after the first burst serves segment churn from its cache instead of the
+//! allocator.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example unbounded_pipeline
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wcq_atomics::Backoff;
+use wcq_unbounded::UnboundedWcq;
+
+const BURSTS: u64 = 8;
+const BURST_SIZE: u64 = 4_096; // each burst spans many 256-slot segments
+const CONSUMERS: u64 = 2;
+
+fn main() {
+    // 2^8-element segments; 1 producer + 2 consumers + 1 main registration.
+    let q: UnboundedWcq<u64> = UnboundedWcq::new(8, 4);
+    let consumed = AtomicU64::new(0);
+    let peak_live = AtomicU64::new(0);
+    let total = BURSTS * BURST_SIZE;
+
+    std::thread::scope(|s| {
+        // Bursty producer: emit a full burst as fast as possible, then idle
+        // while the consumers catch up.
+        let q_ref = &q;
+        let peak = &peak_live;
+        s.spawn(move || {
+            let mut h = q_ref.register().expect("registration slot available");
+            for burst in 0..BURSTS {
+                for i in 0..BURST_SIZE {
+                    h.enqueue(burst * BURST_SIZE + i);
+                }
+                peak.fetch_max(q_ref.segments_live() as u64, Ordering::Relaxed);
+                // Idle phase: let the consumers drain the backlog.
+                while q_ref.segments_live() > 1 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        // Steady consumers.
+        for _ in 0..CONSUMERS {
+            let q_ref = &q;
+            let consumed = &consumed;
+            s.spawn(move || {
+                let mut h = q_ref.register().expect("registration slot available");
+                let mut backoff = Backoff::new();
+                while consumed.load(Ordering::Relaxed) < total {
+                    match h.dequeue() {
+                        Some(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                            backoff.reset();
+                        }
+                        None => backoff.snooze_or_yield(),
+                    }
+                }
+                h.flush_reclamation();
+            });
+        }
+    });
+
+    assert_eq!(consumed.load(Ordering::Relaxed), total, "no element lost");
+
+    // One reclamation pass from a fresh handle makes the statistics settle.
+    let mut h = q.register().expect("registration slot available");
+    assert_eq!(h.dequeue(), None, "queue fully drained");
+    h.flush_reclamation();
+    drop(h);
+
+    let stats = q.segment_stats();
+    println!("moved {total} values through {BURSTS} bursts of {BURST_SIZE}");
+    println!(
+        "segments: peak live {}, now live {}, cached {}, allocated {}, reused {}",
+        peak_live.load(Ordering::Relaxed),
+        stats.live,
+        stats.cached,
+        stats.allocated_total,
+        stats.reused_total
+    );
+    println!("current footprint: {} KiB", q.memory_footprint() / 1024);
+    assert_eq!(stats.live, 1, "drained queue returns to one segment");
+    assert!(
+        stats.reused_total > 0,
+        "bursts after the first must reuse cached segments: {stats:?}"
+    );
+}

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use wcq_core::wcq::{WcqConfig, WcqQueue};
 use wcq_harness::memtrack::{self, CountingAllocator};
+use wcq_unbounded::UnboundedWcq;
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
@@ -107,5 +108,60 @@ fn wcq_footprint_is_a_function_of_geometry_only() {
         a.memory_footprint(),
         b.memory_footprint(),
         "operation history must not change the footprint"
+    );
+}
+
+#[test]
+fn unbounded_wcq_steady_state_reuses_segments_without_allocating() {
+    // The unbounded queue cannot be allocation-free in general — growth *is*
+    // allocation — but at steady state (periodic bursts that drain), segment
+    // churn must be served from the recycling cache: the number of segments
+    // ever allocated stays flat and per-operation heap traffic stays nil.
+    const SEG_ORDER: u32 = 4; // 16-slot segments
+    const BURST: u64 = 64; // 4 segments of churn per round
+    let q: UnboundedWcq<u64> = UnboundedWcq::new(SEG_ORDER, 2);
+    let mut h = q.register().unwrap();
+
+    // Warm-up: populate the segment cache through one full burst/drain cycle.
+    for i in 0..BURST {
+        h.enqueue(i);
+    }
+    for i in 0..BURST {
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    h.flush_reclamation();
+
+    let allocated_before = q.segments_allocated();
+    let before = memtrack::snapshot();
+    const ROUNDS: u64 = 50;
+    for round in 0..ROUNDS {
+        for i in 0..BURST {
+            h.enqueue(round * BURST + i);
+        }
+        for i in 0..BURST {
+            assert_eq!(h.dequeue(), Some(round * BURST + i));
+        }
+        h.flush_reclamation();
+    }
+    let after = memtrack::snapshot();
+
+    assert_eq!(
+        q.segments_allocated(),
+        allocated_before,
+        "steady-state churn must be served from the cache: {:?}",
+        q.segment_stats()
+    );
+    // 50 rounds * 128 ops with per-op allocation would show up as >= 6400
+    // allocations; the only heap traffic allowed is the hazard scan's small
+    // bookkeeping on each explicit flush.
+    let allocs = after.total_allocs - before.total_allocs;
+    assert!(
+        allocs < 1_500,
+        "expected no per-operation allocations at steady state, saw {allocs}"
+    );
+    let live_growth = after.live_bytes.saturating_sub(before.live_bytes);
+    assert!(
+        live_growth < 16 * 1024,
+        "live heap grew {live_growth} bytes across steady-state rounds"
     );
 }

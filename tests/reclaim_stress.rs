@@ -1,0 +1,164 @@
+//! Multi-threaded stress coverage for `wcq-reclaim`, driven by the harness'
+//! deterministic plan machinery (`DetRng`): thread counts, op counts and the
+//! protect/retire mix are all derived from fixed seeds, so any failure is
+//! replayable by its seed.
+//!
+//! This suite lives in the umbrella crate because `wcq-reclaim` cannot
+//! dev-depend on `wcq-harness` without a dependency cycle (harness →
+//! baselines → reclaim).
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wcq_harness::DetRng;
+use wcq_reclaim::HazardDomain;
+
+/// A payload that counts live instances, so the tests can prove every node
+/// is freed exactly once and never while it is still protected.
+struct Counted {
+    payload: u64,
+    live: Arc<AtomicUsize>,
+}
+
+impl Counted {
+    fn boxed(live: &Arc<AtomicUsize>) -> *mut Counted {
+        live.fetch_add(1, Ordering::SeqCst);
+        Box::into_raw(Box::new(Counted {
+            payload: 0xC0FFEE,
+            live: Arc::clone(live),
+        }))
+    }
+}
+
+impl Drop for Counted {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Seeded register/protect/retire stress: several threads hammer a small set
+/// of shared cells, each repeatedly protecting (and dereferencing) the
+/// current node, swapping in fresh nodes, retiring old ones — and sometimes
+/// dropping their handle mid-run to exercise the orphan hand-off.
+#[test]
+fn hazard_domain_stress_under_seeded_plans() {
+    for seed in [0x00DD_5EED_u64, 0xFEED_F00D] {
+        let mut rng = DetRng::new(seed);
+        let threads = rng.range_inclusive(3, 4) as usize;
+        let ops = rng.range_inclusive(1_500, 3_000);
+        let cells = rng.range_inclusive(2, 4) as usize;
+
+        let live = Arc::new(AtomicUsize::new(0));
+        let dom = HazardDomain::new(threads, 1);
+        let shared: Vec<AtomicPtr<Counted>> = (0..cells)
+            .map(|_| AtomicPtr::new(Counted::boxed(&live)))
+            .collect();
+
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let dom = &dom;
+                let shared = &shared;
+                let live = &live;
+                let mut rng = DetRng::new(seed).stream(t as u64 + 1);
+                s.spawn(move || {
+                    let mut h = dom.register().expect("domain sized for all threads");
+                    for _ in 0..ops {
+                        let cell = &shared[rng.next_below(cells as u64) as usize];
+                        if rng.chance(0.6) {
+                            // Reader: protect, dereference, unprotect.
+                            let p = h.protect(0, cell);
+                            if !p.is_null() {
+                                // SAFETY: protected by hazard slot 0.
+                                assert_eq!(unsafe { (*p).payload }, 0xC0FFEE);
+                            }
+                            h.clear();
+                        } else {
+                            // Writer: install a fresh node, retire the old.
+                            let fresh = Counted::boxed(live);
+                            let old = cell.swap(fresh, Ordering::SeqCst);
+                            if !old.is_null() {
+                                // SAFETY: `old` was atomically unlinked and is
+                                // retired exactly once, by the swapping thread.
+                                unsafe { h.retire(old) };
+                            }
+                        }
+                        if rng.chance(0.002) {
+                            // Registration churn: hand pending retirees to the
+                            // domain and re-register (same participant count,
+                            // so a slot is always available again).
+                            drop(h);
+                            h = loop {
+                                match dom.register() {
+                                    Some(fresh) => break fresh,
+                                    None => std::thread::yield_now(),
+                                }
+                            };
+                        }
+                    }
+                    h.flush();
+                });
+            }
+        });
+
+        // Tear down: free the final nodes still installed in the cells.
+        for cell in &shared {
+            let last = cell.swap(std::ptr::null_mut(), Ordering::SeqCst);
+            assert!(!last.is_null());
+            // SAFETY: all threads joined; the cell's node is exclusively ours.
+            unsafe { drop(Box::from_raw(last)) };
+        }
+        drop(dom); // frees any orphans left by the registration churn
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "seed {seed:#x}: every node must be reclaimed exactly once"
+        );
+    }
+}
+
+/// Drop hand-off: a handle that drops while one of its retirees is still
+/// protected orphans that node to the domain; once the protection clears, a
+/// later scan from *another* handle reclaims it, and `reclaimed_total()`
+/// catches up to `retired_total()` without dropping the domain.
+#[test]
+fn reclaimed_total_catches_up_after_handles_drop() {
+    let live = Arc::new(AtomicUsize::new(0));
+    let dom = HazardDomain::new(2, 1);
+
+    let blocker = dom.register().unwrap();
+    let protected = Counted::boxed(&live);
+    blocker.protect_raw(0, protected);
+
+    {
+        let mut h = dom.register().unwrap();
+        for _ in 0..20 {
+            let p = Counted::boxed(&live);
+            // SAFETY: unreachable, never retired twice.
+            unsafe { h.retire(p) };
+        }
+        // SAFETY: unlinked above; the blocker still protects it.
+        unsafe { h.retire(protected) };
+        // Handle drops here: unprotected retirees are freed, the protected
+        // one is handed to the domain as an orphan.
+    }
+    assert_eq!(dom.retired_total(), 21);
+    assert_eq!(dom.reclaimed_total(), 20, "protected node must survive the drop scan");
+    assert_eq!(live.load(Ordering::SeqCst), 1);
+
+    // Protection clears; any later scan — here from a fresh handle with its
+    // own retiree — must drain the orphan too.
+    blocker.clear();
+    let mut h = dom.register().unwrap();
+    let p = Counted::boxed(&live);
+    // SAFETY: unreachable, retired once.
+    unsafe { h.retire(p) };
+    h.flush();
+    assert_eq!(dom.retired_total(), 22);
+    assert_eq!(
+        dom.reclaimed_total(),
+        dom.retired_total(),
+        "reclaimed_total must catch up once protections clear"
+    );
+    assert_eq!(dom.pending(), 0);
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+}

@@ -23,8 +23,13 @@ fn stress_oracle_holds_for_all_real_queues() {
 #[test]
 fn stress_oracle_holds_with_forced_slow_path() {
     // Override the derived patience so every operation of both wCQ hardware
-    // models runs the Figure 5-7 slow-path machinery.
-    for kind in [QueueKind::Wcq, QueueKind::WcqLlsc] {
+    // models (bounded and unbounded) runs the Figure 5-7 slow-path machinery.
+    for kind in [
+        QueueKind::Wcq,
+        QueueKind::WcqLlsc,
+        QueueKind::WcqUnbounded,
+        QueueKind::WcqUnboundedLlsc,
+    ] {
         let mut plan = StressPlan::from_seed(kind, 0xBAD_FA57);
         plan.wcq_config = WcqConfig {
             max_patience_enqueue: 1,
@@ -33,6 +38,21 @@ fn stress_oracle_holds_with_forced_slow_path() {
             catchup_bound: 8,
         };
         plan.assert_holds();
+    }
+}
+
+#[test]
+fn stress_oracle_holds_for_unbounded_under_forced_segment_growth() {
+    // Tiny 16-slot segments with thousands of enqueues per producer: every
+    // burst overflows many segments, so the plan constantly appends, closes,
+    // retires and recycles segments while the oracle watches for loss,
+    // duplication and per-producer FIFO (ISSUE 2 acceptance criterion).
+    for kind in [QueueKind::WcqUnbounded, QueueKind::WcqUnboundedLlsc] {
+        for seed in SEEDS {
+            let mut plan = StressPlan::from_seed(kind, seed);
+            plan.ring_order = 4; // 2^4 slots per segment << ops_per_producer
+            plan.assert_holds();
+        }
     }
 }
 
