@@ -76,6 +76,11 @@ impl<T> CcQueue<T> {
         }
     }
 
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.taken.len()
+    }
+
     /// Registers the calling thread.
     pub fn register(&self) -> Option<CcQueueHandle<'_, T>> {
         for (tid, flag) in self.taken.iter().enumerate() {

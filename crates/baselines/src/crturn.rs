@@ -92,6 +92,11 @@ impl CrTurnQueue {
         }
     }
 
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.taken.len()
+    }
+
     /// Registers the calling thread.
     pub fn register(&self) -> Option<CrTurnHandle<'_>> {
         for (tid, flag) in self.taken.iter().enumerate() {

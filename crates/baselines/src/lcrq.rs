@@ -186,6 +186,11 @@ impl Lcrq {
         }
     }
 
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.domain.max_threads()
+    }
+
     /// Registers the calling thread.
     pub fn register(&self) -> Option<LcrqHandle<'_>> {
         Some(LcrqHandle {

@@ -24,6 +24,7 @@
 pub mod ccqueue;
 pub mod crturn;
 pub mod faa;
+mod facade;
 pub mod lcrq;
 pub mod msqueue;
 pub mod ymc;

@@ -57,6 +57,11 @@ impl<T> MsQueue<T> {
         }
     }
 
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.domain.max_threads()
+    }
+
     /// Registers the calling thread.
     pub fn register(&self) -> Option<MsQueueHandle<'_, T>> {
         Some(MsQueueHandle {

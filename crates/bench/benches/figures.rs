@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use wcq_core::wcq::{WcqConfig, WcqQueue};
+use wcq::WcqConfig;
 use wcq_harness::{make_queue, run_workload, QueueKind, Workload, WorkloadConfig};
 
 const RING_ORDER: u32 = 10;
@@ -86,7 +86,11 @@ fn ablation() {
             help_delay: 16,
             catchup_bound: 64,
         };
-        let queue: WcqQueue<u64> = WcqQueue::with_config(RING_ORDER, 2, cfg);
+        let queue = wcq::builder()
+            .capacity_order(RING_ORDER)
+            .threads(2)
+            .config(cfg)
+            .build_bounded::<u64>();
         let mut samples = Vec::new();
         for _ in 0..REPEATS {
             let start = Instant::now();

@@ -16,11 +16,17 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use wcq::WcqConfig;
 use wcq_bench::BenchOpts;
-use wcq_core::wcq::{WcqConfig, WcqQueue};
 
 fn run_config(cfg: WcqConfig, threads: usize, total_ops: u64, order: u32) -> (f64, f64) {
-    let queue: WcqQueue<u64> = WcqQueue::with_config(order, threads + 1, cfg);
+    // Construction goes through the public QueueBuilder so the ablation
+    // measures exactly the configuration the library hands applications.
+    let queue = wcq::builder()
+        .capacity_order(order)
+        .threads(threads + 1)
+        .config(cfg)
+        .build_bounded::<u64>();
     let per_thread = total_ops / threads as u64;
     let slow = AtomicU64::new(0);
     let fast = AtomicU64::new(0);

@@ -1,0 +1,171 @@
+//! The ROADMAP's bench differ: compare freshly emitted `BENCH_*.json`
+//! artifacts against committed baselines and flag throughput regressions.
+//!
+//! Typical CI use (warn-only):
+//! ```text
+//! cargo run --release -p wcq-bench --bin bench_diff -- \
+//!     --baseline-dir bench_baselines --current-dir . --threshold 0.10
+//! ```
+//!
+//! The differ walks every `BENCH_*.json` in the baseline directory, looks for
+//! a file of the same name in the current directory, and reports each matched
+//! cell (Fig. 11 rows, the wLSCQ comparison, …) whose throughput dropped —
+//! or whose memory footprint grew — by more than the threshold.  Missing
+//! current files are reported but never fatal: a partial bench run compares
+//! what it produced.  By default the exit code is always 0 (bench numbers on
+//! shared CI runners are noisy; the report is for humans); `--strict` exits
+//! non-zero when regressions were found, for dedicated perf machines.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wcq_bench::diff::{compare, parse_bench_json};
+
+struct Opts {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    threshold: f64,
+    strict: bool,
+}
+
+impl Opts {
+    fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = Self {
+            baseline_dir: PathBuf::from("bench_baselines"),
+            current_dir: PathBuf::from("."),
+            threshold: 0.10,
+            strict: false,
+        };
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        let value_of = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            let v = args.get(*i);
+            if v.is_none() {
+                eprintln!("bench_diff: {} needs a value", args[*i - 1]);
+            }
+            v
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--baseline-dir" => {
+                    if let Some(v) = value_of(&mut i) {
+                        opts.baseline_dir = PathBuf::from(v);
+                    }
+                }
+                "--current-dir" => {
+                    if let Some(v) = value_of(&mut i) {
+                        opts.current_dir = PathBuf::from(v);
+                    }
+                }
+                "--threshold" => {
+                    if let Some(v) = value_of(&mut i) {
+                        match v.parse::<f64>() {
+                            // NaN never compares, a negative sign inverts the
+                            // gate — both would silently neuter --strict.
+                            Ok(t) if t.is_finite() && t >= 0.0 => opts.threshold = t,
+                            // Loud, not silent: a strict run gating on the
+                            // wrong threshold is worse than no run.
+                            _ => eprintln!(
+                                "bench_diff: bad --threshold {v:?}, keeping {}",
+                                opts.threshold
+                            ),
+                        }
+                    }
+                }
+                "--strict" => opts.strict = true,
+                other => eprintln!("bench_diff: ignoring unknown argument {other:?}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// `BENCH_*.json` files in `dir`, sorted for stable output.
+fn bench_artifacts(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let opts = Opts::parse(std::env::args().skip(1));
+    let baselines = bench_artifacts(&opts.baseline_dir);
+    if baselines.is_empty() {
+        println!(
+            "bench_diff: no BENCH_*.json baselines under {} — nothing to compare",
+            opts.baseline_dir.display()
+        );
+        // A gate that compares nothing must not pass silently in strict mode
+        // (typo'd directory, baselines deleted by a refactor, …).
+        return if opts.strict {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for baseline_path in &baselines {
+        let name = baseline_path.file_name().unwrap().to_string_lossy();
+        let current_path = opts.current_dir.join(name.as_ref());
+        if !current_path.exists() {
+            println!("bench_diff: {name}: no fresh artifact in {} (skipped)", opts.current_dir.display());
+            continue;
+        }
+        let read_tables = |p: &Path| {
+            std::fs::read_to_string(p)
+                .map_err(|e| e.to_string())
+                .and_then(|s| parse_bench_json(&s))
+        };
+        let (base, cur) = match (read_tables(baseline_path), read_tables(&current_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                println!("bench_diff: {name}: unreadable artifact ({e}) — skipped");
+                continue;
+            }
+        };
+        compared += 1;
+        let regs = compare(&base, &cur, opts.threshold);
+        if regs.is_empty() {
+            println!(
+                "bench_diff: {name}: OK (no cell worse than {:.0}%)",
+                100.0 * opts.threshold
+            );
+        } else {
+            println!(
+                "bench_diff: {name}: {} cell(s) regressed beyond {:.0}%:",
+                regs.len(),
+                100.0 * opts.threshold
+            );
+            for r in &regs {
+                println!("  WARNING {r}");
+            }
+            regressions += regs.len();
+        }
+    }
+
+    println!(
+        "bench_diff: compared {compared} artifact(s), {regressions} regression(s) \
+         (threshold {:.0}%, {})",
+        100.0 * opts.threshold,
+        if opts.strict { "strict" } else { "warn-only" }
+    );
+    if opts.strict && regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod sweep;
 
 use wcq_harness::{QueueKind, Workload};

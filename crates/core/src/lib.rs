@@ -54,10 +54,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod api;
 pub mod pack;
 pub mod scq;
 pub mod wcq;
 
+pub use api::{QueueHandle, WaitFreeQueue};
 pub use pack::Layout;
 pub use scq::{ScqQueue, ScqRing};
 pub use wcq::{WcqConfig, WcqQueue, WcqRing};

@@ -2,10 +2,14 @@
 //! array (the indirection scheme of Figure 2 applied to wCQ).
 
 use core::cell::UnsafeCell;
+use core::marker::PhantomData;
 use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+use crate::api::tid_memo;
 
 use super::cells::{CellFamily, NativeFamily};
-use super::ring::{WcqConfig, WcqHandle, WcqRing, WcqStats};
+use super::ring::{WcqConfig, WcqRing, WcqStats};
 
 /// A bounded, wait-free MPMC FIFO queue of `T` with capacity `2^order`.
 ///
@@ -22,6 +26,10 @@ pub struct WcqQueue<T, F: CellFamily = NativeFamily> {
     aq: WcqRing<F>,
     fq: WcqRing<F>,
     data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Registration free-slot hint: the next record index worth probing.
+    /// Updated on registration and release so [`WcqQueue::register`] is O(1)
+    /// amortized under handle churn instead of scanning from slot 0.
+    reg_hint: AtomicUsize,
 }
 
 // SAFETY: slot indices are handed between threads through the rings; the slot
@@ -53,7 +61,12 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Self { aq, fq, data }
+        Self {
+            aq,
+            fq,
+            data,
+            reg_hint: AtomicUsize::new(0),
+        }
     }
 
     /// Maximum number of elements the queue can hold.
@@ -66,19 +79,118 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
         self.aq.max_threads()
     }
 
+    /// The wait-freedom configuration both internal rings run with.
+    pub fn config(&self) -> &WcqConfig {
+        self.aq.config()
+    }
+
     /// Registers the calling thread with both internal rings, or `None` when
     /// `max_threads` handles are already live.
+    ///
+    /// Registration is O(1) amortized under handle churn: the slot this
+    /// thread last held on this queue is memoized thread-locally
+    /// ([`tid_memo`]) and retried first with a single CAS per ring; on a miss
+    /// the probe starts from a shared free-slot hint instead of slot 0.
     pub fn register(&self) -> Option<WcqQueueHandle<'_, T, F>> {
-        (0..self.max_threads()).find_map(|tid| self.register_at(tid))
+        let key = self as *const Self as usize;
+        if let Some(tid) = tid_memo::recall(key) {
+            if let Some(handle) = self.register_at(tid) {
+                // Re-front the LRU entry so a hot queue is not evicted by
+                // colder registrations elsewhere.
+                tid_memo::remember(key, tid);
+                return Some(handle);
+            }
+        }
+        let n = self.max_threads();
+        let start = self.reg_hint.load(Relaxed).min(n - 1);
+        (0..n).find_map(|i| {
+            let tid = (start + i) % n;
+            let handle = self.register_at(tid)?;
+            self.reg_hint.store((tid + 1) % n, Relaxed);
+            tid_memo::remember(key, tid);
+            Some(handle)
+        })
     }
 
     /// Registers the calling thread at a *specific* record slot of both
     /// internal rings (see [`WcqRing::register_at`]).  Returns `None` when the
     /// slot is taken or out of range.
     pub fn register_at(&self, tid: usize) -> Option<WcqQueueHandle<'_, T, F>> {
-        let aq = self.aq.register_at(tid)?;
-        let fq = self.fq.register_at(tid)?;
-        Some(WcqQueueHandle { queue: self, aq, fq })
+        self.try_acquire_slot(tid).then(|| WcqQueueHandle {
+            queue: self,
+            tid,
+            aq_stats: WcqStats::default(),
+            fq_stats: WcqStats::default(),
+            _not_send: PhantomData,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Raw registration split: slot acquisition and tid-keyed operations
+    // without a borrowing handle.  `wcq-unbounded` builds its memoized
+    // per-segment binding on these (a handle would be self-referential
+    // through the hazard-protected segment pointer).
+    // ------------------------------------------------------------------
+
+    /// Claims record slot `tid` of *both* rings with one CAS each, without
+    /// constructing a handle.  Returns `false` when the slot is taken or out
+    /// of range.  A successful acquisition must be paired with
+    /// [`WcqQueue::release_slot`].
+    pub fn try_acquire_slot(&self, tid: usize) -> bool {
+        if tid >= self.max_threads() || !self.aq.try_acquire_record(tid) {
+            return false;
+        }
+        if !self.fq.try_acquire_record(tid) {
+            self.aq.release_record(tid);
+            return false;
+        }
+        true
+    }
+
+    /// Releases a record slot claimed by [`WcqQueue::try_acquire_slot`].
+    ///
+    /// # Safety
+    /// The caller must currently own slot `tid` (i.e. this release pairs with
+    /// exactly one successful `try_acquire_slot`) and must not use the slot
+    /// afterwards.
+    pub unsafe fn release_slot(&self, tid: usize) {
+        self.aq.release_record(tid);
+        self.fq.release_record(tid);
+        self.reg_hint.store(tid, Relaxed);
+    }
+
+    /// Attempts to enqueue `value` as the thread owning record slot `tid`;
+    /// returns it back inside `Err` when the queue is full.
+    ///
+    /// # Safety
+    /// The caller must own slot `tid` via [`WcqQueue::try_acquire_slot`] and
+    /// no other thread may operate under the same `tid` concurrently.
+    pub unsafe fn enqueue_at(&self, tid: usize, value: T) -> Result<(), T> {
+        let (index, _slow) = self.fq.dequeue_index(tid);
+        let Some(index) = index else {
+            return Err(value);
+        };
+        // SAFETY: the free index came from `fq`; we own the slot until we
+        // publish the index through `aq`.
+        unsafe { (*self.data[index as usize].get()).write(value) };
+        self.aq.enqueue_index(tid, index);
+        Ok(())
+    }
+
+    /// Attempts to dequeue an element as the thread owning record slot `tid`;
+    /// `None` when the queue was observed empty.
+    ///
+    /// # Safety
+    /// Same contract as [`WcqQueue::enqueue_at`].
+    pub unsafe fn dequeue_at(&self, tid: usize) -> Option<T> {
+        let (index, _slow) = self.aq.dequeue_index(tid);
+        let index = index?;
+        // SAFETY: the index came from `aq`; the matching enqueue fully
+        // initialized the slot and nobody else touches it until we hand the
+        // index back to `fq`.
+        let value = unsafe { (*self.data[index as usize].get()).assume_init_read() };
+        self.fq.enqueue_index(tid, index);
+        Some(value)
     }
 
     /// Returns `true` if a dequeue would currently observe an empty queue
@@ -122,36 +234,74 @@ impl<T, F: CellFamily> std::fmt::Debug for WcqQueue<T, F> {
     }
 }
 
-/// A per-thread handle to a [`WcqQueue`].
+/// A per-thread, RAII handle to a [`WcqQueue`].
+///
+/// The handle owns one record slot of both internal rings for its lifetime;
+/// dropping it releases the slot for another thread.  Handles are `!Send`:
+/// the registration facade memoizes the thread → slot binding thread-locally
+/// (see [`tid_memo`]), so a handle is meaningful only on the thread that
+/// acquired it.
+///
+/// ```compile_fail,E0277
+/// use wcq_core::wcq::WcqQueue;
+/// let q: WcqQueue<u64> = WcqQueue::new(4, 2);
+/// std::thread::scope(|s| {
+///     let h = q.register().unwrap();
+///     s.spawn(move || drop(h)); // ERROR: `WcqQueueHandle` is `!Send`
+/// });
+/// ```
 pub struct WcqQueueHandle<'q, T, F: CellFamily = NativeFamily> {
     queue: &'q WcqQueue<T, F>,
-    aq: WcqHandle<'q, F>,
-    fq: WcqHandle<'q, F>,
+    tid: usize,
+    aq_stats: WcqStats,
+    fq_stats: WcqStats,
+    /// Pins the handle to its registering thread (`!Send`/`!Sync`).
+    _not_send: PhantomData<*const ()>,
 }
 
 impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     /// Attempts to enqueue `value`; returns it back inside `Err` when the
     /// queue is full (`Enqueue_Ptr`, Figure 2).
     pub fn enqueue(&mut self, value: T) -> Result<(), T> {
-        let Some(index) = self.fq.dequeue() else {
+        let (index, slow) = self.queue.fq.dequeue_index(self.tid);
+        if slow {
+            self.fq_stats.slow_dequeues += 1;
+        } else {
+            self.fq_stats.fast_dequeues += 1;
+        }
+        let Some(index) = index else {
             return Err(value);
         };
         // SAFETY: the free index came from `fq`; we own the slot until we
         // publish the index through `aq`.
         unsafe { (*self.queue.data[index as usize].get()).write(value) };
-        self.aq.enqueue(index);
+        if self.queue.aq.enqueue_index(self.tid, index) {
+            self.aq_stats.slow_enqueues += 1;
+        } else {
+            self.aq_stats.fast_enqueues += 1;
+        }
         Ok(())
     }
 
     /// Attempts to dequeue an element; returns `None` when the queue is empty
     /// (`Dequeue_Ptr`, Figure 2).
     pub fn dequeue(&mut self) -> Option<T> {
-        let index = self.aq.dequeue()?;
+        let (index, slow) = self.queue.aq.dequeue_index(self.tid);
+        if slow {
+            self.aq_stats.slow_dequeues += 1;
+        } else {
+            self.aq_stats.fast_dequeues += 1;
+        }
+        let index = index?;
         // SAFETY: the index came from `aq`; the matching enqueue fully
         // initialized the slot and nobody else touches it until we hand the
         // index back to `fq`.
         let value = unsafe { (*self.queue.data[index as usize].get()).assume_init_read() };
-        self.fq.enqueue(index);
+        if self.queue.fq.enqueue_index(self.tid, index) {
+            self.fq_stats.slow_enqueues += 1;
+        } else {
+            self.fq_stats.fast_enqueues += 1;
+        }
         Some(value)
     }
 
@@ -160,17 +310,36 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         self.queue
     }
 
+    /// The record-slot index this handle owns in both rings.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
     /// Combined fast/slow path statistics of the underlying `aq`/`fq` rings.
+    ///
+    /// The `aq` half counts this handle's data-ring operations (enqueues from
+    /// [`WcqQueueHandle::enqueue`], dequeues from
+    /// [`WcqQueueHandle::dequeue`]); the `fq` half the mirror-image free-ring
+    /// operations, matching the pre-split per-ring handle statistics.
     pub fn stats(&self) -> (WcqStats, WcqStats) {
-        (self.aq.stats(), self.fq.stats())
+        (self.aq_stats, self.fq_stats)
+    }
+}
+
+impl<'q, T, F: CellFamily> Drop for WcqQueueHandle<'q, T, F> {
+    fn drop(&mut self) {
+        // SAFETY: the handle's existence proves slot ownership; this is the
+        // unique release paired with the acquisition in `register_at`.
+        unsafe { self.queue.release_slot(self.tid) };
     }
 }
 
 impl<'q, T, F: CellFamily> std::fmt::Debug for WcqQueueHandle<'q, T, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WcqQueueHandle")
-            .field("aq", &self.aq)
-            .field("fq", &self.fq)
+            .field("tid", &self.tid)
+            .field("aq_stats", &self.aq_stats)
+            .field("fq_stats", &self.fq_stats)
             .finish()
     }
 }
@@ -243,6 +412,50 @@ mod tests {
         drop(h1);
         assert!(q.register().is_some());
         drop(h2);
+    }
+
+    #[test]
+    fn register_reuses_the_memoized_tid_after_drop() {
+        let q: WcqQueue<u8> = WcqQueue::new(4, 8);
+        let first = q.register().unwrap();
+        let tid = first.tid();
+        drop(first);
+        // Churn on the same thread must come back to the same record slot
+        // (O(1) re-entry through the thread-local memo).
+        for _ in 0..4 {
+            let again = q.register().unwrap();
+            assert_eq!(again.tid(), tid);
+        }
+    }
+
+    #[test]
+    fn register_at_targets_an_exact_slot() {
+        let q: WcqQueue<u8> = WcqQueue::new(3, 4);
+        let h = q.register_at(2).unwrap();
+        assert_eq!(h.tid(), 2);
+        assert!(q.register_at(2).is_none(), "slot 2 is taken");
+        assert!(q.register_at(99).is_none(), "out of range");
+        drop(h);
+        assert!(q.register_at(2).is_some());
+    }
+
+    #[test]
+    fn raw_slot_api_round_trips_without_a_handle() {
+        let q: WcqQueue<u64> = WcqQueue::new(3, 2);
+        assert!(q.try_acquire_slot(0));
+        assert!(!q.try_acquire_slot(0), "double acquisition must fail");
+        // SAFETY: slot 0 acquired above; single-threaded use.
+        unsafe {
+            assert_eq!(q.enqueue_at(0, 41), Ok(()));
+            assert_eq!(q.enqueue_at(0, 42), Ok(()));
+            assert_eq!(q.dequeue_at(0), Some(41));
+            assert_eq!(q.dequeue_at(0), Some(42));
+            assert_eq!(q.dequeue_at(0), None);
+            q.release_slot(0);
+        }
+        assert!(q.try_acquire_slot(0), "release frees the slot");
+        // SAFETY: re-acquired just above.
+        unsafe { q.release_slot(0) };
     }
 
     #[test]

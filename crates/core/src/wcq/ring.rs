@@ -196,16 +196,32 @@ impl<F: CellFamily> WcqRing<F> {
     ///
     /// Callers that already own a stable per-thread index (e.g. a hazard
     /// domain participant id) can use this to acquire a record with a single
-    /// CAS instead of scanning, which matters when a ring is registered with
-    /// on every operation (the unbounded queue's segments do exactly that).
+    /// CAS instead of scanning.  The unbounded queue's segments build on the
+    /// same slot-acquisition mechanism (via `WcqQueue::try_acquire_slot`),
+    /// holding one persistent binding per handle and re-acquiring only when
+    /// the handle crosses to a different segment.
     pub fn register_at(&self, tid: usize) -> Option<WcqHandle<'_, F>> {
-        let slot = self.slots_taken.get(tid)?;
-        slot.compare_exchange(false, true, SeqCst, SeqCst).ok()?;
-        Some(WcqHandle {
+        self.try_acquire_record(tid).then(|| WcqHandle {
             ring: self,
             tid,
             stats: WcqStats::default(),
         })
+    }
+
+    /// Claims the thread-record slot `tid` with a single CAS, without
+    /// constructing a handle.  The raw half of the registration split:
+    /// [`super::WcqQueue`] builds its combined-slot acquisition (and the
+    /// unbounded queue its memoized segment binding) on top of this.
+    pub(crate) fn try_acquire_record(&self, tid: usize) -> bool {
+        self.slots_taken
+            .get(tid)
+            .is_some_and(|slot| slot.compare_exchange(false, true, SeqCst, SeqCst).is_ok())
+    }
+
+    /// Releases a record slot previously claimed by
+    /// [`WcqRing::try_acquire_record`].  Callers must own the slot.
+    pub(crate) fn release_record(&self, tid: usize) {
+        self.slots_taken[tid].store(false, SeqCst);
     }
 
     // ------------------------------------------------------------------
@@ -607,7 +623,7 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Full enqueue operation for the thread owning record `tid`
     /// (`Enqueue_wCQ`).  Returns `true` if the slow path was taken.
-    fn enqueue_index(&self, tid: usize, index: u64) -> bool {
+    pub(crate) fn enqueue_index(&self, tid: usize, index: u64) -> bool {
         debug_assert!(index < self.layout.capacity());
         self.help_threads(tid);
         // Fast path.
@@ -636,7 +652,7 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Full dequeue operation for the thread owning record `tid`
     /// (`Dequeue_wCQ`).  Returns `(value, took_slow_path)`.
-    fn dequeue_index(&self, tid: usize) -> (Option<u64>, bool) {
+    pub(crate) fn dequeue_index(&self, tid: usize) -> (Option<u64>, bool) {
         let l = &self.layout;
         if self.threshold.load(SeqCst) < 0 {
             return (None, false); // Line 30: empty.
@@ -739,7 +755,7 @@ impl<'q, F: CellFamily> std::fmt::Debug for WcqHandle<'q, F> {
 
 impl<'q, F: CellFamily> Drop for WcqHandle<'q, F> {
     fn drop(&mut self) {
-        self.ring.slots_taken[self.tid].store(false, SeqCst);
+        self.ring.release_record(self.tid);
     }
 }
 

@@ -13,10 +13,12 @@
 //! * memory usage is tracked with a counting global allocator plus each
 //!   queue's self-reported static footprint (Fig. 10a).
 //!
-//! The [`queues`] module adapts every implementation (wCQ in both hardware
-//! models, SCQ, MSQueue, LCRQ, YMC, CCQueue, CRTurn, FAA) to one
-//! registration-based trait so the workload driver and the integration tests
-//! can treat them uniformly.
+//! The [`queues`] module selects implementations (wCQ in both hardware
+//! models, wLSCQ, SCQ, MSQueue, LCRQ, YMC, CCQueue, CRTurn, FAA) behind the
+//! *public* [`WaitFreeQueue`]/[`QueueHandle`] facade of `wcq_core::api` —
+//! there is no harness-private adapter layer; the workload driver and the
+//! integration tests drive exactly the API applications use, and every
+//! wCQ-family queue is constructed through `wcq::builder()`.
 //!
 //! Beyond benchmarking, the harness is also the project's correctness-test
 //! subsystem: [`stress`] provides seed-reproducible [`StressPlan`]s with a
@@ -34,7 +36,7 @@ pub mod stats;
 pub mod stress;
 pub mod workload;
 
-pub use queues::{make_queue, make_queue_configured, BenchHandle, BenchQueue, QueueKind};
+pub use queues::{make_queue, make_queue_configured, QueueHandle, QueueKind, WaitFreeQueue};
 pub use rng::DetRng;
 pub use stress::{all_real_queues, StressPlan, StressReport};
 pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};

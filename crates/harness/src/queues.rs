@@ -1,18 +1,23 @@
-//! Uniform adapters over every queue in the evaluation.
+//! Queue selection for the evaluation, on top of the public facade.
 //!
 //! The paper benchmarks eight algorithms side by side.  [`QueueKind`]
 //! enumerates them (plus the LL/SC-emulated wCQ/SCQ variants used for the
-//! PowerPC figures) and [`make_queue`] builds a fresh instance behind the
-//! registration-based [`BenchQueue`] trait, so the workload driver, the memory
-//! benchmark and the cross-crate integration tests all share one code path.
+//! PowerPC figures and the wLSCQ extension) and [`make_queue`] builds a fresh
+//! instance behind the *public* [`WaitFreeQueue`] trait — the same facade
+//! applications use — so the workload driver, the memory benchmark and the
+//! cross-crate integration tests all share one code path with zero
+//! harness-private adapter code.  All wCQ-family kinds are constructed
+//! through `wcq::builder()`, so benchmark configurations and library
+//! configurations cannot drift apart.
 //!
 //! Payloads are `u64` sequence numbers, as in the original benchmark (which
 //! enqueues small integers / pointers).
 
 use wcq_baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
-use wcq_core::wcq::{LlscFamily, NativeFamily, WcqConfig, WcqQueue, WcqQueueHandle};
+use wcq_core::wcq::WcqConfig;
 use wcq_core::ScqQueue;
-use wcq_unbounded::{UnboundedWcq, UnboundedWcqHandle};
+
+pub use wcq_core::api::{QueueHandle, WaitFreeQueue};
 
 /// Which queue algorithm to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +47,23 @@ pub enum QueueKind {
 }
 
 impl QueueKind {
+    /// Every kind the harness knows (all 11), in a stable order.
+    pub fn all() -> Vec<QueueKind> {
+        vec![
+            QueueKind::Wcq,
+            QueueKind::WcqLlsc,
+            QueueKind::Scq,
+            QueueKind::MsQueue,
+            QueueKind::Lcrq,
+            QueueKind::Ymc,
+            QueueKind::CcQueue,
+            QueueKind::CrTurn,
+            QueueKind::Faa,
+            QueueKind::WcqUnbounded,
+            QueueKind::WcqUnboundedLlsc,
+        ]
+    }
+
     /// All algorithms shown in the x86 figures (Figs. 10, 11).
     pub fn x86_set() -> Vec<QueueKind> {
         vec![
@@ -105,422 +127,48 @@ impl QueueKind {
     }
 }
 
-/// Per-thread handle used by the workload driver.
-pub trait BenchHandle {
-    /// Enqueues a value, retrying internally if the queue is momentarily full.
-    fn enqueue(&mut self, value: u64);
-    /// Dequeues a value, or `None` if the queue was observed empty.
-    fn dequeue(&mut self) -> Option<u64>;
-}
-
-/// A queue instance that threads can register with.
-pub trait BenchQueue: Send + Sync {
-    /// Algorithm display name.
-    fn name(&self) -> &'static str;
-    /// Registers the calling thread and returns its handle.
-    fn register(&self) -> Box<dyn BenchHandle + '_>;
-    /// Bytes of memory attributable to the queue itself (static structures
-    /// plus any growth statistics it tracks) — used for Figure 10a.
-    fn memory_footprint(&self) -> usize;
-}
-
-/// Builds a fresh queue of the requested kind.
+/// Builds a fresh queue of the requested kind behind the public facade.
 ///
 /// `max_threads` bounds concurrent registrations and `ring_order` sizes the
 /// bounded rings (the paper uses 2^16 for wCQ/SCQ and 2^12 rings for LCRQ).
-pub fn make_queue(kind: QueueKind, max_threads: usize, ring_order: u32) -> Box<dyn BenchQueue> {
+pub fn make_queue(
+    kind: QueueKind,
+    max_threads: usize,
+    ring_order: u32,
+) -> Box<dyn WaitFreeQueue<u64>> {
     make_queue_configured(kind, max_threads, ring_order, None)
 }
 
 /// Like [`make_queue`], but with an explicit wait-freedom configuration for
-/// the wCQ kinds (`Wcq` / `WcqLlsc`).  Stress plans use this to force the
-/// slow path with `max_patience = 1`; other kinds ignore the configuration.
+/// the wCQ kinds.  Stress plans use this to force the slow path with
+/// `max_patience = 1`; other kinds ignore the configuration.
 pub fn make_queue_configured(
     kind: QueueKind,
     max_threads: usize,
     ring_order: u32,
     wcq_config: Option<WcqConfig>,
-) -> Box<dyn BenchQueue> {
-    let cfg = wcq_config.unwrap_or_default();
+) -> Box<dyn WaitFreeQueue<u64>> {
+    let wcq_builder = wcq::builder()
+        .capacity_order(ring_order)
+        .threads(max_threads)
+        .config(wcq_config.unwrap_or_default());
+    // Segment order is capped at 2^12 like LCRQ's rings: both are segmented
+    // designs whose *total* capacity is unbounded, so a paper-scale
+    // `--order 16` should size their segments, not one giant ring — and the
+    // shared cap keeps the wLSCQ-vs-LCRQ comparison like for like.
+    let segmented = wcq_builder.clone().capacity_order(ring_order.min(12));
     match kind {
-        QueueKind::Wcq => Box::new(WcqBench::<NativeFamily>::new(ring_order, max_threads, cfg)),
-        QueueKind::WcqLlsc => Box::new(WcqBench::<LlscFamily>::new(ring_order, max_threads, cfg)),
-        QueueKind::Scq => Box::new(ScqBench::new(ring_order)),
-        QueueKind::MsQueue => Box::new(MsBench::new(max_threads)),
-        QueueKind::Lcrq => Box::new(LcrqBench::new(ring_order.min(12), max_threads)),
-        QueueKind::Ymc => Box::new(YmcBench::new()),
-        QueueKind::CcQueue => Box::new(CcBench::new(max_threads)),
-        QueueKind::CrTurn => Box::new(CrTurnBench::new(max_threads)),
-        QueueKind::Faa => Box::new(FaaBench::new(ring_order)),
-        // Segment order is capped at 2^12 like LCRQ's rings above: both are
-        // segmented designs whose *total* capacity is unbounded, so a paper
-        // scale `--order 16` should size their segments, not one giant ring —
-        // and the shared cap keeps the wLSCQ-vs-LCRQ comparison like for like.
-        QueueKind::WcqUnbounded => Box::new(UnboundedBench::<NativeFamily>::new(
-            ring_order.min(12),
-            max_threads,
-            cfg,
-        )),
-        QueueKind::WcqUnboundedLlsc => Box::new(UnboundedBench::<LlscFamily>::new(
-            ring_order.min(12),
-            max_threads,
-            cfg,
-        )),
-    }
-}
-
-// --------------------------------------------------------------------------
-// wCQ / SCQ adapters
-// --------------------------------------------------------------------------
-
-struct WcqBench<F: wcq_core::wcq::CellFamily> {
-    queue: WcqQueue<u64, F>,
-    llsc: bool,
-}
-
-impl<F: wcq_core::wcq::CellFamily> WcqBench<F> {
-    fn new(order: u32, max_threads: usize, config: WcqConfig) -> Self {
-        Self {
-            queue: WcqQueue::with_config(order, max_threads, config),
-            llsc: F::NAME == "llsc-emu",
-        }
-    }
-}
-
-struct WcqBenchHandle<'q, F: wcq_core::wcq::CellFamily>(WcqQueueHandle<'q, u64, F>);
-
-impl<'q, F: wcq_core::wcq::CellFamily> BenchHandle for WcqBenchHandle<'q, F> {
-    fn enqueue(&mut self, value: u64) {
-        let mut v = value;
-        while let Err(back) = self.0.enqueue(v) {
-            v = back;
-            std::thread::yield_now();
-        }
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl<F: wcq_core::wcq::CellFamily> BenchQueue for WcqBench<F> {
-    fn name(&self) -> &'static str {
-        if self.llsc {
-            "wCQ (LL/SC)"
-        } else {
-            "wCQ"
-        }
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(WcqBenchHandle(
-            self.queue.register().expect("benchmark sized max_threads"),
-        ))
-    }
-    fn memory_footprint(&self) -> usize {
-        self.queue.memory_footprint()
-    }
-}
-
-struct ScqBench {
-    queue: ScqQueue<u64>,
-}
-
-impl ScqBench {
-    fn new(order: u32) -> Self {
-        Self {
-            queue: ScqQueue::new(order),
-        }
-    }
-}
-
-struct ScqBenchHandle<'q>(&'q ScqQueue<u64>);
-
-impl<'q> BenchHandle for ScqBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        let mut v = value;
-        while let Err(back) = self.0.enqueue(v) {
-            v = back;
-            std::thread::yield_now();
-        }
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for ScqBench {
-    fn name(&self) -> &'static str {
-        "SCQ"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(ScqBenchHandle(&self.queue))
-    }
-    fn memory_footprint(&self) -> usize {
-        self.queue.memory_footprint()
-    }
-}
-
-struct UnboundedBench<F: wcq_core::wcq::CellFamily> {
-    queue: UnboundedWcq<u64, F>,
-    llsc: bool,
-}
-
-impl<F: wcq_core::wcq::CellFamily> UnboundedBench<F> {
-    fn new(seg_order: u32, max_threads: usize, config: WcqConfig) -> Self {
-        Self {
-            queue: UnboundedWcq::with_config(seg_order, max_threads, config),
-            llsc: F::NAME == "llsc-emu",
-        }
-    }
-}
-
-struct UnboundedBenchHandle<'q, F: wcq_core::wcq::CellFamily>(UnboundedWcqHandle<'q, u64, F>);
-
-impl<'q, F: wcq_core::wcq::CellFamily> BenchHandle for UnboundedBenchHandle<'q, F> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl<F: wcq_core::wcq::CellFamily> BenchQueue for UnboundedBench<F> {
-    fn name(&self) -> &'static str {
-        if self.llsc {
-            "wLSCQ (LL/SC)"
-        } else {
-            "wLSCQ"
-        }
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(UnboundedBenchHandle(
-            self.queue.register().expect("benchmark sized max_threads"),
-        ))
-    }
-    fn memory_footprint(&self) -> usize {
-        self.queue.memory_footprint()
-    }
-}
-
-// --------------------------------------------------------------------------
-// Baseline adapters
-// --------------------------------------------------------------------------
-
-struct MsBench {
-    queue: MsQueue<u64>,
-}
-
-impl MsBench {
-    fn new(max_threads: usize) -> Self {
-        Self {
-            queue: MsQueue::new(max_threads),
-        }
-    }
-}
-
-struct MsBenchHandle<'q>(wcq_baselines::msqueue::MsQueueHandle<'q, u64>);
-
-impl<'q> BenchHandle for MsBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for MsBench {
-    fn name(&self) -> &'static str {
-        "MSQueue"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(MsBenchHandle(
-            self.queue.register().expect("benchmark sized max_threads"),
-        ))
-    }
-    fn memory_footprint(&self) -> usize {
-        std::mem::size_of::<MsQueue<u64>>()
-    }
-}
-
-struct LcrqBench {
-    queue: Lcrq,
-}
-
-impl LcrqBench {
-    fn new(ring_order: u32, max_threads: usize) -> Self {
-        Self {
-            queue: Lcrq::new(ring_order, max_threads),
-        }
-    }
-}
-
-struct LcrqBenchHandle<'q>(wcq_baselines::lcrq::LcrqHandle<'q>);
-
-impl<'q> BenchHandle for LcrqBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for LcrqBench {
-    fn name(&self) -> &'static str {
-        "LCRQ"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(LcrqBenchHandle(
-            self.queue.register().expect("benchmark sized max_threads"),
-        ))
-    }
-    fn memory_footprint(&self) -> usize {
-        self.queue.memory_footprint()
-    }
-}
-
-struct YmcBench {
-    queue: YmcQueue,
-}
-
-impl YmcBench {
-    fn new() -> Self {
-        Self {
-            queue: YmcQueue::new(),
-        }
-    }
-}
-
-struct YmcBenchHandle<'q>(&'q YmcQueue);
-
-impl<'q> BenchHandle for YmcBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for YmcBench {
-    fn name(&self) -> &'static str {
-        "YMC (bug)"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(YmcBenchHandle(&self.queue))
-    }
-    fn memory_footprint(&self) -> usize {
-        self.queue.memory_footprint()
-    }
-}
-
-struct CcBench {
-    queue: CcQueue<u64>,
-}
-
-impl CcBench {
-    fn new(max_threads: usize) -> Self {
-        Self {
-            queue: CcQueue::new(max_threads),
-        }
-    }
-}
-
-struct CcBenchHandle<'q>(wcq_baselines::ccqueue::CcQueueHandle<'q, u64>);
-
-impl<'q> BenchHandle for CcBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for CcBench {
-    fn name(&self) -> &'static str {
-        "CCQueue"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(CcBenchHandle(
-            self.queue.register().expect("benchmark sized max_threads"),
-        ))
-    }
-    fn memory_footprint(&self) -> usize {
-        std::mem::size_of::<CcQueue<u64>>()
-    }
-}
-
-struct CrTurnBench {
-    queue: CrTurnQueue,
-}
-
-impl CrTurnBench {
-    fn new(max_threads: usize) -> Self {
-        Self {
-            queue: CrTurnQueue::new(max_threads),
-        }
-    }
-}
-
-struct CrTurnBenchHandle<'q>(wcq_baselines::crturn::CrTurnHandle<'q>);
-
-impl<'q> BenchHandle for CrTurnBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for CrTurnBench {
-    fn name(&self) -> &'static str {
-        "CRTurn"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(CrTurnBenchHandle(
-            self.queue.register().expect("benchmark sized max_threads"),
-        ))
-    }
-    fn memory_footprint(&self) -> usize {
-        std::mem::size_of::<CrTurnQueue>()
-    }
-}
-
-struct FaaBench {
-    queue: FaaQueue,
-}
-
-impl FaaBench {
-    fn new(order: u32) -> Self {
-        Self {
-            queue: FaaQueue::new(order),
-        }
-    }
-}
-
-struct FaaBenchHandle<'q>(&'q FaaQueue);
-
-impl<'q> BenchHandle for FaaBenchHandle<'q> {
-    fn enqueue(&mut self, value: u64) {
-        self.0.enqueue(value);
-    }
-    fn dequeue(&mut self) -> Option<u64> {
-        self.0.dequeue()
-    }
-}
-
-impl BenchQueue for FaaBench {
-    fn name(&self) -> &'static str {
-        "FAA"
-    }
-    fn register(&self) -> Box<dyn BenchHandle + '_> {
-        Box::new(FaaBenchHandle(&self.queue))
-    }
-    fn memory_footprint(&self) -> usize {
-        self.queue.memory_footprint()
+        QueueKind::Wcq => Box::new(wcq_builder.build_bounded::<u64>()),
+        QueueKind::WcqLlsc => Box::new(wcq_builder.llsc().build_bounded::<u64>()),
+        QueueKind::WcqUnbounded => Box::new(segmented.build_unbounded::<u64>()),
+        QueueKind::WcqUnboundedLlsc => Box::new(segmented.llsc().build_unbounded::<u64>()),
+        QueueKind::Scq => Box::new(ScqQueue::new(ring_order)),
+        QueueKind::MsQueue => Box::new(MsQueue::new(max_threads)),
+        QueueKind::Lcrq => Box::new(Lcrq::new(ring_order.min(12), max_threads)),
+        QueueKind::Ymc => Box::new(YmcQueue::new()),
+        QueueKind::CcQueue => Box::new(CcQueue::new(max_threads)),
+        QueueKind::CrTurn => Box::new(CrTurnQueue::new(max_threads)),
+        QueueKind::Faa => Box::new(FaaQueue::new(ring_order)),
     }
 }
 
@@ -529,13 +177,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_kind_constructs_and_round_trips() {
-        for kind in QueueKind::x86_set()
-            .into_iter()
-            .chain(QueueKind::powerpc_set())
-        {
+    fn every_kind_constructs_and_round_trips_through_the_facade() {
+        // All 11 QueueKinds flow through the public WaitFreeQueue trait.
+        for kind in QueueKind::all() {
             let q = make_queue(kind, 2, 8);
-            let mut h = q.register();
+            let mut h = q.handle();
             h.enqueue(41);
             h.enqueue(42);
             // FAA is not a real queue but still returns the stored values in
@@ -548,10 +194,18 @@ mod tests {
     }
 
     #[test]
+    fn facade_names_match_the_kind_legends() {
+        for kind in QueueKind::all() {
+            let q = make_queue(kind, 2, 8);
+            assert_eq!(q.name(), kind.name(), "kind {:?}", kind);
+        }
+    }
+
+    #[test]
     fn unbounded_kinds_construct_and_round_trip() {
         for kind in QueueKind::unbounded_set() {
             let q = make_queue(kind, 2, 6);
-            let mut h = q.register();
+            let mut h = q.handle();
             for i in 0..200 {
                 h.enqueue(i); // 200 values through 64-slot segments forces growth
             }
@@ -564,11 +218,25 @@ mod tests {
     }
 
     #[test]
+    fn registration_limited_kinds_exhaust_and_recover() {
+        for kind in [QueueKind::Wcq, QueueKind::MsQueue, QueueKind::CcQueue] {
+            let q = make_queue(kind, 2, 8);
+            let a = q.try_handle().expect("slot 1");
+            let b = q.try_handle().expect("slot 2");
+            assert!(q.try_handle().is_none(), "kind {:?}", kind);
+            drop(a);
+            assert!(q.try_handle().is_some(), "kind {:?}", kind);
+            drop(b);
+        }
+    }
+
+    #[test]
     fn x86_and_powerpc_sets_match_paper_legends() {
         let x86: Vec<_> = QueueKind::x86_set().iter().map(|k| k.name()).collect();
         assert!(x86.contains(&"LCRQ"));
         let ppc: Vec<_> = QueueKind::powerpc_set().iter().map(|k| k.name()).collect();
         assert!(!ppc.contains(&"LCRQ"), "LCRQ needs CAS2 and is absent on PowerPC");
         assert!(ppc.contains(&"wCQ (LL/SC)"));
+        assert_eq!(QueueKind::all().len(), 11);
     }
 }

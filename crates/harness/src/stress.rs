@@ -196,7 +196,7 @@ impl StressPlan {
                 let enqueue_counts = &enqueue_counts;
                 let ops = self.ops_per_producer;
                 s.spawn(move || {
-                    let mut h = queue.register();
+                    let mut h = queue.handle();
                     for seq in 1..=ops {
                         h.enqueue(encode(wid, seq));
                         enqueued_total.fetch_add(1, SeqCst);
@@ -218,7 +218,7 @@ impl StressPlan {
                 let bias = self.mixer_enqueue_bias;
                 let mut rng = DetRng::new(self.seed).stream(wid as u64 + 1);
                 s.spawn(move || {
-                    let mut h = queue.register();
+                    let mut h = queue.handle();
                     let mut seq = 0u64;
                     let mut local = Vec::new();
                     for _ in 0..ops {
@@ -244,7 +244,7 @@ impl StressPlan {
                 let feeders_done = &feeders_done;
                 let observations = &observations;
                 s.spawn(move || {
-                    let mut h = queue.register();
+                    let mut h = queue.handle();
                     let mut local = Vec::new();
                     loop {
                         let done = feeders_done.load(SeqCst) == feeders;

@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::time::Instant;
 
-use crate::queues::BenchQueue;
+use crate::queues::WaitFreeQueue;
 use crate::rng::DetRng;
 use crate::stats::{summarize, Summary};
 
@@ -86,7 +86,11 @@ pub struct RunResult {
 }
 
 /// Runs `workload` against `queue` and reports throughput statistics.
-pub fn run_workload(queue: &dyn BenchQueue, workload: Workload, cfg: &WorkloadConfig) -> RunResult {
+pub fn run_workload(
+    queue: &dyn WaitFreeQueue<u64>,
+    workload: Workload,
+    cfg: &WorkloadConfig,
+) -> RunResult {
     assert!(cfg.threads >= 1);
     let ops_per_thread = (cfg.total_ops / cfg.threads as u64).max(1);
     let mut samples = Vec::with_capacity(cfg.repeats as usize);
@@ -104,7 +108,7 @@ pub fn run_workload(queue: &dyn BenchQueue, workload: Workload, cfg: &WorkloadCo
 
 /// One timed repetition; returns elapsed seconds.
 fn run_once(
-    queue: &dyn BenchQueue,
+    queue: &dyn WaitFreeQueue<u64>,
     workload: Workload,
     cfg: &WorkloadConfig,
     ops_per_thread: u64,
@@ -122,7 +126,7 @@ fn run_once(
                 .wrapping_add(rep.wrapping_mul(0x9E37_79B9))
                 .wrapping_add(tid as u64);
             joins.push(s.spawn(move || {
-                let mut handle = queue.register();
+                let mut handle = queue.handle();
                 let mut rng = DetRng::new(seed);
                 while !start_flag.load(SeqCst) {
                     std::hint::spin_loop();
@@ -173,7 +177,7 @@ fn run_once(
     });
     // Drain the queue between repetitions so the memory/empty-queue state is
     // comparable across repeats.
-    let mut cleaner = queue.register();
+    let mut cleaner = queue.handle();
     while cleaner.dequeue().is_some() {}
     elapsed.max(1e-9)
 }

@@ -74,6 +74,9 @@ pub struct HazardDomain {
     hazards_per_thread: usize,
     /// Retire-buffer length that triggers a scan.
     scan_threshold: usize,
+    /// Registration free-slot hint: next participant index worth probing.
+    /// Keeps [`HazardDomain::register`] O(1) amortized under handle churn.
+    reg_hint: AtomicUsize,
     /// Nodes abandoned by de-registered threads; freed by later scans or on
     /// domain drop.
     orphans: Mutex<Vec<Retired>>,
@@ -120,6 +123,7 @@ impl HazardDomain {
             // Classical choice: scan when the retire buffer is ~2× the number
             // of hazard slots in the whole domain.
             scan_threshold: (2 * total).max(8),
+            reg_hint: AtomicUsize::new(0),
             orphans: Mutex::new(Vec::new()),
             retired_count: AtomicUsize::new(0),
             reclaimed_count: AtomicUsize::new(0),
@@ -155,19 +159,29 @@ impl HazardDomain {
     /// one participant slot.  Returns `None` when all participant slots are
     /// taken.
     pub fn register(&self) -> Option<HazardHandle<'_>> {
-        for (tid, flag) in self.in_use.iter().enumerate() {
-            if flag
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Some(HazardHandle {
-                    domain: self,
-                    tid,
-                    retired: Vec::new(),
-                });
-            }
-        }
-        None
+        let n = self.in_use.len();
+        let start = self.reg_hint.load(Ordering::Relaxed).min(n - 1);
+        (0..n).find_map(|i| {
+            let tid = (start + i) % n;
+            let handle = self.register_at(tid)?;
+            self.reg_hint.store((tid + 1) % n, Ordering::Relaxed);
+            Some(handle)
+        })
+    }
+
+    /// Registers the calling thread at a *specific* participant slot with a
+    /// single CAS, or `None` when `tid` is out of range or the slot is taken.
+    /// Callers that memoize their participant id (e.g. the facade's
+    /// thread-local tid memo) use this for O(1) re-registration.
+    pub fn register_at(&self, tid: usize) -> Option<HazardHandle<'_>> {
+        let flag = self.in_use.get(tid)?;
+        flag.compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .ok()?;
+        Some(HazardHandle {
+            domain: self,
+            tid,
+            retired: Vec::new(),
+        })
     }
 
     #[inline]
@@ -340,6 +354,7 @@ impl<'d> Drop for HazardHandle<'d> {
             orphans.append(&mut self.retired);
         }
         self.domain.in_use[self.tid].store(false, Ordering::Release);
+        self.domain.reg_hint.store(self.tid, Ordering::Relaxed);
     }
 }
 
@@ -383,6 +398,18 @@ mod tests {
         // Slot becomes reusable after the handle drops.
         let h3 = dom.register().unwrap();
         assert_ne!(h3.tid(), h2.tid());
+    }
+
+    #[test]
+    fn register_at_targets_an_exact_participant_slot() {
+        let dom = HazardDomain::new(3, 1);
+        let h = dom.register_at(1).unwrap();
+        assert_eq!(h.tid(), 1);
+        assert!(dom.register_at(1).is_none(), "slot 1 is taken");
+        assert!(dom.register_at(5).is_none(), "out of range");
+        drop(h);
+        // The drop hint points registration back at the freed slot.
+        assert_eq!(dom.register().unwrap().tid(), 1);
     }
 
     #[test]

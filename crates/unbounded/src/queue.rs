@@ -4,7 +4,8 @@ use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 
 use wcq_atomics::{Backoff, CachePadded};
-use wcq_core::wcq::{CellFamily, NativeFamily, WcqConfig};
+use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
+use wcq_core::wcq::{CellFamily, LlscFamily, NativeFamily, WcqConfig};
 use wcq_reclaim::{HazardDomain, HazardHandle};
 
 use crate::segment::{recycle_segment, Segment, SegmentCache};
@@ -120,7 +121,9 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
         Self {
             head: CachePadded::new(AtomicPtr::new(first)),
             tail: CachePadded::new(AtomicPtr::new(first)),
-            domain: HazardDomain::new(max_threads, 1),
+            // Slot 0 protects the segment of the operation in flight; slot 1
+            // pins the handle's memoized segment binding between operations.
+            domain: HazardDomain::new(max_threads, 2),
             cache,
             seg_order,
             max_threads,
@@ -143,10 +146,33 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
 
     /// Registers the calling thread, or `None` when `max_threads` handles
     /// are already live.
+    ///
+    /// Like [`wcq_core::wcq::WcqQueue::register`], re-registration by a
+    /// thread that held a handle before is O(1) through the facade's
+    /// thread-local tid memo.
     pub fn register(&self) -> Option<UnboundedWcqHandle<'_, T, F>> {
+        let key = self as *const Self as usize;
+        let hp = tid_memo::recall(key)
+            .and_then(|tid| self.domain.register_at(tid))
+            .or_else(|| self.domain.register())?;
+        tid_memo::remember(key, hp.tid());
         Some(UnboundedWcqHandle {
             queue: self,
-            hp: self.domain.register()?,
+            hp,
+            bound: ptr::null_mut(),
+            rebinds: 0,
+        })
+    }
+
+    /// Registers the calling thread, panicking when all `max_threads`
+    /// registration slots are in use (the RAII-facade convenience;
+    /// [`UnboundedWcq::register`] is the fallible variant).
+    pub fn handle(&self) -> UnboundedWcqHandle<'_, T, F> {
+        self.register().unwrap_or_else(|| {
+            panic!(
+                "all {} registration slots of this wLSCQ queue are in use",
+                self.max_threads
+            )
         })
     }
 
@@ -254,9 +280,36 @@ impl<T, F: CellFamily> std::fmt::Debug for UnboundedWcq<T, F> {
 /// The handle owns one hazard-domain participant slot; its participant id
 /// doubles as the thread-record index inside every segment, so binding to a
 /// segment is a single CAS per ring.
+///
+/// The handle additionally **memoizes the last segment it touched**: the
+/// segment stays bound (record slots held, hazard slot 1 pinning it) between
+/// operations, so the common stay-in-one-segment case skips the per-operation
+/// acquire/release round trip entirely — two CASes and two releases per ring
+/// amortize to zero (the ROADMAP's "cheaper per-operation segment binding").
+/// A bound segment cannot be recycled until the handle rebinds or drops, so
+/// at most one extra segment per registered handle can linger in the retired
+/// state — the memory bound stays O(backlog + threads).
+///
+/// Handles are `!Send` (they hold the raw memoized segment pointer and the
+/// thread-local tid memo assumes thread affinity):
+///
+/// ```compile_fail,E0277
+/// use wcq_unbounded::UnboundedWcq;
+/// let q: UnboundedWcq<u64> = UnboundedWcq::new(4, 2);
+/// std::thread::scope(|s| {
+///     let h = q.register().unwrap();
+///     s.spawn(move || drop(h)); // ERROR: `UnboundedWcqHandle` is `!Send`
+/// });
+/// ```
 pub struct UnboundedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
     queue: &'q UnboundedWcq<T, F>,
     hp: HazardHandle<'q>,
+    /// The memoized segment this handle is currently bound to (null when
+    /// unbound).  Kept alive by hazard slot 1 for as long as it is set.
+    bound: *mut Segment<T, F>,
+    /// How many times the memo missed and the binding moved to a different
+    /// segment (statistics; lets tests assert the memo actually hits).
+    rebinds: u64,
 }
 
 impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
@@ -268,6 +321,42 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
     /// The queue this handle operates on.
     pub fn queue(&self) -> &'q UnboundedWcq<T, F> {
         self.queue
+    }
+
+    /// Number of segment-binding switches this handle has performed.  Stays
+    /// at 1 while all operations land in one segment (the memoized fast
+    /// case); grows by at least one per segment the handle crosses.
+    pub fn segment_rebinds(&self) -> u64 {
+        self.rebinds
+    }
+
+    /// Points the memoized binding at `seg`, releasing the previous one.
+    ///
+    /// # Safety
+    /// `seg` must be protected by hazard slot 0 (it cannot be reclaimed while
+    /// we move hazard slot 1 onto it).
+    unsafe fn rebind(&mut self, seg: *mut Segment<T, F>) {
+        if self.bound == seg {
+            return;
+        }
+        self.unbind();
+        self.hp.protect_raw(1, seg);
+        // SAFETY: protected via slot 0 per the function contract.
+        let bound = unsafe { (*seg).bind(self.hp.tid()) };
+        debug_assert!(bound, "the outer tid is exclusive to this handle");
+        self.bound = seg;
+        self.rebinds += 1;
+    }
+
+    /// Releases the memoized binding, if any.
+    fn unbind(&mut self) {
+        if !self.bound.is_null() {
+            // SAFETY: hazard slot 1 kept the segment alive since `rebind`,
+            // and the bind it pairs with was taken there.
+            unsafe { (*self.bound).unbind(self.hp.tid()) };
+            self.bound = ptr::null_mut();
+            self.hp.clear_one(1);
+        }
     }
 
     /// Enqueues `value`.  Never fails: when the tail segment is full it is
@@ -289,9 +378,15 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                     .compare_exchange(tailp, next, SeqCst, SeqCst);
                 continue;
             }
-            match seg.try_enqueue(tid, value) {
+            // SAFETY: `tailp` is protected by slot 0 (rebind contract), and
+            // the bound op runs under the binding established here.
+            let attempt = unsafe {
+                self.rebind(tailp);
+                seg.try_enqueue_bound(tid, value)
+            };
+            match attempt {
                 Ok(()) => {
-                    self.hp.clear();
+                    self.hp.clear_one(0);
                     return;
                 }
                 Err(back) => {
@@ -314,7 +409,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                             .queue
                             .tail
                             .compare_exchange(tailp, fresh, SeqCst, SeqCst);
-                        self.hp.clear();
+                        self.hp.clear_one(0);
                         return;
                     }
                     // Lost the race: reclaim the value and retry on the
@@ -331,17 +426,22 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
         let mut backoff = Backoff::new();
         loop {
             let headp = self.hp.protect(0, &self.queue.head);
-            // SAFETY: protected by hazard slot 0.
-            let seg = unsafe { &*headp };
-            if let Some(v) = seg.try_dequeue(tid) {
-                self.hp.clear();
+            // SAFETY: protected by hazard slot 0; the bound ops below run
+            // under the binding established by `rebind`.
+            let seg = unsafe {
+                self.rebind(headp);
+                &*headp
+            };
+            // SAFETY: bound just above.
+            if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+                self.hp.clear_one(0);
                 return Some(v);
             }
             let next = seg.next.load(SeqCst);
             if next.is_null() {
                 // Empty head segment with no successor: the queue was empty
                 // at the inner dequeue's linearization point.
-                self.hp.clear();
+                self.hp.clear_one(0);
                 return None;
             }
             // The segment is closed (it has a successor).  Before advancing,
@@ -354,8 +454,9 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 backoff.snooze_or_yield();
                 continue;
             }
-            if let Some(v) = seg.try_dequeue(tid) {
-                self.hp.clear();
+            // SAFETY: still bound to `headp`.
+            if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+                self.hp.clear_one(0);
                 return Some(v);
             }
             // Help a lagging tail past the segment we are about to retire
@@ -373,7 +474,11 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 .is_ok()
             {
                 self.queue.segments_live.fetch_sub(1, SeqCst);
-                self.hp.clear();
+                // Release our own memoized binding before retiring the
+                // segment, or our hazard slot 1 would keep it pending until
+                // the next rebind.
+                self.unbind();
+                self.hp.clear_one(0);
                 // SAFETY: the CAS winner is the unique retirer of the now
                 // unreachable segment; `recycle_segment` matches `T, F`.
                 unsafe { self.hp.retire_with(headp, recycle_segment::<T, F>) };
@@ -388,11 +493,53 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
     }
 }
 
+impl<'q, T, F: CellFamily> Drop for UnboundedWcqHandle<'q, T, F> {
+    fn drop(&mut self) {
+        // Release the memoized binding so the segment can be recycled; the
+        // hazard handle then releases the participant slot itself.
+        self.unbind();
+    }
+}
+
 impl<'q, T, F: CellFamily> std::fmt::Debug for UnboundedWcqHandle<'q, T, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("UnboundedWcqHandle")
             .field("tid", &self.hp.tid())
+            .field("rebinds", &self.rebinds)
             .finish()
+    }
+}
+
+impl<T: Send, F: CellFamily> QueueHandle<T> for UnboundedWcqHandle<'_, T, F> {
+    fn try_enqueue(&mut self, value: T) -> Result<(), T> {
+        UnboundedWcqHandle::enqueue(self, value);
+        Ok(())
+    }
+    fn dequeue(&mut self) -> Option<T> {
+        UnboundedWcqHandle::dequeue(self)
+    }
+    fn enqueue(&mut self, value: T) {
+        // Unbounded: no full state to retry around.
+        UnboundedWcqHandle::enqueue(self, value);
+    }
+}
+
+impl<T: Send, F: CellFamily> WaitFreeQueue<T> for UnboundedWcq<T, F> {
+    fn name(&self) -> &'static str {
+        if F::NAME == LlscFamily::NAME {
+            "wLSCQ (LL/SC)"
+        } else {
+            "wLSCQ"
+        }
+    }
+    fn try_handle(&self) -> Option<Box<dyn QueueHandle<T> + '_>> {
+        self.register().map(|h| Box::new(h) as _)
+    }
+    fn max_threads(&self) -> usize {
+        UnboundedWcq::max_threads(self)
+    }
+    fn memory_footprint(&self) -> usize {
+        UnboundedWcq::memory_footprint(self)
     }
 }
 
@@ -461,6 +608,75 @@ mod tests {
             stats.allocated_total < 4 * (64 / 8) ,
             "the cache must cap allocations across rounds: {stats:?}"
         );
+    }
+
+    #[test]
+    fn memoized_binding_stays_on_one_segment() {
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(6, 2);
+        let mut h = q.register().unwrap();
+        for round in 0..10 {
+            for i in 0..30 {
+                h.enqueue(round * 30 + i);
+            }
+            for i in 0..30 {
+                assert_eq!(h.dequeue(), Some(round * 30 + i));
+            }
+        }
+        // 600 operations never left the first segment: the binding was
+        // established once and memoized for every later operation.
+        assert_eq!(h.segment_rebinds(), 1, "{h:?}");
+    }
+
+    #[test]
+    fn memoized_binding_follows_segment_growth_without_losing_values() {
+        // 16-slot segments with interleaved enqueue/dequeue force the memo
+        // to chase head and tail across many segment transitions.
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(4, 1);
+        let mut h = q.register().unwrap();
+        let mut next_out = 0u64;
+        for i in 0..500u64 {
+            h.enqueue(i);
+            if i % 3 == 0 {
+                assert_eq!(h.dequeue(), Some(next_out));
+                next_out += 1;
+            }
+        }
+        while let Some(v) = h.dequeue() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, 500, "every value crossed the segment chain");
+        assert!(h.segment_rebinds() > 1, "growth must move the binding");
+        h.flush_reclamation();
+        assert_eq!(q.segments_live(), 1);
+    }
+
+    #[test]
+    fn register_reuses_the_memoized_participant_slot() {
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(4, 4);
+        let h = q.register().unwrap();
+        let tid = h.tid();
+        drop(h);
+        for _ in 0..3 {
+            let again = q.register().unwrap();
+            assert_eq!(again.tid(), tid);
+        }
+    }
+
+    #[test]
+    fn trait_facade_round_trips_with_growth() {
+        use wcq_core::api::WaitFreeQueue;
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 2);
+        let dynq: &dyn WaitFreeQueue<u64> = &q;
+        assert_eq!(dynq.name(), "wLSCQ");
+        let mut h = dynq.handle();
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
     }
 
     #[test]

@@ -79,9 +79,30 @@ impl<T, F: CellFamily> Segment<T, F> {
         }
     }
 
-    /// Attempts to enqueue `value` under the credit discipline.  `Err` means
-    /// the segment is full or closed and will never accept this value.
-    pub(crate) fn try_enqueue(&self, tid: usize, value: T) -> Result<(), T> {
+    /// Claims record slot `tid` of the inner rings so bound operations can
+    /// skip the per-operation acquire/release round trip.  The outer `tid` is
+    /// exclusive to one handle, so this only fails if the caller violates the
+    /// bind/unbind pairing.
+    pub(crate) fn bind(&self, tid: usize) -> bool {
+        self.queue.try_acquire_slot(tid)
+    }
+
+    /// Releases a binding made by [`Segment::bind`].
+    ///
+    /// # Safety
+    /// Pairs with exactly one successful `bind(tid)` by this caller.
+    pub(crate) unsafe fn unbind(&self, tid: usize) {
+        // SAFETY: per the function contract.
+        unsafe { self.queue.release_slot(tid) };
+    }
+
+    /// Attempts to enqueue `value` under the credit discipline, assuming the
+    /// caller is already bound to this segment.  `Err` means the segment is
+    /// full or closed and will never accept this value.
+    ///
+    /// # Safety
+    /// The caller must hold a live [`Segment::bind`] on `tid`.
+    pub(crate) unsafe fn try_enqueue_bound(&self, tid: usize, value: T) -> Result<(), T> {
         self.inflight.fetch_add(1, SeqCst);
         let credit = self.state.fetch_sub(1, SeqCst);
         if credit <= 0 {
@@ -89,12 +110,8 @@ impl<T, F: CellFamily> Segment<T, F> {
             self.inflight.fetch_sub(1, SeqCst);
             return Err(value);
         }
-        let mut h = self
-            .queue
-            .register_at(tid)
-            .expect("outer tid is exclusive to one in-flight operation");
-        let res = h.enqueue(value);
-        drop(h);
+        // SAFETY: bound per the function contract.
+        let res = unsafe { self.queue.enqueue_at(tid, value) };
         if res.is_err() {
             // A credit guarantees a free inner slot, so this branch is
             // unreachable; restore the credit if the invariant ever breaks.
@@ -105,17 +122,37 @@ impl<T, F: CellFamily> Segment<T, F> {
         res
     }
 
-    /// Attempts to dequeue; `None` means the inner ring was observed empty.
-    pub(crate) fn try_dequeue(&self, tid: usize) -> Option<T> {
-        let mut h = self
-            .queue
-            .register_at(tid)
-            .expect("outer tid is exclusive to one in-flight operation");
-        let v = h.dequeue();
-        drop(h);
+    /// Attempts to dequeue assuming the caller is already bound; `None` means
+    /// the inner ring was observed empty.
+    ///
+    /// # Safety
+    /// The caller must hold a live [`Segment::bind`] on `tid`.
+    pub(crate) unsafe fn try_dequeue_bound(&self, tid: usize) -> Option<T> {
+        // SAFETY: bound per the function contract.
+        let v = unsafe { self.queue.dequeue_at(tid) };
         if v.is_some() {
             self.state.fetch_add(1, SeqCst);
         }
+        v
+    }
+
+    /// One-shot enqueue: bind, operate, unbind.  Used off the hot path (the
+    /// fresh-segment preload), where binding churn does not matter.
+    pub(crate) fn try_enqueue(&self, tid: usize, value: T) -> Result<(), T> {
+        assert!(self.bind(tid), "outer tid is exclusive to one operation");
+        // SAFETY: bound above; unbound immediately after.
+        let res = unsafe { self.try_enqueue_bound(tid, value) };
+        unsafe { self.unbind(tid) };
+        res
+    }
+
+    /// One-shot dequeue counterpart of [`Segment::try_enqueue`] (used when a
+    /// lost link race takes the pre-loaded value back out).
+    pub(crate) fn try_dequeue(&self, tid: usize) -> Option<T> {
+        assert!(self.bind(tid), "outer tid is exclusive to one operation");
+        // SAFETY: bound above; unbound immediately after.
+        let v = unsafe { self.try_dequeue_bound(tid) };
+        unsafe { self.unbind(tid) };
         v
     }
 

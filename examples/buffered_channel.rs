@@ -17,8 +17,8 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use wcq_atomics::Backoff;
-use wcq_core::wcq::{WcqQueue, WcqQueueHandle};
+use wcq::atomics::Backoff;
+use wcq::{WcqQueue, WcqQueueHandle};
 
 /// A bounded, wait-free buffered channel.
 struct Channel<T> {
@@ -30,7 +30,10 @@ impl<T> Channel<T> {
     /// A channel buffering up to `2^order` elements for `max_threads` users.
     fn new(order: u32, max_threads: usize) -> Self {
         Self {
-            queue: WcqQueue::new(order, max_threads),
+            queue: wcq::builder()
+                .capacity_order(order)
+                .threads(max_threads)
+                .build_bounded(),
             closed: AtomicBool::new(false),
         }
     }

@@ -18,7 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use wcq_core::wcq::{WcqQueue, WcqRing};
+use wcq::{WcqQueue, WcqRing};
 
 /// 2^10 = 1024 frames of 2 KiB each.
 const FRAME_ORDER: u32 = 10;
@@ -32,7 +32,8 @@ fn main() {
     let arena: Vec<AtomicU64> = (0..frame_count).map(|_| AtomicU64::new(0)).collect();
 
     // Free list: a wait-free ring of frame indices, initially full.
-    let free_list: WcqRing = WcqRing::new(FRAME_ORDER, 8);
+    let pool = wcq::builder().capacity_order(FRAME_ORDER).threads(8);
+    let free_list: WcqRing = pool.build_ring();
     {
         let mut init = free_list.register().unwrap();
         for i in 0..frame_count as u64 {
@@ -41,7 +42,7 @@ fn main() {
     }
 
     // RX -> TX hand-off queue carrying (frame index, length) descriptors.
-    let rx_to_tx: WcqQueue<(u64, u32)> = WcqQueue::new(FRAME_ORDER, 8);
+    let rx_to_tx: WcqQueue<(u64, u32)> = pool.build_bounded();
     let transmitted = AtomicU64::new(0);
     let dropped = AtomicU64::new(0);
 

@@ -1,8 +1,10 @@
-//! Quickstart: the smallest useful wCQ program.
+//! Quickstart: the smallest useful wCQ program, through the `wcq` facade.
 //!
-//! Creates a bounded wait-free queue, registers a producer and a consumer
-//! thread, and moves a million integers through it while printing the
-//! fast-path/slow-path statistics at the end.
+//! One builder call constructs the queue; `handle()` registers the calling
+//! thread (RAII — the record slot is released when the handle drops, and
+//! re-registration by the same thread is O(1) through the thread-local tid
+//! memo).  The example moves a million integers producer → consumer and
+//! prints the fast-path/slow-path statistics at the end.
 //!
 //! Run with:
 //! ```text
@@ -11,31 +13,31 @@
 
 use std::time::Instant;
 
-use wcq_core::wcq::WcqQueue;
+use wcq::WaitFreeQueue;
 
 const ITEMS: u64 = 1_000_000;
 
 fn main() {
     // Capacity 2^12 = 4096 elements, up to 4 registered threads.
-    let queue: WcqQueue<u64> = WcqQueue::new(12, 4);
+    let queue = wcq::builder()
+        .capacity_order(12)
+        .threads(4)
+        .build_bounded::<u64>();
     let start = Instant::now();
 
     std::thread::scope(|s| {
-        // Producer.
+        // Producer: the trait handle's `enqueue` retries while the bounded
+        // queue is full — backpressure without hand-rolled loops.  (Use
+        // `try_enqueue` for an explicit full/`Err` signal instead.)
         s.spawn(|| {
-            let mut handle = queue.register().expect("a registration slot is free");
+            let mut handle = queue.handle();
             for i in 0..ITEMS {
-                let mut item = i;
-                // `enqueue` returns the value back when the queue is full —
-                // bounded queues make backpressure explicit.
-                while let Err(back) = handle.enqueue(item) {
-                    item = back;
-                    std::thread::yield_now();
-                }
+                handle.enqueue(i);
             }
         });
 
-        // Consumer.
+        // Consumer: uses the concrete handle from `register()`, which
+        // additionally exposes the per-ring wait-freedom statistics.
         s.spawn(|| {
             let mut handle = queue.register().expect("a registration slot is free");
             let mut received = 0u64;
@@ -71,6 +73,6 @@ fn main() {
     );
     println!(
         "queue memory footprint: {} KiB (bounded — Theorem 5.8)",
-        queue.memory_footprint() / 1024
+        WaitFreeQueue::<u64>::memory_footprint(&queue) / 1024
     );
 }

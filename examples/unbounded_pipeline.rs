@@ -19,16 +19,21 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use wcq_atomics::Backoff;
-use wcq_unbounded::UnboundedWcq;
+use wcq::atomics::Backoff;
+use wcq::UnboundedWcq;
 
 const BURSTS: u64 = 8;
 const BURST_SIZE: u64 = 4_096; // each burst spans many 256-slot segments
 const CONSUMERS: u64 = 2;
 
 fn main() {
-    // 2^8-element segments; 1 producer + 2 consumers + 1 main registration.
-    let q: UnboundedWcq<u64> = UnboundedWcq::new(8, 4);
+    // 2^8-element segments; 1 producer + 2 consumers + 1 main registration;
+    // 8 drained segments kept warm for the next burst.
+    let q: UnboundedWcq<u64> = wcq::builder()
+        .capacity_order(8)
+        .threads(4)
+        .segment_cache(8)
+        .build_unbounded();
     let consumed = AtomicU64::new(0);
     let peak_live = AtomicU64::new(0);
     let total = BURSTS * BURST_SIZE;
@@ -39,7 +44,7 @@ fn main() {
         let q_ref = &q;
         let peak = &peak_live;
         s.spawn(move || {
-            let mut h = q_ref.register().expect("registration slot available");
+            let mut h = q_ref.handle();
             for burst in 0..BURSTS {
                 for i in 0..BURST_SIZE {
                     h.enqueue(burst * BURST_SIZE + i);
@@ -57,7 +62,7 @@ fn main() {
             let q_ref = &q;
             let consumed = &consumed;
             s.spawn(move || {
-                let mut h = q_ref.register().expect("registration slot available");
+                let mut h = q_ref.handle();
                 let mut backoff = Backoff::new();
                 while consumed.load(Ordering::Relaxed) < total {
                     match h.dequeue() {
@@ -76,7 +81,7 @@ fn main() {
     assert_eq!(consumed.load(Ordering::Relaxed), total, "no element lost");
 
     // One reclamation pass from a fresh handle makes the statistics settle.
-    let mut h = q.register().expect("registration slot available");
+    let mut h = q.handle();
     assert_eq!(h.dequeue(), None, "queue fully drained");
     h.flush_reclamation();
     drop(h);

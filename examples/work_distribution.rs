@@ -12,7 +12,7 @@
 //! cargo run --release --example work_distribution
 //! ```
 
-use wcq_core::wcq::WcqQueue;
+use wcq::WcqQueue;
 
 const PRODUCERS: usize = 2;
 const WORKERS: usize = 3;
@@ -46,8 +46,9 @@ fn smallest_factor(n: u64) -> u64 {
 }
 
 fn main() {
-    let tasks: WcqQueue<Task> = WcqQueue::new(10, PRODUCERS + WORKERS + 1);
-    let completions: WcqQueue<Completion> = WcqQueue::new(10, WORKERS + 2);
+    let pool = wcq::builder().capacity_order(10);
+    let tasks: WcqQueue<Task> = pool.clone().threads(PRODUCERS + WORKERS + 1).build_bounded();
+    let completions: WcqQueue<Completion> = pool.threads(WORKERS + 2).build_bounded();
     let total_tasks = PRODUCERS as u64 * TASKS_PER_PRODUCER;
 
     std::thread::scope(|s| {

@@ -1,2 +1,299 @@
-//! Workspace umbrella crate: hosts runnable examples and cross-crate integration tests.
+//! # wcq — the umbrella facade for the wCQ reproduction
+//!
+//! One crate, one construction path, one queue abstraction:
+//!
+//! * [`builder`] / [`QueueBuilder`] — the single way applications construct
+//!   queues, replacing the per-crate `new` / `with_config` /
+//!   `with_config_and_cache` constructor zoo;
+//! * [`WaitFreeQueue`] / [`QueueHandle`] — the object-safe trait pair every
+//!   queue in the workspace implements (wCQ, wLSCQ, SCQ and the six §6
+//!   baselines), re-exported from [`wcq_core::api`];
+//! * RAII registration — handles acquired via `queue.handle()` auto-register
+//!   the calling thread (O(1) re-entry through a thread-local tid memo) and
+//!   release their record slot on drop.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wcq::{QueueHandle, WaitFreeQueue};
+//!
+//! // A bounded wait-free queue: capacity 2^8, up to 4 registered threads.
+//! let queue = wcq::builder()
+//!     .capacity_order(8)
+//!     .threads(4)
+//!     .build_bounded::<u64>();
+//!
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut h = queue.handle(); // registers; drop releases the slot
+//!         for i in 0..1000 {
+//!             h.enqueue(i);
+//!         }
+//!     });
+//!     s.spawn(|| {
+//!         let mut h = queue.handle();
+//!         let mut got = 0;
+//!         while got < 1000 {
+//!             if h.dequeue().is_some() {
+//!                 got += 1;
+//!             }
+//!         }
+//!     });
+//! });
+//! ```
+//!
+//! The same builder produces the unbounded wLSCQ queue (linked wCQ segments
+//! with hazard-pointer recycling) and the LL/SC hardware model:
+//!
+//! ```
+//! let unbounded = wcq::builder()
+//!     .capacity_order(8)   // per-segment capacity
+//!     .threads(8)
+//!     .segment_cache(8)    // drained segments kept for reuse
+//!     .build_unbounded::<String>();
+//! let mut h = unbounded.handle();
+//! h.enqueue("never blocks, never fails".to_string());
+//!
+//! let ppc = wcq::builder().capacity_order(6).threads(2).llsc().build_bounded::<u64>();
+//! # drop(ppc);
+//! ```
+//!
+//! ## Migrating from the constructor zoo
+//!
+//! | Before (≤ PR 2) | Now |
+//! |---|---|
+//! | `WcqQueue::new(order, threads)` | `wcq::builder().capacity_order(order).threads(threads).build_bounded()` |
+//! | `WcqQueue::with_config(order, threads, cfg)` | `…().config(cfg).build_bounded()` |
+//! | `WcqQueue::<_, LlscFamily>::new(order, threads)` | `…().llsc().build_bounded()` |
+//! | `UnboundedWcq::new(seg_order, threads)` | `…().build_unbounded()` |
+//! | `UnboundedWcq::with_config_and_cache(o, t, cfg, n)` | `…().config(cfg).segment_cache(n).build_unbounded()` |
+//! | `WcqRing::new(order, threads)` | `…().build_ring()` |
+//! | `queue.register().expect(…)` | `queue.handle()` (RAII, memoized re-entry) |
+//!
+//! The per-crate constructors remain available inside `wcq-core` /
+//! `wcq-unbounded` for the algorithm-level tests, but application code —
+//! including this repo's examples, harness and benchmarks — constructs
+//! exclusively through the builder.
+
+#![warn(missing_docs)]
+
+pub use wcq_atomics as atomics;
+pub use wcq_baselines as baselines;
 pub use wcq_core as core_queue;
+pub use wcq_reclaim as reclaim;
+pub use wcq_unbounded as unbounded;
+
+pub use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
+pub use wcq_core::scq::ScqQueue;
+pub use wcq_core::wcq::{
+    CellFamily, LlscFamily, NativeFamily, WcqConfig, WcqQueue, WcqQueueHandle, WcqRing, WcqStats,
+};
+pub use wcq_unbounded::{SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
+
+use core::marker::PhantomData;
+
+/// Starts building a queue with the default configuration: capacity
+/// 2<sup>10</sup> (per segment for unbounded queues), 8 registration slots,
+/// the paper's §6 patience defaults and the native double-width-CAS hardware
+/// model.
+///
+/// ```
+/// let q = wcq::builder().capacity_order(12).threads(8).build_bounded::<u64>();
+/// assert_eq!(q.capacity(), 4096);
+/// ```
+pub fn builder() -> QueueBuilder<NativeFamily> {
+    QueueBuilder {
+        capacity_order: 10,
+        threads: 8,
+        config: WcqConfig::default(),
+        segment_cache: DEFAULT_SEGMENT_CACHE,
+        _family: PhantomData,
+    }
+}
+
+/// The one construction path for every wCQ-family queue.
+///
+/// Obtained from [`builder`]; finished with
+/// [`build_bounded`](QueueBuilder::build_bounded) (a fixed-capacity
+/// [`WcqQueue`], Theorem 5.8's bounded-memory queue),
+/// [`build_unbounded`](QueueBuilder::build_unbounded) (the wLSCQ
+/// [`UnboundedWcq`] of linked segments) or
+/// [`build_ring`](QueueBuilder::build_ring) (a raw index ring, the Figure 2
+/// indirection building block).
+///
+/// The hardware model is part of the builder's type:
+/// [`llsc`](QueueBuilder::llsc) switches from the native double-width-CAS
+/// family to the emulated LL/SC construction of §4.
+#[derive(Debug)]
+pub struct QueueBuilder<F: CellFamily = NativeFamily> {
+    capacity_order: u32,
+    threads: usize,
+    config: WcqConfig,
+    segment_cache: usize,
+    _family: PhantomData<F>,
+}
+
+// Manual impl: `derive(Clone)` would demand `F: Clone`, but the family is a
+// pure type-level marker.
+impl<F: CellFamily> Clone for QueueBuilder<F> {
+    fn clone(&self) -> Self {
+        Self {
+            capacity_order: self.capacity_order,
+            threads: self.threads,
+            config: self.config,
+            segment_cache: self.segment_cache,
+            _family: PhantomData,
+        }
+    }
+}
+
+impl QueueBuilder<NativeFamily> {
+    /// Selects the emulated LL/SC hardware model of §4 (the "PowerPC"
+    /// variant) instead of the native double-width CAS.
+    pub fn llsc(self) -> QueueBuilder<LlscFamily> {
+        QueueBuilder {
+            capacity_order: self.capacity_order,
+            threads: self.threads,
+            config: self.config,
+            segment_cache: self.segment_cache,
+            _family: PhantomData,
+        }
+    }
+}
+
+impl<F: CellFamily> QueueBuilder<F> {
+    /// Capacity of the queue (bounded) or of each segment (unbounded):
+    /// 2<sup>order</sup> elements.
+    pub fn capacity_order(mut self, order: u32) -> Self {
+        self.capacity_order = order;
+        self
+    }
+
+    /// Maximum number of simultaneously registered threads (the paper's `k`;
+    /// must not exceed the capacity, `k ≤ n`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs a full wait-freedom configuration (patience bounds, help
+    /// delay, catchup bound).  The stress plans use this to force every
+    /// operation down the slow path.
+    pub fn config(mut self, config: WcqConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets just the fast-path patience bounds (`MAX_PATIENCE`, §6: 16 for
+    /// enqueue, 64 for dequeue by default).
+    pub fn patience(mut self, enqueue: u32, dequeue: u32) -> Self {
+        self.config.max_patience_enqueue = enqueue;
+        self.config.max_patience_dequeue = dequeue;
+        self
+    }
+
+    /// How many drained segments an unbounded queue keeps for reuse instead
+    /// of freeing (ignored by [`build_bounded`](QueueBuilder::build_bounded)).
+    pub fn segment_cache(mut self, segments: usize) -> Self {
+        self.segment_cache = segments;
+        self
+    }
+
+    /// Builds the bounded wait-free queue of the paper (Figures 4–7): fixed
+    /// capacity, fixed memory, wait-free enqueue and dequeue.
+    pub fn build_bounded<T>(&self) -> WcqQueue<T, F> {
+        WcqQueue::with_config(self.capacity_order, self.threads, self.config)
+    }
+
+    /// Builds the unbounded wLSCQ queue (this repo's extension of §2.3's LSCQ
+    /// recipe): wait-free within each segment, segments linked and recycled
+    /// through hazard pointers.
+    pub fn build_unbounded<T>(&self) -> UnboundedWcq<T, F> {
+        UnboundedWcq::with_config_and_cache(
+            self.capacity_order,
+            self.threads,
+            self.config,
+            self.segment_cache,
+        )
+    }
+
+    /// Builds a raw wait-free ring of indices `0..2^order` — the free-list /
+    /// indirection building block of Figure 2 (see the `frame_pool` example).
+    pub fn build_ring(&self) -> WcqRing<F> {
+        WcqRing::with_config(self.capacity_order, self.threads, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_bounded_with_requested_geometry() {
+        let q = builder().capacity_order(5).threads(3).build_bounded::<u64>();
+        assert_eq!(q.capacity(), 32);
+        assert_eq!(WcqQueue::max_threads(&q), 3);
+    }
+
+    #[test]
+    fn builder_builds_unbounded_with_cache_hook() {
+        let q = builder()
+            .capacity_order(4)
+            .threads(2)
+            .segment_cache(2)
+            .build_unbounded::<u64>();
+        assert_eq!(q.segment_capacity(), 16);
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        h.flush_reclamation();
+        let stats = q.segment_stats();
+        assert!(
+            stats.cached <= 2,
+            "segment_cache(2) must bound the reuse cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn builder_config_reaches_the_rings() {
+        let cfg = WcqConfig {
+            max_patience_enqueue: 1,
+            max_patience_dequeue: 1,
+            help_delay: 1,
+            catchup_bound: 8,
+        };
+        let q = builder().capacity_order(4).threads(1).config(cfg).build_bounded::<u64>();
+        assert_eq!(*q.config(), cfg, "builder config must reach the rings");
+        let mut h = q.register().expect("one slot free");
+        h.enqueue(9).unwrap();
+        assert_eq!(h.dequeue(), Some(9));
+    }
+
+    #[test]
+    fn builder_patience_shorthand_sets_the_bounds() {
+        let q = builder().patience(2, 3).build_bounded::<u64>();
+        let _ = q; // construction is the assertion: no panic, k <= n holds
+    }
+
+    #[test]
+    fn builder_llsc_switches_the_hardware_model() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        let q = builder().capacity_order(4).threads(2).llsc().build_bounded::<u64>();
+        assert_eq!(WaitFreeQueue::<u64>::name(&q), "wCQ (LL/SC)");
+        let mut h = q.handle(); // the facade trait's RAII registration
+        h.enqueue(5);
+        assert_eq!(h.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn builder_builds_rings() {
+        let ring = builder().capacity_order(4).threads(2).build_ring();
+        let mut h = ring.register().unwrap();
+        h.enqueue(7);
+        assert_eq!(h.dequeue(), Some(7));
+    }
+}

@@ -31,7 +31,11 @@ fn forced_slow_path() -> WcqConfig {
 fn wcq_slow_path_does_not_allocate_across_100k_ops() {
     const THREADS: u64 = 4;
     const PER_THREAD: u64 = 25_000; // 100k ops total
-    let q: WcqQueue<u64> = WcqQueue::with_config(8, THREADS as usize, forced_slow_path());
+    let q: WcqQueue<u64> = wcq::builder()
+        .capacity_order(8)
+        .threads(THREADS as usize)
+        .config(forced_slow_path())
+        .build_bounded();
     let footprint_before = q.memory_footprint();
 
     let before = memtrack::snapshot();

@@ -1,5 +1,5 @@
 //! Cross-crate integration tests: every queue in the evaluation is driven
-//! through the harness' uniform `BenchQueue` trait and must satisfy the same
+//! through the public `WaitFreeQueue` facade and must satisfy the same
 //! MPMC semantics (no loss, no duplication, per-producer FIFO), matching how
 //! the paper's benchmark treats all algorithms uniformly.
 //!
@@ -30,7 +30,7 @@ fn real_queues() -> Vec<QueueKind> {
 fn all_queues_fifo_single_thread() {
     for kind in real_queues() {
         let q = make_queue(kind, 2, 8);
-        let mut h = q.register();
+        let mut h = q.handle();
         assert_eq!(h.dequeue(), None, "{kind:?} must start empty");
         for i in 0..200 {
             h.enqueue(i);
@@ -56,7 +56,7 @@ fn all_queues_mpmc_no_loss_no_duplication() {
             for p in 0..PRODUCERS {
                 let q = q.as_ref();
                 s.spawn(move || {
-                    let mut h = q.register();
+                    let mut h = q.handle();
                     for i in 0..PER_PRODUCER {
                         h.enqueue(p * PER_PRODUCER + i);
                     }
@@ -67,7 +67,7 @@ fn all_queues_mpmc_no_loss_no_duplication() {
                 let consumed = &consumed;
                 let done = &done;
                 s.spawn(move || {
-                    let mut h = q.register();
+                    let mut h = q.handle();
                     let mut local = Vec::new();
                     loop {
                         if done.load(Ordering::Relaxed) >= PRODUCERS * PER_PRODUCER {
@@ -110,7 +110,7 @@ fn all_queues_per_producer_order_with_single_consumer() {
             for p in 0..2u64 {
                 let q = q.as_ref();
                 s.spawn(move || {
-                    let mut h = q.register();
+                    let mut h = q.handle();
                     for i in 1..=PER_PRODUCER {
                         h.enqueue(p * 10_000_000 + i);
                     }
@@ -118,7 +118,7 @@ fn all_queues_per_producer_order_with_single_consumer() {
             }
             let q = q.as_ref();
             s.spawn(move || {
-                let mut h = q.register();
+                let mut h = q.handle();
                 let mut last = [0u64; 2];
                 let mut got = 0;
                 while got < 2 * PER_PRODUCER {

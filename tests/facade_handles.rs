@@ -1,0 +1,148 @@
+//! Handle-lifecycle coverage for the `wcq` facade (ISSUE 3):
+//!
+//! * RAII: dropping a handle releases its record slot, and the same thread
+//!   re-registers at the same tid in O(1) via the thread-local memo;
+//! * exhaustion surfaces through `try_handle`, recovery through drop;
+//! * the unbounded handle's memoized segment binding survives forced segment
+//!   growth (tiny `ring_order = 4` segments) without losing values, both
+//!   through the concrete API and through the boxed facade trait;
+//! * all 11 `QueueKind`s hand out working handles through the public trait.
+//!
+//! (`!Send`-ness of the handles is enforced at compile time by the
+//! `compile_fail` doctests on `WcqQueueHandle` and `UnboundedWcqHandle`.)
+
+use wcq::{UnboundedWcq, WcqQueue};
+use wcq_harness::{make_queue, QueueKind};
+
+#[test]
+fn bounded_handle_drop_releases_the_record_slot() {
+    let q: WcqQueue<u64> = wcq::builder().capacity_order(6).threads(2).build_bounded();
+    let h1 = q.register().unwrap();
+    let h2 = q.register().unwrap();
+    let (t1, t2) = (h1.tid(), h2.tid());
+    assert_ne!(t1, t2);
+    assert!(q.register().is_none(), "both slots taken");
+    drop(h1);
+    let h3 = q.register().expect("drop must release the slot");
+    assert_eq!(h3.tid(), t1, "same thread re-enters at its memoized tid");
+    drop(h2);
+    drop(h3);
+}
+
+#[test]
+fn unbounded_handle_drop_releases_the_record_slot() {
+    let q: UnboundedWcq<u64> = wcq::builder().capacity_order(6).threads(2).build_unbounded();
+    let mut h1 = q.handle();
+    h1.enqueue(7); // establish a segment binding before dropping
+    let tid = h1.tid();
+    let _h2 = q.handle();
+    assert!(q.register().is_none());
+    drop(h1);
+    let h3 = q.register().expect("drop must release the slot (and its binding)");
+    assert_eq!(h3.tid(), tid);
+}
+
+#[test]
+fn facade_handles_are_raii_for_every_registration_limited_kind() {
+    for kind in [
+        QueueKind::Wcq,
+        QueueKind::WcqLlsc,
+        QueueKind::MsQueue,
+        QueueKind::Lcrq,
+        QueueKind::CcQueue,
+        QueueKind::CrTurn,
+        QueueKind::WcqUnbounded,
+        QueueKind::WcqUnboundedLlsc,
+    ] {
+        let q = make_queue(kind, 1, 8);
+        let h = q.try_handle().expect("one slot free");
+        assert!(q.try_handle().is_none(), "kind {kind:?}: limit enforced");
+        drop(h);
+        assert!(q.try_handle().is_some(), "kind {kind:?}: slot released");
+    }
+}
+
+#[test]
+fn all_eleven_kinds_hand_out_working_trait_handles() {
+    let kinds = QueueKind::all();
+    assert_eq!(kinds.len(), 11);
+    for kind in kinds {
+        let q = make_queue(kind, 2, 8);
+        let mut h = q.handle();
+        h.enqueue(5);
+        assert_eq!(h.dequeue(), Some(5), "kind {kind:?}");
+    }
+}
+
+#[test]
+fn segment_memo_survives_forced_growth_without_missing_values() {
+    // ring_order = 4: 16-slot segments, so 2_000 values cross ~125 segments
+    // while a consumer chases the producer.  The memoized binding must follow
+    // head/tail across every transition without losing or reordering values.
+    const ITEMS: u64 = 2_000;
+    let q: UnboundedWcq<u64> = wcq::builder().capacity_order(4).threads(3).build_unbounded();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut h = q.handle();
+            for i in 0..ITEMS {
+                h.enqueue(i);
+            }
+            assert!(
+                h.segment_rebinds() > 1,
+                "growth must have moved the producer's binding"
+            );
+        });
+        s.spawn(|| {
+            let mut h = q.handle();
+            let mut expected = 0u64;
+            while expected < ITEMS {
+                if let Some(v) = h.dequeue() {
+                    assert_eq!(v, expected, "single consumer must observe FIFO");
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+    let mut h = q.handle();
+    assert_eq!(h.dequeue(), None, "fully drained");
+    h.flush_reclamation();
+    drop(h);
+    assert_eq!(q.segments_live(), 1, "drained queue returns to one live segment");
+}
+
+#[test]
+fn segment_memo_amortizes_binding_on_the_stay_in_one_segment_case() {
+    let q: UnboundedWcq<u64> = wcq::builder().capacity_order(8).threads(1).build_unbounded();
+    let mut h = q.handle();
+    for round in 0..50u64 {
+        for i in 0..100 {
+            h.enqueue(round * 100 + i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(round * 100 + i));
+        }
+    }
+    // 10_000 operations, one 256-slot segment: exactly one bind, ever.
+    assert_eq!(h.segment_rebinds(), 1);
+}
+
+#[test]
+fn builder_is_the_single_construction_path_for_both_shapes() {
+    // The same builder (with the same knobs) produces both queue shapes, so
+    // a config cannot drift between the bounded and the unbounded variant.
+    let b = wcq::builder().capacity_order(5).threads(4).patience(8, 32);
+    let bounded = b.clone().build_bounded::<u64>();
+    let unbounded = b.build_unbounded::<u64>();
+    assert_eq!(bounded.capacity(), 32);
+    assert_eq!(unbounded.segment_capacity(), 32);
+    assert_eq!(bounded.config().max_patience_enqueue, 8);
+    assert_eq!(bounded.config().max_patience_dequeue, 32);
+    let mut hb = bounded.register().unwrap();
+    let mut hu = unbounded.handle();
+    hb.enqueue(1).unwrap();
+    hu.enqueue(1);
+    assert_eq!(hb.dequeue(), Some(1));
+    assert_eq!(hu.dequeue(), Some(1));
+}

@@ -47,6 +47,9 @@ fn stress_oracle_holds_for_unbounded_under_forced_segment_growth() {
     // burst overflows many segments, so the plan constantly appends, closes,
     // retires and recycles segments while the oracle watches for loss,
     // duplication and per-producer FIFO (ISSUE 2 acceptance criterion).
+    // Since ISSUE 3 every worker drives the queue through the public facade
+    // handle, whose memoized segment binding must chase head/tail across all
+    // that churn without dropping a value.
     for kind in [QueueKind::WcqUnbounded, QueueKind::WcqUnboundedLlsc] {
         for seed in SEEDS {
             let mut plan = StressPlan::from_seed(kind, seed);

@@ -74,8 +74,11 @@ fn concurrent_churn_with_forced_slow_path_returns_to_bound() {
         help_delay: 1,
         catchup_bound: 8,
     };
-    let q: UnboundedWcq<u64> =
-        UnboundedWcq::with_config(4, (PRODUCERS + CONSUMERS) as usize, cfg);
+    let q: UnboundedWcq<u64> = wcq::builder()
+        .capacity_order(4)
+        .threads((PRODUCERS + CONSUMERS) as usize)
+        .config(cfg)
+        .build_unbounded();
     let consumed = AtomicU64::new(0);
     let sum = AtomicU64::new(0);
 

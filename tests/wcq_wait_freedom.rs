@@ -22,7 +22,11 @@ fn paranoid_config() -> WcqConfig {
 fn forced_slow_path_mpmc_preserves_every_element() {
     const THREADS: u64 = 4;
     const PER_THREAD: u64 = 3_000;
-    let q: WcqQueue<u64> = WcqQueue::with_config(6, THREADS as usize, paranoid_config());
+    let q: WcqQueue<u64> = wcq::builder()
+        .capacity_order(6)
+        .threads(THREADS as usize)
+        .config(paranoid_config())
+        .build_bounded();
     let sum = AtomicU64::new(0);
     let count = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -93,7 +97,11 @@ fn llsc_model_with_spurious_failures_is_still_correct() {
 fn many_registered_threads_round_robin_helping() {
     // More threads than the help round-robin period, with aggressive helping.
     const THREADS: usize = 8;
-    let q: WcqQueue<u64, NativeFamily> = WcqQueue::with_config(8, THREADS, paranoid_config());
+    let q: WcqQueue<u64, NativeFamily> = wcq::builder()
+        .capacity_order(8)
+        .threads(THREADS)
+        .config(paranoid_config())
+        .build_bounded();
     let total = AtomicU64::new(0);
     std::thread::scope(|s| {
         for t in 0..THREADS as u64 {
