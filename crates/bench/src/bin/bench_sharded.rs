@@ -1,0 +1,123 @@
+//! Shard-count scaling sweep: `ShardedWcq` at 1/2/4/8 shards against the
+//! single-shard wLSCQ and LCRQ, on the Figure 11 workloads.
+//!
+//! The sharded queue exists to break the single head/tail hot spots at high
+//! thread counts (ROADMAP item landed in PR 4); this binary measures exactly
+//! that claim: with enough threads, the shards=4 row should beat shards=1 on
+//! the pairwise workload, while shards=1 stays within noise of the plain
+//! (unsharded) wLSCQ — i.e. the shard-router layer itself is close to free.
+//!
+//! The shard sweep routes with [`ShardPolicy::Pinned`] — the policy that
+//! actually partitions the hot spots (each thread stays on its home shard,
+//! so contention falls with the shard count).  The spreading policies
+//! (round-robin, least-loaded) deliberately trade that locality for uniform
+//! load distribution; they appear as x4 comparison series so the cost of the
+//! trade is visible in the same table.
+//!
+//! The empty-dequeue workload is the honest worst case for sharding: a
+//! dequeue on an empty queue must observe *every* shard empty before
+//! returning `None`, so its cost grows linearly with the shard count.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p wcq-bench --bin bench_sharded -- [empty|pairs|mixed] \
+//!     [--threads 1,2,4,8] [--ops N] [--repeats N] [--order N] [--quick]
+//! ```
+//!
+//! `--quick` selects the reduced CI-smoke shape (threads 1,2,8 / 60k ops /
+//! 1 repeat / order 8) — the same flags the committed
+//! `bench_baselines/BENCH_sharded.json` was recorded with.
+
+use wcq::{ShardPolicy, WaitFreeQueue};
+use wcq_bench::sweep::{print_table, write_tables_json};
+use wcq_bench::{json_artifact_name, select_workloads, BenchOpts};
+use wcq_harness::report::FigureTable;
+use wcq_harness::{make_queue, run_workload, QueueKind, Workload, WorkloadConfig};
+
+/// Shard counts the sweep covers.
+const SHARD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+fn sharded_queue(
+    shards: usize,
+    policy: ShardPolicy,
+    threads: usize,
+    ring_order: u32,
+) -> Box<dyn WaitFreeQueue<u64>> {
+    Box::new(
+        wcq::builder()
+            // Same per-segment cap as the harness uses for the segmented
+            // designs, so the LCRQ comparison stays like for like.
+            .capacity_order(ring_order.min(12))
+            // +1 slot for the between-repetitions drain handle.
+            .threads(threads + 1)
+            .shards(shards)
+            .shard_policy(policy)
+            .build_sharded::<u64>(),
+    )
+}
+
+fn sweep_cell(
+    table: &mut FigureTable,
+    series: &str,
+    queue: &dyn WaitFreeQueue<u64>,
+    workload: Workload,
+    threads: usize,
+    opts: &BenchOpts,
+) {
+    let cfg = WorkloadConfig {
+        threads,
+        total_ops: opts.ops,
+        repeats: opts.repeats,
+        seed: 0x5AAD_0000 + threads as u64,
+    };
+    let res = run_workload(queue, workload, &cfg);
+    table.record(series, threads, res.mops.mean);
+    eprintln!(
+        "  [{}] {:<22} threads={threads:<3} {:>10.3} Mops/s (cv {:.4})",
+        workload.name(),
+        series,
+        res.mops.mean,
+        res.mops.cv
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload_arg = args.first().filter(|a| !a.starts_with("--")).cloned();
+    // `--quick` (the CI smoke / committed-baseline shape) is a BenchOpts
+    // preset, so explicit flags after it still override, like `--paper`.
+    let opts = BenchOpts::parse(args.into_iter());
+
+    let mut tables = Vec::new();
+    for workload in select_workloads(workload_arg.as_deref()) {
+        let mut table = FigureTable::new(
+            format!("Sharded wLSCQ scaling: {} throughput", workload.name()),
+            "Mops/s",
+        );
+        for &threads in &opts.threads {
+            for &shards in SHARD_SWEEP {
+                let queue = sharded_queue(shards, ShardPolicy::Pinned, threads, opts.ring_order);
+                let series = format!("Sharded wLSCQ x{shards}");
+                sweep_cell(&mut table, &series, queue.as_ref(), workload, threads, &opts);
+            }
+            for (policy, series) in [
+                (ShardPolicy::RoundRobin, "Sharded wLSCQ x4 (round-robin)"),
+                (ShardPolicy::LeastLoaded, "Sharded wLSCQ x4 (least-loaded)"),
+            ] {
+                let queue = sharded_queue(4, policy, threads, opts.ring_order);
+                sweep_cell(&mut table, series, queue.as_ref(), workload, threads, &opts);
+            }
+            for kind in [QueueKind::WcqUnbounded, QueueKind::Lcrq] {
+                let queue = make_queue(kind, threads + 1, opts.ring_order);
+                sweep_cell(&mut table, kind.name(), queue.as_ref(), workload, threads, &opts);
+            }
+        }
+        print_table(&table);
+        tables.push(table);
+    }
+
+    write_tables_json(
+        &json_artifact_name("sharded", workload_arg.as_deref()),
+        &tables,
+    );
+}

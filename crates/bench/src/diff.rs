@@ -406,6 +406,43 @@ mod tests {
     }
 
     #[test]
+    fn sharded_artifact_shape_round_trips_and_diffs_per_shard_series() {
+        // The BENCH_sharded.json shape: one table per workload whose series
+        // are the pinned shard-count sweep ("Sharded wLSCQ x1" ... "x8"),
+        // the x4 routing-policy comparison, and the unsharded wLSCQ and LCRQ
+        // baselines — exactly the series bench_sharded emits.
+        let mut t = FigureTable::new("Sharded wLSCQ scaling: pairwise enq-deq throughput", "Mops/s");
+        for (shards, v) in [(1, 10.0), (2, 14.0), (4, 19.0), (8, 21.0)] {
+            t.record(&format!("Sharded wLSCQ x{shards}"), 8, v);
+        }
+        t.record("Sharded wLSCQ x4 (round-robin)", 8, 15.0);
+        t.record("Sharded wLSCQ x4 (least-loaded)", 8, 14.5);
+        t.record("wLSCQ", 8, 9.5);
+        t.record("LCRQ", 8, 11.0);
+        let json = format!("[\n{}\n]\n", t.render_json().trim_end());
+        let parsed = parse_bench_json(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let table = &parsed[0];
+        assert!(table.higher_is_better());
+        assert_eq!(table.series.len(), 8, "{:?}", table.series.keys());
+        assert_eq!(table.series["Sharded wLSCQ x4"][&8], 19.0);
+        assert_eq!(table.series["Sharded wLSCQ x4 (round-robin)"][&8], 15.0);
+        assert_eq!(table.series["Sharded wLSCQ x4 (least-loaded)"][&8], 14.5);
+
+        // A drop in one shard-count series is attributed to that series only.
+        let mut current = parsed.clone();
+        current[0]
+            .series
+            .get_mut("Sharded wLSCQ x4")
+            .unwrap()
+            .insert(8, 12.0);
+        let regs = compare(&parsed, &current, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].series, "Sharded wLSCQ x4");
+        assert_eq!(regs[0].threads, 8);
+    }
+
+    #[test]
     fn worst_regression_sorts_first() {
         let base = [table("t", "Mops/s", &[("a", 1, 10.0), ("b", 1, 10.0)])];
         let cur = [table("t", "Mops/s", &[("a", 1, 8.0), ("b", 1, 2.0)])];

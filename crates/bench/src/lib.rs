@@ -16,6 +16,10 @@
 //! * `bench_unbounded` — beyond the paper: wLSCQ (`wcq-unbounded`, both
 //!   hardware models) against the unbounded baselines LCRQ and MSQueue,
 //!   throughput plus post-run footprint.
+//! * `bench_sharded` — beyond the paper: the `ShardedWcq` shard-count sweep
+//!   (1/2/4/8 pinned shards, plus the round-robin / least-loaded routing
+//!   comparison) against plain wLSCQ and LCRQ; `--quick` reproduces the CI
+//!   smoke / committed-baseline shape.
 //!
 //! The binaries accept `--threads`, `--ops`, and `--repeats` overrides so the
 //! full paper-scale sweep and a quick smoke run use the same code.  The
@@ -67,7 +71,9 @@ impl Default for BenchOpts {
 
 impl BenchOpts {
     /// Parses `--threads a,b,c`, `--ops N`, `--repeats N`, `--order N`,
-    /// `--paper` (full paper-scale sweep) from an argument iterator.
+    /// `--paper` (full paper-scale sweep) and `--quick` (the CI-smoke /
+    /// committed-baseline shape) from an argument iterator.  Presets apply
+    /// in argument order, so explicit flags *after* a preset override it.
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut opts = Self::default();
         let args: Vec<String> = args.collect();
@@ -98,6 +104,14 @@ impl BenchOpts {
                     opts.ops = 10_000_000;
                     opts.repeats = 10;
                     opts.ring_order = 16;
+                }
+                "--quick" => {
+                    // Small ops, but an 8-thread row so contention-scaling
+                    // claims (the sharded sweep) stay visible.
+                    opts.threads = vec![1, 2, 8];
+                    opts.ops = 60_000;
+                    opts.repeats = 1;
+                    opts.ring_order = 8;
                 }
                 _ => {}
             }
@@ -167,6 +181,22 @@ mod tests {
         assert_eq!(o.ops, 10_000_000);
         assert_eq!(o.repeats, 10);
         assert_eq!(o.ring_order, 16);
+    }
+
+    #[test]
+    fn quick_flag_selects_the_smoke_shape_and_later_flags_override() {
+        let o = BenchOpts::parse(["--quick"].iter().map(|s| s.to_string()));
+        assert_eq!(o.threads, vec![1, 2, 8]);
+        assert_eq!(o.ops, 60_000);
+        assert_eq!(o.repeats, 1);
+        assert_eq!(o.ring_order, 8);
+        // Presets apply in argument order: an explicit flag after the preset
+        // wins, so one knob of the baseline shape can be varied.
+        let o = BenchOpts::parse(
+            ["--quick", "--threads", "1,2,4,8"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(o.threads, vec![1, 2, 4, 8]);
+        assert_eq!(o.ops, 60_000);
     }
 
     #[test]

@@ -120,6 +120,19 @@ pub trait WaitFreeQueue<T>: Send + Sync {
     /// Bytes of memory attributable to the queue itself — static structures
     /// plus any growth statistics the implementation tracks (Figure 10a).
     fn memory_footprint(&self) -> usize;
+
+    /// Cheap, racy emptiness hint: `true` when the queue *looked* empty at
+    /// some recent instant, `false` when it held elements or the
+    /// implementation keeps no counter to tell (the conservative default).
+    ///
+    /// The hint is advisory only — schedulers and routers use it to order
+    /// their polling, never to decide correctness: a `true` can race with a
+    /// concurrent enqueue, and a `false` with the final dequeue.  The only
+    /// authoritative emptiness observation remains a [`QueueHandle::dequeue`]
+    /// that returns `None`.
+    fn is_empty_hint(&self) -> bool {
+        false
+    }
 }
 
 // --------------------------------------------------------------------------

@@ -36,7 +36,10 @@ pub mod stats;
 pub mod stress;
 pub mod workload;
 
-pub use queues::{make_queue, make_queue_configured, QueueHandle, QueueKind, WaitFreeQueue};
+pub use queues::{
+    make_queue, make_queue_configured, make_queue_with_policy, QueueHandle, QueueKind,
+    ShardPolicy, WaitFreeQueue, HARNESS_SHARDS,
+};
 pub use rng::DetRng;
 pub use stress::{all_real_queues, StressPlan, StressReport};
 pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};

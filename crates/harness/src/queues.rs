@@ -2,7 +2,8 @@
 //!
 //! The paper benchmarks eight algorithms side by side.  [`QueueKind`]
 //! enumerates them (plus the LL/SC-emulated wCQ/SCQ variants used for the
-//! PowerPC figures and the wLSCQ extension) and [`make_queue`] builds a fresh
+//! PowerPC figures and the wLSCQ / sharded-wLSCQ extensions) and
+//! [`make_queue`] builds a fresh
 //! instance behind the *public* [`WaitFreeQueue`] trait — the same facade
 //! applications use — so the workload driver, the memory benchmark and the
 //! cross-crate integration tests all share one code path with zero
@@ -17,7 +18,13 @@ use wcq_baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
 use wcq_core::wcq::WcqConfig;
 use wcq_core::ScqQueue;
 
+pub use wcq::ShardPolicy;
 pub use wcq_core::api::{QueueHandle, WaitFreeQueue};
+
+/// Shard count the harness uses for the sharded kinds: enough to split the
+/// hot spots, small enough that every stress plan's thread mix still crosses
+/// shard boundaries constantly.
+pub const HARNESS_SHARDS: usize = 4;
 
 /// Which queue algorithm to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,10 +51,15 @@ pub enum QueueKind {
     WcqUnbounded,
     /// wLSCQ over the emulated LL/SC construction.
     WcqUnboundedLlsc,
+    /// Sharded wLSCQ: [`HARNESS_SHARDS`] independent unbounded shards behind
+    /// one facade (`ShardedWcq`).
+    WcqSharded,
+    /// Sharded wLSCQ over the emulated LL/SC construction.
+    WcqShardedLlsc,
 }
 
 impl QueueKind {
-    /// Every kind the harness knows (all 11), in a stable order.
+    /// Every kind the harness knows (all 13), in a stable order.
     pub fn all() -> Vec<QueueKind> {
         vec![
             QueueKind::Wcq,
@@ -61,6 +73,8 @@ impl QueueKind {
             QueueKind::Faa,
             QueueKind::WcqUnbounded,
             QueueKind::WcqUnboundedLlsc,
+            QueueKind::WcqSharded,
+            QueueKind::WcqShardedLlsc,
         ]
     }
 
@@ -106,7 +120,30 @@ impl QueueKind {
     /// `true` for the kinds that run over the emulated LL/SC hardware model
     /// (and therefore react to the injected spurious-failure rate).
     pub fn is_llsc(&self) -> bool {
-        matches!(self, QueueKind::WcqLlsc | QueueKind::WcqUnboundedLlsc)
+        matches!(
+            self,
+            QueueKind::WcqLlsc | QueueKind::WcqUnboundedLlsc | QueueKind::WcqShardedLlsc
+        )
+    }
+
+    /// `true` for the sharded kinds, whose enqueue routing decides whether
+    /// per-producer FIFO order is preserved (only pinned routing keeps each
+    /// producer's values in one per-shard FIFO stream).
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, QueueKind::WcqSharded | QueueKind::WcqShardedLlsc)
+    }
+
+    /// `true` for the kinds that maintain an approximate length counter, i.e.
+    /// whose `WaitFreeQueue::is_empty_hint` is meaningful rather than the
+    /// conservative `false` default.
+    pub fn has_len_hint(&self) -> bool {
+        matches!(
+            self,
+            QueueKind::WcqUnbounded
+                | QueueKind::WcqUnboundedLlsc
+                | QueueKind::WcqSharded
+                | QueueKind::WcqShardedLlsc
+        )
     }
 
     /// Display name matching the paper's legends.
@@ -123,6 +160,8 @@ impl QueueKind {
             QueueKind::Faa => "FAA",
             QueueKind::WcqUnbounded => "wLSCQ",
             QueueKind::WcqUnboundedLlsc => "wLSCQ (LL/SC)",
+            QueueKind::WcqSharded => "Sharded wLSCQ",
+            QueueKind::WcqShardedLlsc => "Sharded wLSCQ (LL/SC)",
         }
     }
 }
@@ -142,11 +181,30 @@ pub fn make_queue(
 /// Like [`make_queue`], but with an explicit wait-freedom configuration for
 /// the wCQ kinds.  Stress plans use this to force the slow path with
 /// `max_patience = 1`; other kinds ignore the configuration.
+///
+/// Sharded kinds default to [`ShardPolicy::Pinned`] routing — the policy
+/// under which the full per-producer-FIFO oracle applies — with
+/// [`HARNESS_SHARDS`] shards; [`make_queue_with_policy`] selects the
+/// spreading policies explicitly.
 pub fn make_queue_configured(
     kind: QueueKind,
     max_threads: usize,
     ring_order: u32,
     wcq_config: Option<WcqConfig>,
+) -> Box<dyn WaitFreeQueue<u64>> {
+    make_queue_with_policy(kind, max_threads, ring_order, wcq_config, ShardPolicy::Pinned)
+}
+
+/// The fully explicit construction path: like [`make_queue_configured`] with
+/// the enqueue-routing policy for the sharded kinds spelled out (ignored by
+/// every other kind).  The stress driver uses this to run the relaxed
+/// (unpinned) sharded plan variant.
+pub fn make_queue_with_policy(
+    kind: QueueKind,
+    max_threads: usize,
+    ring_order: u32,
+    wcq_config: Option<WcqConfig>,
+    shard_policy: ShardPolicy,
 ) -> Box<dyn WaitFreeQueue<u64>> {
     let wcq_builder = wcq::builder()
         .capacity_order(ring_order)
@@ -157,11 +215,17 @@ pub fn make_queue_configured(
     // `--order 16` should size their segments, not one giant ring — and the
     // shared cap keeps the wLSCQ-vs-LCRQ comparison like for like.
     let segmented = wcq_builder.clone().capacity_order(ring_order.min(12));
+    let sharded = segmented
+        .clone()
+        .shards(HARNESS_SHARDS)
+        .shard_policy(shard_policy);
     match kind {
         QueueKind::Wcq => Box::new(wcq_builder.build_bounded::<u64>()),
         QueueKind::WcqLlsc => Box::new(wcq_builder.llsc().build_bounded::<u64>()),
         QueueKind::WcqUnbounded => Box::new(segmented.build_unbounded::<u64>()),
         QueueKind::WcqUnboundedLlsc => Box::new(segmented.llsc().build_unbounded::<u64>()),
+        QueueKind::WcqSharded => Box::new(sharded.build_sharded::<u64>()),
+        QueueKind::WcqShardedLlsc => Box::new(sharded.llsc().build_sharded::<u64>()),
         QueueKind::Scq => Box::new(ScqQueue::new(ring_order)),
         QueueKind::MsQueue => Box::new(MsQueue::new(max_threads)),
         QueueKind::Lcrq => Box::new(Lcrq::new(ring_order.min(12), max_threads)),
@@ -178,7 +242,7 @@ mod tests {
 
     #[test]
     fn every_kind_constructs_and_round_trips_through_the_facade() {
-        // All 11 QueueKinds flow through the public WaitFreeQueue trait.
+        // All 13 QueueKinds flow through the public WaitFreeQueue trait.
         for kind in QueueKind::all() {
             let q = make_queue(kind, 2, 8);
             let mut h = q.handle();
@@ -219,7 +283,12 @@ mod tests {
 
     #[test]
     fn registration_limited_kinds_exhaust_and_recover() {
-        for kind in [QueueKind::Wcq, QueueKind::MsQueue, QueueKind::CcQueue] {
+        for kind in [
+            QueueKind::Wcq,
+            QueueKind::MsQueue,
+            QueueKind::CcQueue,
+            QueueKind::WcqSharded,
+        ] {
             let q = make_queue(kind, 2, 8);
             let a = q.try_handle().expect("slot 1");
             let b = q.try_handle().expect("slot 2");
@@ -237,6 +306,28 @@ mod tests {
         let ppc: Vec<_> = QueueKind::powerpc_set().iter().map(|k| k.name()).collect();
         assert!(!ppc.contains(&"LCRQ"), "LCRQ needs CAS2 and is absent on PowerPC");
         assert!(ppc.contains(&"wCQ (LL/SC)"));
-        assert_eq!(QueueKind::all().len(), 11);
+        assert_eq!(QueueKind::all().len(), 13);
+    }
+
+    #[test]
+    fn sharded_kinds_construct_with_explicit_policies() {
+        for policy in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::LeastLoaded,
+            ShardPolicy::Pinned,
+        ] {
+            for kind in [QueueKind::WcqSharded, QueueKind::WcqShardedLlsc] {
+                let q = make_queue_with_policy(kind, 2, 6, None, policy);
+                let mut h = q.handle();
+                for i in 0..100 {
+                    h.enqueue(i);
+                }
+                let mut seen = std::collections::HashSet::new();
+                while let Some(v) = h.dequeue() {
+                    assert!(seen.insert(v), "kind {kind:?} duplicated {v}");
+                }
+                assert_eq!(seen.len(), 100, "kind {kind:?} policy {policy:?}");
+            }
+        }
     }
 }

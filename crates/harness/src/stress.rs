@@ -51,7 +51,7 @@ use std::sync::Mutex;
 
 use wcq_core::wcq::WcqConfig;
 
-use crate::queues::{make_queue_configured, QueueKind};
+use crate::queues::{make_queue_with_policy, QueueKind, ShardPolicy};
 use crate::rng::DetRng;
 
 /// Bits reserved for the per-worker sequence number inside an encoded value.
@@ -100,6 +100,15 @@ pub struct StressPlan {
     /// serializes LL/SC plans behind an internal lock; spurious failures
     /// never affect correctness, only how often retry paths run.
     pub spurious_rate: f64,
+    /// Whether the sharded kinds route every producer's enqueues to its home
+    /// shard ([`ShardPolicy::Pinned`]).  Pinning keeps each producer's
+    /// values in one per-shard FIFO stream, so the full oracle — including
+    /// per-producer FIFO — applies; unpinned plans use round-robin routing,
+    /// which spreads a producer across shards and deliberately gives up that
+    /// order, so [`StressReport::verify`] checks only loss / duplication /
+    /// invention for them.  Ignored by non-sharded kinds (their FIFO check
+    /// always applies).  `from_seed` pins sharded plans by default.
+    pub pin_producers: bool,
 }
 
 impl StressPlan {
@@ -149,6 +158,7 @@ impl StressPlan {
             ring_order,
             wcq_config,
             spurious_rate,
+            pin_producers: kind.is_sharded(),
         }
     }
 
@@ -171,11 +181,17 @@ impl StressPlan {
             wcq_atomics::llsc::set_spurious_failure_rate(self.spurious_rate);
             guard
         });
-        let queue = make_queue_configured(
+        let shard_policy = if self.pin_producers {
+            ShardPolicy::Pinned
+        } else {
+            ShardPolicy::RoundRobin
+        };
+        let queue = make_queue_with_policy(
             self.kind,
             self.threads(),
             self.ring_order,
             Some(self.wcq_config),
+            shard_policy,
         );
 
         let enqueued_total = AtomicU64::new(0);
@@ -314,7 +330,14 @@ impl StressReport {
     }
 
     /// Runs the loss / duplication / invention / per-producer-FIFO oracle.
+    ///
+    /// The FIFO clause is skipped for *unpinned* sharded plans: round-robin
+    /// routing spreads one producer's values across shards, whose streams can
+    /// legally interleave in any order (see [`StressPlan::pin_producers`]).
+    /// Everything else — no loss, no duplication, no invention — is checked
+    /// unconditionally.
     pub fn verify(&self) -> Result<(), String> {
+        let check_fifo = !self.plan.kind.is_sharded() || self.plan.pin_producers;
         let expected = self.total_enqueued();
         let got = self.total_consumed();
         if got != expected {
@@ -343,14 +366,16 @@ impl StressReport {
                 if !seen.insert(value) {
                     return Err(format!("duplicated value {value:#x}"));
                 }
-                let last = last_seq.entry(worker).or_insert(0);
-                if seq <= *last {
-                    return Err(format!(
-                        "per-producer FIFO violated: worker {worker} seq {seq} observed after {last:?}",
-                        last = *last
-                    ));
+                if check_fifo {
+                    let last = last_seq.entry(worker).or_insert(0);
+                    if seq <= *last {
+                        return Err(format!(
+                            "per-producer FIFO violated: worker {worker} seq {seq} observed after {last:?}",
+                            last = *last
+                        ));
+                    }
+                    *last = seq;
                 }
-                *last = seq;
             }
         }
         Ok(())
@@ -359,7 +384,8 @@ impl StressReport {
 
 /// The real queue algorithms (everything except FAA), in a stable order —
 /// the set the cross-queue semantic tests sweep.  The eight paper algorithms
-/// come first, then the unbounded wLSCQ kinds this repo adds on top.
+/// come first, then the unbounded and sharded wLSCQ kinds this repo adds on
+/// top (sharded plans run pinned by default, so the full oracle applies).
 pub fn all_real_queues() -> Vec<QueueKind> {
     vec![
         QueueKind::Wcq,
@@ -372,6 +398,8 @@ pub fn all_real_queues() -> Vec<QueueKind> {
         QueueKind::CrTurn,
         QueueKind::WcqUnbounded,
         QueueKind::WcqUnboundedLlsc,
+        QueueKind::WcqSharded,
+        QueueKind::WcqShardedLlsc,
     ]
 }
 
@@ -453,6 +481,44 @@ mod tests {
             observations: vec![vec![encode(0, 2), encode(0, 1)]],
         };
         assert!(report.verify().unwrap_err().contains("FIFO"));
+    }
+
+    #[test]
+    fn sharded_plans_pin_producers_by_default() {
+        assert!(StressPlan::from_seed(QueueKind::WcqSharded, 5).pin_producers);
+        assert!(StressPlan::from_seed(QueueKind::WcqShardedLlsc, 5).pin_producers);
+        assert!(!StressPlan::from_seed(QueueKind::Wcq, 5).pin_producers);
+    }
+
+    #[test]
+    fn unpinned_sharded_plans_relax_only_the_fifo_clause() {
+        // Cross-shard reordering of one producer's values: an unpinned
+        // sharded plan accepts it, a pinned one rejects it — and loss is
+        // still caught either way.
+        let mut plan = StressPlan::from_seed(QueueKind::WcqSharded, 3);
+        plan.pin_producers = false;
+        let reordered = StressReport {
+            plan: plan.clone(),
+            enqueue_counts: HashMap::from([(0, 2)]),
+            observations: vec![vec![encode(0, 2), encode(0, 1)]],
+        };
+        reordered
+            .verify()
+            .expect("unpinned sharded routing may reorder a producer's values");
+        let mut pinned = reordered.plan.clone();
+        pinned.pin_producers = true;
+        let rejected = StressReport {
+            plan: pinned,
+            enqueue_counts: HashMap::from([(0, 2)]),
+            observations: vec![vec![encode(0, 2), encode(0, 1)]],
+        };
+        assert!(rejected.verify().unwrap_err().contains("FIFO"));
+        let lossy = StressReport {
+            plan,
+            enqueue_counts: HashMap::from([(0, 3)]),
+            observations: vec![vec![encode(0, 2), encode(0, 1)]],
+        };
+        assert!(lossy.verify().unwrap_err().contains("loss"));
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //!   traffic performs no per-operation allocation.
 //! * The whole queue is generic over the paper's two hardware models
 //!   ([`wcq_core::wcq::NativeFamily`], [`wcq_core::wcq::LlscFamily`]).
+//! * For high thread counts, [`ShardedWcq`] puts `N` independent wLSCQ
+//!   shards behind the same facade with a pluggable [`ShardPolicy`]
+//!   (round-robin / least-loaded / pinned enqueue routing) and a
+//!   home-shard-first, work-stealing dequeue — breaking the single head/tail
+//!   hot spots while keeping every per-shard guarantee (see [`shard`'s
+//!   module docs](ShardedWcq) for the order/throughput trade).
 //!
 //! ## Example
 //!
@@ -61,5 +67,7 @@
 
 mod queue;
 mod segment;
+mod shard;
 
-pub use queue::{SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
+pub use queue::{CacheStats, SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
+pub use shard::{ShardPolicy, ShardedWcq, ShardedWcqHandle};

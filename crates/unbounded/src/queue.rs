@@ -1,7 +1,10 @@
 //! The unbounded queue: a Michael–Scott-style outer list of wCQ segments.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{
+    AtomicIsize, AtomicPtr, AtomicUsize,
+    Ordering::{Relaxed, SeqCst},
+};
 
 use wcq_atomics::{Backoff, CachePadded};
 use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
@@ -34,6 +37,26 @@ impl SegmentStats {
     pub fn resident(&self) -> usize {
         self.live + self.cached + self.retired_pending
     }
+}
+
+/// Hit/miss statistics of an [`UnboundedWcq`]'s segment-recycling cache.
+///
+/// A *hit* is a segment append served from the cache, a *miss* one that had
+/// to go to the allocator; at steady state (bursts that drain) every append
+/// after warm-up should hit.  `recycled`/`reused` count the other direction
+/// and the link-race-adjusted reuse (see `SegmentCache` internals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache lookups that found a recycled segment.
+    pub hits: usize,
+    /// Cache lookups that fell through to the allocator.
+    pub misses: usize,
+    /// Segments accepted back into the cache after retirement.
+    pub recycled: usize,
+    /// Cache-served segments that actually won their link race.
+    pub reused: usize,
+    /// Segments currently parked in the cache.
+    pub len: usize,
 }
 
 /// An unbounded MPMC FIFO queue of `T`: fixed-capacity wait-free wCQ ring
@@ -73,6 +96,15 @@ pub struct UnboundedWcq<T, F: CellFamily = NativeFamily> {
     per_segment_bytes: usize,
     segments_live: AtomicUsize,
     segments_allocated: AtomicUsize,
+    /// Approximate element count: incremented after a completed enqueue,
+    /// decremented after a successful dequeue.  Deliberately decoupled from
+    /// the queue's linearization points — it is a *routing hint* (the sharded
+    /// queue's least-loaded policy and `is_empty_hint` read it), never a
+    /// correctness input, so relaxed ordering suffices.  The relaxed RMW on
+    /// this dedicated padded line is the price every operation pays for the
+    /// hint; the warn-only bench differ tracks it against the pre-counter
+    /// baselines.
+    len_hint: CachePadded<AtomicIsize>,
 }
 
 // SAFETY: segments are shared through hazard-protected atomic pointers; the
@@ -131,6 +163,7 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
             per_segment_bytes,
             segments_live: AtomicUsize::new(1),
             segments_allocated: AtomicUsize::new(1),
+            len_hint: CachePadded::new(AtomicIsize::new(0)),
         }
     }
 
@@ -185,6 +218,28 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
             allocated_total: self.segments_allocated.load(SeqCst),
             reused_total: self.cache.reused_total(),
         }
+    }
+
+    /// Hit/miss statistics of the segment-recycling cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits_total(),
+            misses: self.cache.misses_total(),
+            recycled: self.cache.recycled_total(),
+            reused: self.cache.reused_total(),
+            len: self.cache.len(),
+        }
+    }
+
+    /// Approximate number of elements currently queued.
+    ///
+    /// Maintained as a side counter next to the real operations, so it can
+    /// transiently lag both ways under concurrency; transient negatives clamp
+    /// to zero.  Use it for load-balancing decisions (the sharded queue's
+    /// least-loaded routing) and freshness hints — never as an emptiness
+    /// proof; only a dequeue that returns `None` is authoritative.
+    pub fn len_hint(&self) -> usize {
+        self.len_hint.load(Relaxed).max(0) as usize
     }
 
     /// Segments currently linked into the queue.
@@ -386,6 +441,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             };
             match attempt {
                 Ok(()) => {
+                    self.queue.len_hint.fetch_add(1, Relaxed);
                     self.hp.clear_one(0);
                     return;
                 }
@@ -409,6 +465,9 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                             .queue
                             .tail
                             .compare_exchange(tailp, fresh, SeqCst, SeqCst);
+                        // The pre-loaded value became reachable when the link
+                        // CAS published the segment.
+                        self.queue.len_hint.fetch_add(1, Relaxed);
                         self.hp.clear_one(0);
                         return;
                     }
@@ -434,6 +493,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             };
             // SAFETY: bound just above.
             if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+                self.queue.len_hint.fetch_sub(1, Relaxed);
                 self.hp.clear_one(0);
                 return Some(v);
             }
@@ -456,6 +516,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             }
             // SAFETY: still bound to `headp`.
             if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+                self.queue.len_hint.fetch_sub(1, Relaxed);
                 self.hp.clear_one(0);
                 return Some(v);
             }
@@ -540,6 +601,9 @@ impl<T: Send, F: CellFamily> WaitFreeQueue<T> for UnboundedWcq<T, F> {
     }
     fn memory_footprint(&self) -> usize {
         UnboundedWcq::memory_footprint(self)
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.len_hint() == 0
     }
 }
 
@@ -752,6 +816,52 @@ mod tests {
         let n = THREADS * PER_THREAD;
         assert_eq!(count.load(Ordering::Relaxed), n);
         assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn len_hint_tracks_quiescent_length_and_empty_hint() {
+        use wcq_core::api::WaitFreeQueue;
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 1);
+        assert_eq!(q.len_hint(), 0);
+        assert!(WaitFreeQueue::is_empty_hint(&q));
+        let mut h = q.register().unwrap();
+        for i in 0..100 {
+            h.enqueue(i); // crosses several 8-slot segments
+        }
+        assert_eq!(q.len_hint(), 100, "quiescent hint is exact");
+        assert!(!WaitFreeQueue::is_empty_hint(&q));
+        for _ in 0..60 {
+            assert!(h.dequeue().is_some());
+        }
+        assert_eq!(q.len_hint(), 40);
+        while h.dequeue().is_some() {}
+        assert_eq!(q.len_hint(), 0);
+        assert!(WaitFreeQueue::is_empty_hint(&q));
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 1);
+        let mut h = q.register().unwrap();
+        // Warm-up burst: every append misses (the cache starts empty).
+        for i in 0..64 {
+            h.enqueue(i);
+        }
+        for i in 0..64 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        h.flush_reclamation();
+        let warm = q.cache_stats();
+        assert!(warm.misses > 0, "cold appends must miss: {warm:?}");
+        assert_eq!(warm.hits, 0, "{warm:?}");
+        // Second, smaller burst (3 appends on top of the live tail — within
+        // the 4-segment cache): recycled segments answer from the cache.
+        for i in 0..32 {
+            h.enqueue(i);
+        }
+        let hot = q.cache_stats();
+        assert!(hot.hits > 0, "warm appends must hit: {hot:?}");
+        assert_eq!(hot.misses, warm.misses, "no new allocator trips: {hot:?}");
     }
 
     #[test]

@@ -217,6 +217,11 @@ pub(crate) struct SegmentCache<T, F: CellFamily> {
     recycled: AtomicUsize,
     /// Appends served from the cache instead of the allocator (statistics).
     reused: AtomicUsize,
+    /// [`SegmentCache::take`] calls that found a segment (statistics).
+    hits: AtomicUsize,
+    /// [`SegmentCache::take`] calls that found the cache empty and sent the
+    /// caller to the allocator (statistics).
+    misses: AtomicUsize,
 }
 
 // SAFETY: the raw pointers are exclusively owned by the cache while stored;
@@ -232,6 +237,8 @@ impl<T, F: CellFamily> SegmentCache<T, F> {
             limit,
             recycled: AtomicUsize::new(0),
             reused: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
         }
     }
 
@@ -239,9 +246,17 @@ impl<T, F: CellFamily> SegmentCache<T, F> {
     /// is *not* bumped here: a taken segment only counts as reused once its
     /// append wins the link race (see [`SegmentCache::note_reused`]) —
     /// otherwise a lost race that hands the segment straight back would
-    /// overstate cache effectiveness.
+    /// overstate cache effectiveness.  Hit/miss counters *are* bumped here:
+    /// they measure how often the cache could answer at all, which is the
+    /// steady-state-allocates-nothing property the memory tests assert.
     pub(crate) fn take(&self) -> Option<*mut Segment<T, F>> {
-        self.slots.lock().unwrap().pop()
+        let taken = self.slots.lock().unwrap().pop();
+        if taken.is_some() {
+            self.hits.fetch_add(1, SeqCst);
+        } else {
+            self.misses.fetch_add(1, SeqCst);
+        }
+        taken
     }
 
     /// Records that a cache-served segment was actually linked into a queue.
@@ -281,6 +296,14 @@ impl<T, F: CellFamily> SegmentCache<T, F> {
 
     pub(crate) fn reused_total(&self) -> usize {
         self.reused.load(SeqCst)
+    }
+
+    pub(crate) fn hits_total(&self) -> usize {
+        self.hits.load(SeqCst)
+    }
+
+    pub(crate) fn misses_total(&self) -> usize {
+        self.misses.load(SeqCst)
     }
 }
 

@@ -1,0 +1,563 @@
+//! The sharded unbounded queue: N independent wLSCQ shards behind one facade.
+//!
+//! A single [`UnboundedWcq`] funnels every thread through one head/tail pair;
+//! past a handful of cores those two cache lines are the whole bottleneck.
+//! [`ShardedWcq`] breaks them into `N` independent [`UnboundedWcq`] shards
+//! and routes operations:
+//!
+//! * **enqueue** goes to the shard a [`ShardPolicy`] picks — round-robin
+//!   (spread blindly), least-loaded (spread by the shards' approximate
+//!   length counters) or pinned (always the handle's home shard);
+//! * **dequeue** drains the handle's *home shard* first and falls back to
+//!   scanning the other shards (work stealing), so consumers stay on their
+//!   local shard — and its memoized segment binding — until it runs dry.
+//!
+//! ## What sharding keeps, and what it trades
+//!
+//! Each shard is a full wLSCQ: wait-freedom within segments, hazard-pointer
+//! retirement and the bounded recycling cache are all preserved per shard, so
+//! total memory stays bounded by the backlog plus `N` caches (the composition
+//! argument of the memory-bounds literature: bounded queues compose without
+//! losing the bound).  What is traded is the *global* FIFO order: elements
+//! routed to different shards can be dequeued in either order.  Per-producer
+//! FIFO — the order the stress oracle checks — survives exactly when each
+//! producer's values all land on one shard, i.e. under
+//! [`ShardPolicy::Pinned`]; the spreading policies trade that order for
+//! throughput, which is the usual sharded-queue contract.
+//!
+//! Emptiness is also per-shard: a dequeue returns `None` after every shard
+//! answered empty once, which (as for any scan of independent queues) is a
+//! racy observation, not a linearizable global-emptiness check.
+
+use wcq_core::api::{QueueHandle, WaitFreeQueue};
+use wcq_core::wcq::{CellFamily, LlscFamily, NativeFamily, WcqConfig};
+
+use crate::queue::{SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
+
+/// How a [`ShardedWcq`] routes enqueues to its shards.
+///
+/// Dequeue routing is fixed (home shard first, then steal) — the policy only
+/// decides where new elements land, which is where the order/throughput trade
+/// lives (see [`ShardedWcq`]'s docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardPolicy {
+    /// Each handle cycles through the shards, one per enqueue.  Uniform by
+    /// construction, no shared state, no counter reads — the default.
+    #[default]
+    RoundRobin,
+    /// Each enqueue goes to the shard with the smallest approximate length
+    /// ([`UnboundedWcq::len_hint`]), ties broken by a rotating cursor.  Adapts
+    /// to skewed consumers at the cost of scanning `N` counters per enqueue.
+    LeastLoaded,
+    /// Every enqueue goes to the handle's home shard.  Keeps each handle's
+    /// values in one FIFO stream, so per-producer order is preserved for the
+    /// lifetime of the producer's handle (a dropped-and-reacquired handle
+    /// may land on a different home shard), at the cost of no load spreading
+    /// from a single producer.
+    Pinned,
+}
+
+impl ShardPolicy {
+    /// Short policy name for reports and `Debug` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round-robin",
+            ShardPolicy::LeastLoaded => "least-loaded",
+            ShardPolicy::Pinned => "pinned",
+        }
+    }
+}
+
+/// An unbounded MPMC queue of `N` independent [`UnboundedWcq`] shards behind
+/// the one [`WaitFreeQueue`] facade.
+///
+/// Construct through `wcq::builder().shards(n).build_sharded()`; threads
+/// operate through [`ShardedWcqHandle`]s, which register on *every* shard
+/// (one record slot each) so any shard can be enqueued to or stolen from
+/// without a registration on the hot path.
+pub struct ShardedWcq<T, F: CellFamily = NativeFamily> {
+    shards: Box<[UnboundedWcq<T, F>]>,
+    policy: ShardPolicy,
+    max_threads: usize,
+}
+
+impl<T, F: CellFamily> ShardedWcq<T, F> {
+    /// Creates `shards` shards whose segments hold `2^seg_order` elements,
+    /// each usable by up to `max_threads` registered threads, with the
+    /// default [`WcqConfig`] and segment-cache size.
+    pub fn new(shards: usize, seg_order: u32, max_threads: usize, policy: ShardPolicy) -> Self {
+        Self::with_config_and_cache(
+            shards,
+            seg_order,
+            max_threads,
+            WcqConfig::default(),
+            DEFAULT_SEGMENT_CACHE,
+            policy,
+        )
+    }
+
+    /// Fully explicit constructor; every shard shares the same geometry,
+    /// wait-freedom configuration and cache bound.
+    pub fn with_config_and_cache(
+        shards: usize,
+        seg_order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        cache_limit: usize,
+        policy: ShardPolicy,
+    ) -> Self {
+        assert!(shards >= 1, "a sharded queue needs at least one shard");
+        let shards: Box<[UnboundedWcq<T, F>]> = (0..shards)
+            .map(|_| {
+                UnboundedWcq::with_config_and_cache(seg_order, max_threads, config, cache_limit)
+            })
+            .collect();
+        Self {
+            shards,
+            policy,
+            max_threads,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The enqueue-routing policy this queue was built with.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Maximum number of simultaneously registered threads (per shard, and
+    /// therefore for the queue as a whole — every handle occupies one slot on
+    /// every shard).
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// The underlying shards, for statistics and memory accounting (each is a
+    /// full [`UnboundedWcq`] with its own segment stats and cache stats).
+    pub fn shards(&self) -> &[UnboundedWcq<T, F>] {
+        &self.shards
+    }
+
+    /// Approximate total element count: the sum of the shards'
+    /// [`UnboundedWcq::len_hint`]s.  A hint, not a linearizable size.
+    pub fn len_hint(&self) -> usize {
+        self.shards.iter().map(|s| s.len_hint()).sum()
+    }
+
+    /// Aggregated segment statistics across all shards.
+    pub fn segment_stats(&self) -> SegmentStats {
+        let mut total = SegmentStats {
+            live: 0,
+            cached: 0,
+            retired_pending: 0,
+            allocated_total: 0,
+            reused_total: 0,
+        };
+        for stats in self.shards.iter().map(|s| s.segment_stats()) {
+            total.live += stats.live;
+            total.cached += stats.cached;
+            total.retired_pending += stats.retired_pending;
+            total.allocated_total += stats.allocated_total;
+            total.reused_total += stats.reused_total;
+        }
+        total
+    }
+
+    /// Registers the calling thread on every shard, or `None` when any shard
+    /// has all `max_threads` slots taken (partially acquired slots are
+    /// released again).  Re-registration is O(shards) single-CAS re-entries
+    /// through the per-shard tid memo.
+    pub fn register(&self) -> Option<ShardedWcqHandle<'_, T, F>> {
+        let mut handles = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            match shard.register() {
+                Some(h) => handles.push(h),
+                // Dropping the partial vec releases the slots already taken.
+                None => return None,
+            }
+        }
+        // The home shard is derived from the shard-0 tid: fixed for the
+        // handle's lifetime (pinned routing feeds one FIFO stream per
+        // handle), and usually stable across re-registration too because the
+        // tid memo hands the same slot back — but the memo is best-effort,
+        // so pinned-order guarantees are scoped to one handle's lifetime.
+        let home = handles[0].tid() % self.shards.len();
+        Some(ShardedWcqHandle {
+            queue: self,
+            handles,
+            home,
+            cursor: home,
+        })
+    }
+
+    /// Registers the calling thread, panicking when any shard's registration
+    /// slots are exhausted ([`ShardedWcq::register`] is the fallible variant).
+    pub fn handle(&self) -> ShardedWcqHandle<'_, T, F> {
+        self.register().unwrap_or_else(|| {
+            panic!(
+                "all {} registration slots of this sharded wLSCQ queue are in use",
+                self.max_threads
+            )
+        })
+    }
+}
+
+impl<T, F: CellFamily> std::fmt::Debug for ShardedWcq<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedWcq")
+            .field("family", &F::NAME)
+            .field("shards", &self.shards.len())
+            .field("policy", &self.policy.name())
+            .field("max_threads", &self.max_threads)
+            .field("len_hint", &self.len_hint())
+            .finish()
+    }
+}
+
+/// A per-thread handle to a [`ShardedWcq`]: one [`UnboundedWcqHandle`] per
+/// shard, so each shard keeps its own memoized segment binding — a consumer
+/// that stays on its home shard touches exactly one binding, and a stolen-from
+/// shard's binding is memoized for the next steal.
+///
+/// Like the handles it is built from, a sharded handle is `!Send`:
+///
+/// ```compile_fail,E0277
+/// use wcq_unbounded::{ShardPolicy, ShardedWcq};
+/// let q: ShardedWcq<u64> = ShardedWcq::new(2, 4, 2, ShardPolicy::RoundRobin);
+/// std::thread::scope(|s| {
+///     let h = q.register().unwrap();
+///     s.spawn(move || drop(h)); // ERROR: `ShardedWcqHandle` is `!Send`
+/// });
+/// ```
+pub struct ShardedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
+    queue: &'q ShardedWcq<T, F>,
+    handles: Vec<UnboundedWcqHandle<'q, T, F>>,
+    /// This handle's local shard: where pinned enqueues land and where every
+    /// dequeue scan starts.
+    home: usize,
+    /// Rotating cursor for round-robin routing and least-loaded tie-breaks.
+    cursor: usize,
+}
+
+impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &'q ShardedWcq<T, F> {
+        self.queue
+    }
+
+    /// The shard pinned enqueues land on and dequeue scans start from.
+    pub fn home_shard(&self) -> usize {
+        self.home
+    }
+
+    /// Segment-binding switches performed on shard `shard` (see
+    /// [`UnboundedWcqHandle::segment_rebinds`]).
+    pub fn shard_rebinds(&self, shard: usize) -> u64 {
+        self.handles[shard].segment_rebinds()
+    }
+
+    /// Total segment-binding switches across all shards.
+    pub fn segment_rebinds(&self) -> u64 {
+        self.handles.iter().map(|h| h.segment_rebinds()).sum()
+    }
+
+    /// Picks the target shard for one enqueue under the queue's policy.
+    fn route(&mut self) -> usize {
+        let n = self.handles.len();
+        match self.queue.policy {
+            ShardPolicy::Pinned => self.home,
+            ShardPolicy::RoundRobin => {
+                let pick = self.cursor % n;
+                self.cursor = self.cursor.wrapping_add(1);
+                pick
+            }
+            ShardPolicy::LeastLoaded => {
+                // Scan from the rotating cursor so equal-length shards share
+                // the load instead of all traffic piling onto shard 0.
+                let start = self.cursor % n;
+                self.cursor = self.cursor.wrapping_add(1);
+                let mut best = start;
+                let mut best_len = self.queue.shards[start].len_hint();
+                for k in 1..n {
+                    let i = (start + k) % n;
+                    let len = self.queue.shards[i].len_hint();
+                    if len < best_len {
+                        best = i;
+                        best_len = len;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Enqueues `value` on the shard the policy picks.  Never fails: each
+    /// shard is unbounded.
+    pub fn enqueue(&mut self, value: T) {
+        let shard = self.route();
+        self.handles[shard].enqueue(value);
+    }
+
+    /// Dequeues an element: the home shard first, then every other shard in
+    /// ring order (work stealing).  `None` means each shard was observed
+    /// empty once during the scan — a racy observation, as for any sharded
+    /// queue, not a linearizable global-emptiness check.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let n = self.handles.len();
+        for k in 0..n {
+            let shard = (self.home + k) % n;
+            if let Some(v) = self.handles[shard].dequeue() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Forces a hazard-pointer scan of the retired segments of every shard
+    /// (used by tests to make recycling deterministic).
+    pub fn flush_reclamation(&mut self) {
+        for h in &mut self.handles {
+            h.flush_reclamation();
+        }
+    }
+}
+
+impl<'q, T, F: CellFamily> std::fmt::Debug for ShardedWcqHandle<'q, T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedWcqHandle")
+            .field("shards", &self.handles.len())
+            .field("home", &self.home)
+            .field("rebinds", &self.segment_rebinds())
+            .finish()
+    }
+}
+
+impl<T: Send, F: CellFamily> QueueHandle<T> for ShardedWcqHandle<'_, T, F> {
+    fn try_enqueue(&mut self, value: T) -> Result<(), T> {
+        ShardedWcqHandle::enqueue(self, value);
+        Ok(())
+    }
+    fn dequeue(&mut self) -> Option<T> {
+        ShardedWcqHandle::dequeue(self)
+    }
+    fn enqueue(&mut self, value: T) {
+        // Unbounded: no full state to retry around.
+        ShardedWcqHandle::enqueue(self, value);
+    }
+}
+
+impl<T: Send, F: CellFamily> WaitFreeQueue<T> for ShardedWcq<T, F> {
+    fn name(&self) -> &'static str {
+        if F::NAME == LlscFamily::NAME {
+            "Sharded wLSCQ (LL/SC)"
+        } else {
+            "Sharded wLSCQ"
+        }
+    }
+    fn try_handle(&self) -> Option<Box<dyn QueueHandle<T> + '_>> {
+        self.register().map(|h| Box::new(h) as _)
+    }
+    fn max_threads(&self) -> usize {
+        ShardedWcq::max_threads(self)
+    }
+    fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.memory_footprint())
+                .sum::<usize>()
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.shards.iter().all(|s| s.len_hint() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn round_robin_spreads_one_producer_across_all_shards() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::RoundRobin);
+        let mut h = q.handle();
+        for i in 0..40 {
+            h.enqueue(i);
+        }
+        for shard in q.shards() {
+            assert_eq!(shard.len_hint(), 10, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn pinned_keeps_one_producer_on_its_home_shard() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::Pinned);
+        let mut h = q.handle();
+        for i in 0..40 {
+            h.enqueue(i);
+        }
+        assert_eq!(q.shards()[h.home_shard()].len_hint(), 40);
+        assert_eq!(q.len_hint(), 40);
+        // And a pinned stream preserves FIFO end to end.
+        for i in 0..40 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn least_loaded_balances_against_a_preloaded_shard() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(2, 6, 2, ShardPolicy::LeastLoaded);
+        let mut h = q.handle();
+        // Preload one shard through the round-robin-free path: pin by hand.
+        // 20 least-loaded enqueues must all prefer the empty shard until the
+        // lengths equalize, then alternate.
+        for i in 0..10 {
+            h.handles[0].enqueue(1000 + i);
+        }
+        for i in 0..20 {
+            h.enqueue(i);
+        }
+        let (a, b) = (q.shards()[0].len_hint(), q.shards()[1].len_hint());
+        assert_eq!(a + b, 30);
+        assert!(a.abs_diff(b) <= 1, "least-loaded must equalize: {a} vs {b}");
+    }
+
+    #[test]
+    fn dequeue_steals_from_every_shard() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::RoundRobin);
+        let mut producer = q.handle();
+        for i in 0..100 {
+            producer.enqueue(i);
+        }
+        drop(producer);
+        // A single consumer must recover all values even though they live on
+        // four different shards.
+        let mut consumer = q.handle();
+        let mut seen = HashSet::new();
+        while let Some(v) = consumer.dequeue() {
+            assert!(seen.insert(v), "duplicated {v}");
+        }
+        assert_eq!(seen.len(), 100);
+        assert_eq!(q.len_hint(), 0);
+    }
+
+    #[test]
+    fn one_shard_behaves_like_plain_wlscq() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(1, 3, 2, ShardPolicy::LeastLoaded);
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i); // forces segment growth inside the single shard
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i), "single shard is plain FIFO");
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn registration_exhaustion_releases_partial_slots() {
+        let q: ShardedWcq<u8> = ShardedWcq::new(2, 4, 2, ShardPolicy::RoundRobin);
+        let h1 = q.register().unwrap();
+        let h2 = q.register().unwrap();
+        assert!(q.register().is_none(), "both slots taken on every shard");
+        drop(h1);
+        let h3 = q.register();
+        assert!(h3.is_some(), "drop must release one slot per shard");
+        drop(h2);
+        drop(h3);
+        // After all drops every shard accepts registrations again.
+        for shard in q.shards() {
+            assert!(shard.register().is_some());
+        }
+    }
+
+    #[test]
+    fn trait_facade_round_trips() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 4, 2, ShardPolicy::RoundRobin);
+        let dynq: &dyn WaitFreeQueue<u64> = &q;
+        assert_eq!(dynq.name(), "Sharded wLSCQ");
+        assert!(dynq.is_empty_hint());
+        let mut h = dynq.handle();
+        for i in 0..200 {
+            h.enqueue(i);
+        }
+        assert!(!dynq.is_empty_hint());
+        let mut seen = HashSet::new();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 200);
+        assert!(dynq.memory_footprint() > 0);
+        assert_eq!(dynq.max_threads(), 2);
+    }
+
+    #[test]
+    fn llsc_family_round_trips_and_reports_its_name() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        let q: ShardedWcq<u64, LlscFamily> = ShardedWcq::new(2, 4, 2, ShardPolicy::Pinned);
+        assert_eq!(WaitFreeQueue::<u64>::name(&q), "Sharded wLSCQ (LL/SC)");
+        let mut h = q.handle();
+        for i in 0..50 {
+            h.enqueue(i);
+        }
+        for i in 0..50 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_sum_preserved_across_shards_and_growth() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 4_000;
+        // Tiny 16-slot segments on every shard guarantee constant churn.
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 4, THREADS as usize, ShardPolicy::RoundRobin);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let q = &q;
+                let sum = &sum;
+                let count = &count;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    for i in 0..PER_THREAD {
+                        h.enqueue(t * PER_THREAD + i);
+                        if let Some(v) = h.dequeue() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    while let Some(v) = h.dequeue() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = THREADS * PER_THREAD;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn aggregated_segment_stats_sum_over_shards() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(3, 3, 1, ShardPolicy::RoundRobin);
+        let mut h = q.handle();
+        for i in 0..90 {
+            h.enqueue(i); // 30 values per 8-slot-segment shard: growth everywhere
+        }
+        let stats = q.segment_stats();
+        assert!(stats.live >= 3, "every shard keeps at least one live segment");
+        assert_eq!(
+            stats.live,
+            q.shards().iter().map(|s| s.segments_live()).sum::<usize>()
+        );
+    }
+}

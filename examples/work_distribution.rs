@@ -1,21 +1,25 @@
-//! Work distribution: an MPMC task pool built on wCQ.
+//! Work distribution: an MPMC task pool built on the *sharded* wLSCQ.
 //!
 //! The paper's introduction motivates fast wait-free queues with "user-space
 //! message passing and scheduling".  This example builds a tiny work
-//! distribution system: several producers submit independent tasks (numbers
-//! to factor), several workers pull tasks and publish results through a
-//! second wCQ acting as the completion queue.  Because both queues are
-//! wait-free, no producer or worker can be starved by a stalled peer.
+//! distribution system on `ShardedWcq`: several producers submit independent
+//! tasks (numbers to factor) through **least-loaded routing** — each enqueue
+//! goes to the shard with the smallest approximate backlog, so uneven
+//! producers cannot pile work onto one shard — and several workers pull from
+//! their **home shard first, stealing** from the others once it runs dry, so
+//! a worker whose shard empties keeps the whole pool drained.  Completions
+//! flow back through a bounded wCQ acting as the completion queue.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example work_distribution
 //! ```
 
-use wcq::WcqQueue;
+use wcq::{ShardPolicy, ShardedWcq, WcqQueue};
 
 const PRODUCERS: usize = 2;
 const WORKERS: usize = 3;
+const SHARDS: usize = 4;
 const TASKS_PER_PRODUCER: u64 = 20_000;
 
 /// A unit of work: trial-factor `n` and report the smallest prime factor.
@@ -46,35 +50,42 @@ fn smallest_factor(n: u64) -> u64 {
 }
 
 fn main() {
-    let pool = wcq::builder().capacity_order(10);
-    let tasks: WcqQueue<Task> = pool.clone().threads(PRODUCERS + WORKERS + 1).build_bounded();
-    let completions: WcqQueue<Completion> = pool.threads(WORKERS + 2).build_bounded();
+    // The task pool: four unbounded wLSCQ shards, least-loaded enqueue
+    // routing, work-stealing dequeue.  Producers and workers all hold one
+    // registration slot (on every shard) each.
+    let tasks: ShardedWcq<Task> = wcq::builder()
+        .capacity_order(8) // per-segment capacity, per shard
+        .threads(PRODUCERS + WORKERS + 1)
+        .shards(SHARDS)
+        .shard_policy(ShardPolicy::LeastLoaded)
+        .build_sharded();
+    let completions: WcqQueue<Completion> = wcq::builder()
+        .capacity_order(10)
+        .threads(WORKERS + 2)
+        .build_bounded();
     let total_tasks = PRODUCERS as u64 * TASKS_PER_PRODUCER;
 
     std::thread::scope(|s| {
-        // Producers submit tasks.
+        // Producers submit tasks; the sharded queue is unbounded, so a
+        // submission never fails and never blocks.
         for p in 0..PRODUCERS as u64 {
             let tasks = &tasks;
             s.spawn(move || {
-                let mut h = tasks.register().unwrap();
+                let mut h = tasks.handle();
                 for i in 0..TASKS_PER_PRODUCER {
                     let id = p * TASKS_PER_PRODUCER + i;
-                    let mut task = Task { id, n: 1_000_003 + id * 7 };
-                    while let Err(back) = h.enqueue(task) {
-                        task = back;
-                        std::thread::yield_now();
-                    }
+                    h.enqueue(Task { id, n: 1_000_003 + id * 7 });
                 }
             });
         }
 
-        // Workers process tasks until the expected number of completions has
-        // been produced.
+        // Workers drain their home shard, then steal, until the pool stays
+        // empty long enough that the producers must be done.
         for _ in 0..WORKERS {
             let tasks = &tasks;
             let completions = &completions;
             s.spawn(move || {
-                let mut input = tasks.register().unwrap();
+                let mut input = tasks.handle();
                 let mut output = completions.register().unwrap();
                 let mut idle_spins = 0u32;
                 loop {
@@ -93,7 +104,7 @@ fn main() {
                         None => {
                             idle_spins += 1;
                             if idle_spins > 10_000 {
-                                break; // producers are done and the queue drained
+                                break; // producers are done and every shard drained
                             }
                             std::thread::yield_now();
                         }
@@ -104,11 +115,13 @@ fn main() {
 
         // The collector tallies results.
         let completions = &completions;
+        let tasks = &tasks;
         s.spawn(move || {
             let mut h = completions.register().unwrap();
             let mut seen = vec![false; total_tasks as usize];
             let mut collected = 0u64;
             let mut prime_inputs = 0u64;
+            let mut peak_backlog = 0usize;
             while collected < total_tasks {
                 match h.dequeue() {
                     Some(c) => {
@@ -118,18 +131,29 @@ fn main() {
                             prime_inputs += 1;
                         }
                         collected += 1;
+                        peak_backlog = peak_backlog.max(tasks.len_hint());
                     }
                     None => std::thread::yield_now(),
                 }
             }
             println!("collected {collected} completions, every task exactly once");
             println!("{prime_inputs} inputs had no small factor (likely prime)");
+            println!("peak task backlog across all {SHARDS} shards: ~{peak_backlog}");
         });
     });
 
+    // Least-loaded routing kept the shards balanced: show the per-shard
+    // traffic (allocated segments track each shard's peak backlog).
+    for (i, shard) in tasks.shards().iter().enumerate() {
+        let stats = shard.segment_stats();
+        println!(
+            "shard {i}: {} segments allocated, {} reused from cache",
+            stats.allocated_total, stats.reused_total
+        );
+    }
     println!(
-        "task queue footprint: {} KiB, completion queue footprint: {} KiB",
-        tasks.memory_footprint() / 1024,
+        "task pool footprint: {} KiB, completion queue footprint: {} KiB",
+        wcq::WaitFreeQueue::memory_footprint(&tasks) / 1024,
         completions.memory_footprint() / 1024
     );
 }

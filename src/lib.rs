@@ -43,9 +43,12 @@
 //! ```
 //!
 //! The same builder produces the unbounded wLSCQ queue (linked wCQ segments
-//! with hazard-pointer recycling) and the LL/SC hardware model:
+//! with hazard-pointer recycling), its sharded high-thread-count variant and
+//! the LL/SC hardware model:
 //!
 //! ```
+//! use wcq::ShardPolicy;
+//!
 //! let unbounded = wcq::builder()
 //!     .capacity_order(8)   // per-segment capacity
 //!     .threads(8)
@@ -53,6 +56,16 @@
 //!     .build_unbounded::<String>();
 //! let mut h = unbounded.handle();
 //! h.enqueue("never blocks, never fails".to_string());
+//!
+//! // Four independent wLSCQ shards behind one facade: least-loaded enqueue
+//! // routing, home-shard-first work-stealing dequeue.
+//! let sharded = wcq::builder()
+//!     .capacity_order(8)
+//!     .threads(8)
+//!     .shards(4)
+//!     .shard_policy(ShardPolicy::LeastLoaded)
+//!     .build_sharded::<u64>();
+//! # drop(sharded);
 //!
 //! let ppc = wcq::builder().capacity_order(6).threads(2).llsc().build_bounded::<u64>();
 //! # drop(ppc);
@@ -88,7 +101,10 @@ pub use wcq_core::scq::ScqQueue;
 pub use wcq_core::wcq::{
     CellFamily, LlscFamily, NativeFamily, WcqConfig, WcqQueue, WcqQueueHandle, WcqRing, WcqStats,
 };
-pub use wcq_unbounded::{SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
+pub use wcq_unbounded::{
+    CacheStats, SegmentStats, ShardPolicy, ShardedWcq, ShardedWcqHandle, UnboundedWcq,
+    UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE,
+};
 
 use core::marker::PhantomData;
 
@@ -107,6 +123,8 @@ pub fn builder() -> QueueBuilder<NativeFamily> {
         threads: 8,
         config: WcqConfig::default(),
         segment_cache: DEFAULT_SEGMENT_CACHE,
+        shards: 1,
+        shard_policy: ShardPolicy::default(),
         _family: PhantomData,
     }
 }
@@ -117,7 +135,10 @@ pub fn builder() -> QueueBuilder<NativeFamily> {
 /// [`build_bounded`](QueueBuilder::build_bounded) (a fixed-capacity
 /// [`WcqQueue`], Theorem 5.8's bounded-memory queue),
 /// [`build_unbounded`](QueueBuilder::build_unbounded) (the wLSCQ
-/// [`UnboundedWcq`] of linked segments) or
+/// [`UnboundedWcq`] of linked segments),
+/// [`build_sharded`](QueueBuilder::build_sharded) (a [`ShardedWcq`] of
+/// [`shards`](QueueBuilder::shards) independent wLSCQ shards with
+/// [`shard_policy`](QueueBuilder::shard_policy) routing) or
 /// [`build_ring`](QueueBuilder::build_ring) (a raw index ring, the Figure 2
 /// indirection building block).
 ///
@@ -130,6 +151,8 @@ pub struct QueueBuilder<F: CellFamily = NativeFamily> {
     threads: usize,
     config: WcqConfig,
     segment_cache: usize,
+    shards: usize,
+    shard_policy: ShardPolicy,
     _family: PhantomData<F>,
 }
 
@@ -142,6 +165,8 @@ impl<F: CellFamily> Clone for QueueBuilder<F> {
             threads: self.threads,
             config: self.config,
             segment_cache: self.segment_cache,
+            shards: self.shards,
+            shard_policy: self.shard_policy,
             _family: PhantomData,
         }
     }
@@ -156,6 +181,8 @@ impl QueueBuilder<NativeFamily> {
             threads: self.threads,
             config: self.config,
             segment_cache: self.segment_cache,
+            shards: self.shards,
+            shard_policy: self.shard_policy,
             _family: PhantomData,
         }
     }
@@ -199,6 +226,26 @@ impl<F: CellFamily> QueueBuilder<F> {
         self
     }
 
+    /// Number of independent shards for
+    /// [`build_sharded`](QueueBuilder::build_sharded) (default 1; ignored by
+    /// the other finishers).  Each shard is a full unbounded wLSCQ with the
+    /// builder's geometry, so total steady-state memory scales with
+    /// `shards × (live segments + segment cache)`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enqueue-routing policy for
+    /// [`build_sharded`](QueueBuilder::build_sharded): round-robin (default),
+    /// least-loaded or pinned.  Pinned keeps each producer's values on its
+    /// home shard, which is the only policy that preserves per-producer FIFO
+    /// order across the whole queue.
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
+    }
+
     /// Builds the bounded wait-free queue of the paper (Figures 4–7): fixed
     /// capacity, fixed memory, wait-free enqueue and dequeue.
     pub fn build_bounded<T>(&self) -> WcqQueue<T, F> {
@@ -221,6 +268,22 @@ impl<F: CellFamily> QueueBuilder<F> {
     /// indirection building block of Figure 2 (see the `frame_pool` example).
     pub fn build_ring(&self) -> WcqRing<F> {
         WcqRing::with_config(self.capacity_order, self.threads, self.config)
+    }
+
+    /// Builds the sharded unbounded queue: [`shards`](QueueBuilder::shards)
+    /// independent wLSCQ shards behind one [`WaitFreeQueue`] facade, with
+    /// [`shard_policy`](QueueBuilder::shard_policy) enqueue routing and a
+    /// home-shard-first work-stealing dequeue — the high-thread-count shape
+    /// that breaks the single head/tail hot spots.
+    pub fn build_sharded<T>(&self) -> ShardedWcq<T, F> {
+        ShardedWcq::with_config_and_cache(
+            self.shards,
+            self.capacity_order,
+            self.threads,
+            self.config,
+            self.segment_cache,
+            self.shard_policy,
+        )
     }
 }
 
@@ -287,6 +350,35 @@ mod tests {
         let mut h = q.handle(); // the facade trait's RAII registration
         h.enqueue(5);
         assert_eq!(h.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn builder_builds_sharded_with_requested_geometry_and_policy() {
+        let q = builder()
+            .capacity_order(4)
+            .threads(2)
+            .shards(4)
+            .shard_policy(ShardPolicy::Pinned)
+            .build_sharded::<u64>();
+        assert_eq!(q.shard_count(), 4);
+        assert_eq!(q.policy(), ShardPolicy::Pinned);
+        assert_eq!(ShardedWcq::max_threads(&q), 2);
+        assert_eq!(q.shards()[0].segment_capacity(), 16);
+        let mut h = q.handle();
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        // Pinned routing: FIFO holds end to end for a single producer.
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn builder_defaults_to_one_round_robin_shard() {
+        let q = builder().capacity_order(4).threads(2).build_sharded::<u64>();
+        assert_eq!(q.shard_count(), 1);
+        assert_eq!(q.policy(), ShardPolicy::RoundRobin);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use wcq::ShardPolicy;
 use wcq_core::wcq::{WcqConfig, WcqQueue};
 use wcq_harness::memtrack::{self, CountingAllocator};
 use wcq_unbounded::UnboundedWcq;
@@ -161,6 +162,75 @@ fn unbounded_wcq_steady_state_reuses_segments_without_allocating() {
     let allocs = after.total_allocs - before.total_allocs;
     assert!(
         allocs < 1_500,
+        "expected no per-operation allocations at steady state, saw {allocs}"
+    );
+    let live_growth = after.live_bytes.saturating_sub(before.live_bytes);
+    assert!(
+        live_growth < 16 * 1024,
+        "live heap grew {live_growth} bytes across steady-state rounds"
+    );
+}
+
+#[test]
+fn sharded_wcq_steady_state_allocates_nothing_on_any_shard() {
+    // The sharded queue inherits the steady-state property shard-wise: after
+    // a warm-up burst/drain cycle, segment churn on *every* shard is served
+    // from that shard's recycling cache — the allocator is never consulted
+    // again, and the cache hit/miss counters prove it per shard.
+    const SHARDS: usize = 4;
+    const SEG_ORDER: u32 = 4; // 16-slot segments
+    const BURST: u64 = 256; // 64 values -> 4 segments of churn per shard
+    let q = wcq::builder()
+        .capacity_order(SEG_ORDER)
+        .threads(2)
+        .shards(SHARDS)
+        .shard_policy(ShardPolicy::RoundRobin)
+        .build_sharded::<u64>();
+    let mut h = q.handle();
+
+    // Warm-up: populate every shard's segment cache through one full cycle.
+    for i in 0..BURST {
+        h.enqueue(i);
+    }
+    while h.dequeue().is_some() {}
+    h.flush_reclamation();
+
+    let allocated_before: Vec<usize> =
+        q.shards().iter().map(|s| s.segments_allocated()).collect();
+    let misses_before: Vec<usize> = q.shards().iter().map(|s| s.cache_stats().misses).collect();
+    let before = memtrack::snapshot();
+    const ROUNDS: u64 = 40;
+    for round in 0..ROUNDS {
+        for i in 0..BURST {
+            h.enqueue(round * BURST + i);
+        }
+        while h.dequeue().is_some() {}
+        h.flush_reclamation();
+    }
+    let after = memtrack::snapshot();
+
+    for (i, shard) in q.shards().iter().enumerate() {
+        assert_eq!(
+            shard.segments_allocated(),
+            allocated_before[i],
+            "shard {i} must serve steady-state churn from its cache: {:?}",
+            shard.segment_stats()
+        );
+        let stats = shard.cache_stats();
+        assert_eq!(
+            stats.misses, misses_before[i],
+            "shard {i} cache must not miss at steady state: {stats:?}"
+        );
+        assert!(
+            stats.hits > 0,
+            "shard {i} cache must have served the churn: {stats:?}"
+        );
+    }
+    // 40 rounds * 512 ops with per-op allocation would show up as >= 20k
+    // allocations; only the hazard scans' small bookkeeping is allowed.
+    let allocs = after.total_allocs - before.total_allocs;
+    assert!(
+        allocs < 2_000,
         "expected no per-operation allocations at steady state, saw {allocs}"
     );
     let live_growth = after.live_bytes.saturating_sub(before.live_bytes);

@@ -6,7 +6,8 @@
 //! * the unbounded handle's memoized segment binding survives forced segment
 //!   growth (tiny `ring_order = 4` segments) without losing values, both
 //!   through the concrete API and through the boxed facade trait;
-//! * all 11 `QueueKind`s hand out working handles through the public trait.
+//! * all 13 `QueueKind`s hand out working handles through the public trait
+//!   (the deeper sharded-handle lifecycle lives in `tests/sharded.rs`).
 //!
 //! (`!Send`-ness of the handles is enforced at compile time by the
 //! `compile_fail` doctests on `WcqQueueHandle` and `UnboundedWcqHandle`.)
@@ -53,6 +54,8 @@ fn facade_handles_are_raii_for_every_registration_limited_kind() {
         QueueKind::CrTurn,
         QueueKind::WcqUnbounded,
         QueueKind::WcqUnboundedLlsc,
+        QueueKind::WcqSharded,
+        QueueKind::WcqShardedLlsc,
     ] {
         let q = make_queue(kind, 1, 8);
         let h = q.try_handle().expect("one slot free");
@@ -63,9 +66,9 @@ fn facade_handles_are_raii_for_every_registration_limited_kind() {
 }
 
 #[test]
-fn all_eleven_kinds_hand_out_working_trait_handles() {
+fn all_thirteen_kinds_hand_out_working_trait_handles() {
     let kinds = QueueKind::all();
-    assert_eq!(kinds.len(), 11);
+    assert_eq!(kinds.len(), 13);
     for kind in kinds {
         let q = make_queue(kind, 2, 8);
         let mut h = q.handle();
@@ -126,6 +129,28 @@ fn segment_memo_amortizes_binding_on_the_stay_in_one_segment_case() {
     }
     // 10_000 operations, one 256-slot segment: exactly one bind, ever.
     assert_eq!(h.segment_rebinds(), 1);
+}
+
+#[test]
+fn empty_hint_is_meaningful_for_counting_kinds_and_conservative_elsewhere() {
+    for kind in QueueKind::all() {
+        let q = make_queue(kind, 2, 6);
+        let counting = kind.has_len_hint();
+        if counting {
+            assert!(q.is_empty_hint(), "kind {kind:?}: fresh queue hints empty");
+        }
+        let mut h = q.handle();
+        h.enqueue(1);
+        assert!(
+            !q.is_empty_hint(),
+            "kind {kind:?}: a non-empty queue must never hint empty \
+             (false is the conservative default for non-counting kinds)"
+        );
+        assert_eq!(h.dequeue(), Some(1), "kind {kind:?}");
+        if counting {
+            assert!(q.is_empty_hint(), "kind {kind:?}: drained queue hints empty");
+        }
+    }
 }
 
 #[test]
