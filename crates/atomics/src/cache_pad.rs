@@ -11,10 +11,7 @@ use core::ops::{Deref, DerefMut};
 ///
 /// 128 bytes on x86-64/AArch64 (spatial prefetcher pulls pairs of lines),
 /// 64 bytes elsewhere.
-#[cfg_attr(
-    any(target_arch = "x86_64", target_arch = "aarch64"),
-    repr(align(128))
-)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
 #[cfg_attr(
     not(any(target_arch = "x86_64", target_arch = "aarch64")),
     repr(align(64))
@@ -71,7 +68,10 @@ mod tests {
     fn alignment_is_at_least_a_cache_line() {
         assert!(core::mem::align_of::<CachePadded<u64>>() >= 64);
         let a = CachePadded::new(1u64);
-        assert_eq!((&a as *const _ as usize) % core::mem::align_of::<CachePadded<u64>>(), 0);
+        assert_eq!(
+            (&a as *const _ as usize) % core::mem::align_of::<CachePadded<u64>>(),
+            0
+        );
     }
 
     #[test]

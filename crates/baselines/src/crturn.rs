@@ -186,12 +186,10 @@ impl<'q> CrTurnHandle<'q> {
                     if cand.is_null() {
                         continue;
                     }
-                    let _ = ltail_ref.next.compare_exchange(
-                        std::ptr::null_mut(),
-                        cand,
-                        SeqCst,
-                        SeqCst,
-                    );
+                    let _ =
+                        ltail_ref
+                            .next
+                            .compare_exchange(std::ptr::null_mut(), cand, SeqCst, SeqCst);
                     break;
                 }
             }
@@ -260,12 +258,8 @@ impl<'q> CrTurnHandle<'q> {
             }
             if assigned != NOIDX {
                 // Serve the assigned dequeuer, then advance the head.
-                let _ = self.queue.deqreq[assigned].compare_exchange(
-                    pending,
-                    lnext,
-                    SeqCst,
-                    SeqCst,
-                );
+                let _ =
+                    self.queue.deqreq[assigned].compare_exchange(pending, lnext, SeqCst, SeqCst);
                 let _ = self
                     .queue
                     .head

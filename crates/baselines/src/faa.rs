@@ -33,7 +33,10 @@ impl FaaQueue {
         Self {
             head: CachePadded::new(AtomicU64::new(0)),
             tail: CachePadded::new(AtomicU64::new(0)),
-            slots: (0..size).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            slots: (0..size)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             mask: size - 1,
         }
     }

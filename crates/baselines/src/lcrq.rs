@@ -55,7 +55,8 @@ impl Crq {
     /// close, so the element that triggered the append is not lost).
     fn new_with(order: u32, value: u64) -> Self {
         let crq = Self::new(order);
-        crq.slots[0].compare_exchange((SAFE_BIT, EMPTY), (SAFE_BIT, value))
+        crq.slots[0]
+            .compare_exchange((SAFE_BIT, EMPTY), (SAFE_BIT, value))
             .expect("fresh ring slot 0 must be empty");
         crq.tail.store(1, SeqCst);
         crq
@@ -152,7 +153,6 @@ impl Crq {
             }
         }
     }
-
 }
 
 /// The linked queue of CRQs.
@@ -338,7 +338,10 @@ mod tests {
         for i in 0..64 {
             h.enqueue(i);
         }
-        assert!(q.rings_allocated() > 1, "small rings must have been closed/linked");
+        assert!(
+            q.rings_allocated() > 1,
+            "small rings must have been closed/linked"
+        );
         for i in 0..64 {
             assert_eq!(h.dequeue(), Some(i));
         }

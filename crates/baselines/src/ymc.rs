@@ -118,12 +118,10 @@ impl YmcQueue {
                 let mut next = (*cur).next.load(SeqCst);
                 if next.is_null() {
                     let fresh = Segment::new((*cur).id + 1);
-                    match (*cur).next.compare_exchange(
-                        std::ptr::null_mut(),
-                        fresh,
-                        SeqCst,
-                        SeqCst,
-                    ) {
+                    match (*cur)
+                        .next
+                        .compare_exchange(std::ptr::null_mut(), fresh, SeqCst, SeqCst)
+                    {
                         Ok(_) => {
                             self.segments_allocated.fetch_add(1, SeqCst);
                             next = fresh;
@@ -143,7 +141,10 @@ impl YmcQueue {
 
     /// Enqueues `value` (must be `<= MAX_VALUE`).
     pub fn enqueue(&self, value: u64) {
-        assert!(value <= MAX_VALUE, "the two largest u64 values are reserved");
+        assert!(
+            value <= MAX_VALUE,
+            "the two largest u64 values are reserved"
+        );
         loop {
             let t = self.tail_ticket.fetch_add(1, SeqCst);
             let cell = self.find_cell(&self.tail_hint, t);

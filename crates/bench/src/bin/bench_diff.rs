@@ -122,7 +122,10 @@ fn main() -> ExitCode {
         let name = baseline_path.file_name().unwrap().to_string_lossy();
         let current_path = opts.current_dir.join(name.as_ref());
         if !current_path.exists() {
-            println!("bench_diff: {name}: no fresh artifact in {} (skipped)", opts.current_dir.display());
+            println!(
+                "bench_diff: {name}: no fresh artifact in {} (skipped)",
+                opts.current_dir.display()
+            );
             continue;
         }
         let read_tables = |p: &Path| {

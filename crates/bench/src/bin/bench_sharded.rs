@@ -98,7 +98,14 @@ fn main() {
             for &shards in SHARD_SWEEP {
                 let queue = sharded_queue(shards, ShardPolicy::Pinned, threads, opts.ring_order);
                 let series = format!("Sharded wLSCQ x{shards}");
-                sweep_cell(&mut table, &series, queue.as_ref(), workload, threads, &opts);
+                sweep_cell(
+                    &mut table,
+                    &series,
+                    queue.as_ref(),
+                    workload,
+                    threads,
+                    &opts,
+                );
             }
             for (policy, series) in [
                 (ShardPolicy::RoundRobin, "Sharded wLSCQ x4 (round-robin)"),
@@ -109,7 +116,14 @@ fn main() {
             }
             for kind in [QueueKind::WcqUnbounded, QueueKind::Lcrq] {
                 let queue = make_queue(kind, threads + 1, opts.ring_order);
-                sweep_cell(&mut table, kind.name(), queue.as_ref(), workload, threads, &opts);
+                sweep_cell(
+                    &mut table,
+                    kind.name(),
+                    queue.as_ref(),
+                    workload,
+                    threads,
+                    &opts,
+                );
             }
         }
         print_table(&table);

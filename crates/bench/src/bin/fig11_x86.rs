@@ -26,5 +26,8 @@ fn main() {
         print_table(&table);
         tables.push(table);
     }
-    write_tables_json(&json_artifact_name("fig11", workload_arg.as_deref()), &tables);
+    write_tables_json(
+        &json_artifact_name("fig11", workload_arg.as_deref()),
+        &tables,
+    );
 }

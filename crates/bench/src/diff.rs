@@ -369,15 +369,26 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_artifacts() {
         assert!(parse_bench_json("").is_err());
-        assert!(parse_bench_json("[{\"title\": \"x\"}]").is_err(), "missing unit");
+        assert!(
+            parse_bench_json("[{\"title\": \"x\"}]").is_err(),
+            "missing unit"
+        );
         assert!(parse_bench_json("[1, 2]").is_err());
         assert!(parse_bench_json("{\"title\": \"t\", \"unit\": \"u\"} trailing").is_err());
     }
 
     #[test]
     fn throughput_drops_beyond_threshold_are_flagged() {
-        let base = [table("fig11", "Mops/s", &[("wCQ", 1, 10.0), ("wCQ", 2, 20.0)])];
-        let cur = [table("fig11", "Mops/s", &[("wCQ", 1, 8.5), ("wCQ", 2, 19.0)])];
+        let base = [table(
+            "fig11",
+            "Mops/s",
+            &[("wCQ", 1, 10.0), ("wCQ", 2, 20.0)],
+        )];
+        let cur = [table(
+            "fig11",
+            "Mops/s",
+            &[("wCQ", 1, 8.5), ("wCQ", 2, 19.0)],
+        )];
         let regs = compare(&base, &cur, 0.10);
         assert_eq!(regs.len(), 1, "{regs:?}");
         assert_eq!(regs[0].series, "wCQ");
@@ -397,8 +408,16 @@ mod tests {
 
     #[test]
     fn improvements_and_unmatched_cells_are_ignored() {
-        let base = [table("fig11", "Mops/s", &[("wCQ", 1, 10.0), ("gone", 1, 5.0)])];
-        let cur = [table("fig11", "Mops/s", &[("wCQ", 1, 30.0), ("new", 1, 1.0)])];
+        let base = [table(
+            "fig11",
+            "Mops/s",
+            &[("wCQ", 1, 10.0), ("gone", 1, 5.0)],
+        )];
+        let cur = [table(
+            "fig11",
+            "Mops/s",
+            &[("wCQ", 1, 30.0), ("new", 1, 1.0)],
+        )];
         assert!(compare(&base, &cur, 0.10).is_empty());
         // Entirely unmatched tables are skipped too.
         let other = [table("fig12", "Mops/s", &[("wCQ", 1, 0.1)])];
@@ -411,7 +430,10 @@ mod tests {
         // are the pinned shard-count sweep ("Sharded wLSCQ x1" ... "x8"),
         // the x4 routing-policy comparison, and the unsharded wLSCQ and LCRQ
         // baselines — exactly the series bench_sharded emits.
-        let mut t = FigureTable::new("Sharded wLSCQ scaling: pairwise enq-deq throughput", "Mops/s");
+        let mut t = FigureTable::new(
+            "Sharded wLSCQ scaling: pairwise enq-deq throughput",
+            "Mops/s",
+        );
         for (shards, v) in [(1, 10.0), (2, 14.0), (4, 19.0), (8, 21.0)] {
             t.record(&format!("Sharded wLSCQ x{shards}"), 8, v);
         }

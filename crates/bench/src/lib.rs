@@ -20,6 +20,10 @@
 //!   (1/2/4/8 pinned shards, plus the round-robin / least-loaded routing
 //!   comparison) against plain wLSCQ and LCRQ; `--quick` reproduces the CI
 //!   smoke / committed-baseline shape.
+//! * `bench_channel` — beyond the paper: the typed `Sender`/`Receiver`
+//!   channel endpoints (sync and async, all three backends) against raw
+//!   facade handles on a producer→consumer pipeline, measuring what the
+//!   close/wake layer costs.
 //!
 //! The binaries accept `--threads`, `--ops`, and `--repeats` overrides so the
 //! full paper-scale sweep and a quick smoke run use the same code.  The
@@ -164,9 +168,18 @@ mod tests {
         let o = BenchOpts::parse(std::iter::empty());
         assert_eq!(o.threads, QUICK_THREADS);
         let o = BenchOpts::parse(
-            ["--threads", "1,3,5", "--ops", "1000", "--repeats", "2", "--order", "6"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--threads",
+                "1,3,5",
+                "--ops",
+                "1000",
+                "--repeats",
+                "2",
+                "--order",
+                "6",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(o.threads, vec![1, 3, 5]);
         assert_eq!(o.ops, 1000);
@@ -193,7 +206,9 @@ mod tests {
         // Presets apply in argument order: an explicit flag after the preset
         // wins, so one knob of the baseline shape can be varied.
         let o = BenchOpts::parse(
-            ["--quick", "--threads", "1,2,4,8"].iter().map(|s| s.to_string()),
+            ["--quick", "--threads", "1,2,4,8"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert_eq!(o.threads, vec![1, 2, 4, 8]);
         assert_eq!(o.ops, 60_000);
@@ -221,6 +236,9 @@ mod tests {
         );
         // An unknown filter argument selects all workloads (lenient parsing),
         // so it maps to the canonical artifact.
-        assert_eq!(json_artifact_name("fig11", Some("bogus")), "BENCH_fig11.json");
+        assert_eq!(
+            json_artifact_name("fig11", Some("bogus")),
+            "BENCH_fig11.json"
+        );
     }
 }

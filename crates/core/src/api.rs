@@ -69,15 +69,19 @@ pub trait QueueHandle<T> {
     /// Dequeues a value, or `None` when the queue was observed empty.
     fn dequeue(&mut self) -> Option<T>;
 
-    /// Enqueues `value`, retrying (with a scheduler yield between attempts)
-    /// while a bounded queue is momentarily full.  This is the blocking-ish
-    /// convenience the workloads use; latency-sensitive callers should prefer
-    /// [`QueueHandle::try_enqueue`] and their own backpressure policy.
+    /// Enqueues `value`, retrying while a bounded queue is momentarily full:
+    /// bounded-exponential spinning first (a full queue usually drains within
+    /// a few hundred cycles under a live consumer), a scheduler yield per
+    /// attempt once the spin cap is reached (so a descheduled consumer gets
+    /// the CPU).  This is the blocking-ish convenience the workloads use;
+    /// latency-sensitive callers should prefer [`QueueHandle::try_enqueue`]
+    /// and their own backpressure policy.
     fn enqueue(&mut self, value: T) {
         let mut item = value;
+        let mut backoff = wcq_atomics::Backoff::new();
         while let Err(back) = self.try_enqueue(item) {
             item = back;
-            std::thread::yield_now();
+            backoff.snooze_or_yield();
         }
     }
 }
@@ -255,6 +259,13 @@ impl<T: Send, F: CellFamily> WaitFreeQueue<T> for WcqQueue<T, F> {
     fn memory_footprint(&self) -> usize {
         WcqQueue::memory_footprint(self)
     }
+    fn is_empty_hint(&self) -> bool {
+        // The data ring's tail−head distance.  Slow-path retries can inflate
+        // it (a non-empty reading for an empty queue — the conservative
+        // direction), so it is a scheduling hint, not a drain oracle like the
+        // unbounded kinds' maintained counters.
+        WcqQueue::is_empty_hint(self)
+    }
 }
 
 impl<T: Send> QueueHandle<T> for &ScqQueue<T> {
@@ -279,6 +290,11 @@ impl<T: Send> WaitFreeQueue<T> for ScqQueue<T> {
     }
     fn memory_footprint(&self) -> usize {
         ScqQueue::memory_footprint(self)
+    }
+    fn is_empty_hint(&self) -> bool {
+        // Same caveat as wCQ's: retries inflate tail−head, so `false` can be
+        // stale but `true` means a recent genuinely-empty observation.
+        ScqQueue::is_empty_hint(self)
     }
 }
 

@@ -1,0 +1,196 @@
+//! Typed error and close vocabulary for channel endpoints over a queue.
+//!
+//! The [`api`](crate::api) traits speak the algorithm's language: a bounded
+//! enqueue that fails hands the value back as `Err(T)`, a dequeue on an empty
+//! queue is `None`.  A *channel* layered on top of a queue needs a richer
+//! vocabulary, because "the queue is momentarily full" and "the channel was
+//! shut down" demand opposite reactions (retry vs. give up), and an empty
+//! observation stops meaning "try again later" once every sender is gone.
+//! This module defines that vocabulary — the channel endpoints themselves
+//! (`Sender`/`Receiver` and their async twins) live in the `wcq` umbrella
+//! crate, which owns the construction path.
+//!
+//! The types mirror the std/crossbeam channel error shape (send errors return
+//! the value so nothing is silently dropped; receive errors are value-free
+//! enums), so code migrating from `std::sync::mpsc` maps one to one.
+
+use core::fmt;
+
+/// Expands to a `fmt` body matching `self` against `pattern => message` arms.
+macro_rules! fmt_display_as {
+    ($($pattern:pat => $message:expr),+ $(,)?) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                $($pattern => f.write_str($message)),+
+            }
+        }
+    };
+}
+
+/// Error of a non-blocking send attempt.
+///
+/// Carries the unsent value so the caller decides its fate — retry, buffer,
+/// or drop — without losing it.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The queue backing the channel is at capacity right now.  Only bounded
+    /// backends ever report this; retrying after a dequeue can succeed.
+    Full(T),
+    /// The channel was closed (explicitly or because an endpoint class is
+    /// gone); no send will ever succeed again.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Consumes the error and hands back the value that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+
+    /// `true` when the send failed because the channel is closed (retrying is
+    /// pointless), `false` when the queue was merely full.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, TrySendError::Closed(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The value may not be Debug; the variant is the information.
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Closed(_) => f.write_str("Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fmt_display_as!(
+        TrySendError::Full(_) => "sending on a full channel",
+        TrySendError::Closed(_) => "sending on a closed channel"
+    );
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// Error of a blocking (or async) send: the channel was closed before the
+/// value could be delivered.  Carries the value back, like
+/// [`TrySendError::Closed`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Consumes the error and hands back the value that was not sent.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error of a non-blocking receive attempt.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel held no value at this instant, but senders still exist (or
+    /// a straggling pre-close send is in flight): a later receive can succeed.
+    Empty,
+    /// The channel is closed *and* fully drained; no receive will ever
+    /// succeed again.
+    Closed,
+}
+
+impl TryRecvError {
+    /// `true` when the channel is closed and drained (retrying is pointless).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, TryRecvError::Closed)
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fmt_display_as!(
+        TryRecvError::Empty => "receiving on an empty channel",
+        TryRecvError::Closed => "receiving on a closed and drained channel"
+    );
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error of a blocking (or async) receive: the channel is closed and every
+/// value sent before the close has been drained.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on a closed and drained channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_errors_hand_the_value_back() {
+        assert_eq!(TrySendError::Full(7).into_inner(), 7);
+        assert_eq!(TrySendError::Closed("x").into_inner(), "x");
+        assert_eq!(SendError(vec![1, 2]).into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn closedness_is_queryable_without_destructuring() {
+        assert!(!TrySendError::Full(0).is_closed());
+        assert!(TrySendError::Closed(0).is_closed());
+        assert!(!TryRecvError::Empty.is_closed());
+        assert!(TryRecvError::Closed.is_closed());
+    }
+
+    #[test]
+    fn errors_display_without_requiring_debug_payloads() {
+        struct NotDebug;
+        assert_eq!(
+            TrySendError::Full(NotDebug).to_string(),
+            "sending on a full channel"
+        );
+        assert_eq!(
+            SendError(NotDebug).to_string(),
+            "sending on a closed channel"
+        );
+        assert_eq!(
+            TryRecvError::Closed.to_string(),
+            "receiving on a closed and drained channel"
+        );
+        assert_eq!(
+            RecvError.to_string(),
+            "receiving on a closed and drained channel"
+        );
+        assert_eq!(
+            format!("{:?}", TrySendError::Closed(NotDebug)),
+            "Closed(..)"
+        );
+        assert_eq!(format!("{:?}", SendError(NotDebug)), "SendError(..)");
+    }
+
+    #[test]
+    fn recv_errors_are_plain_values() {
+        assert_eq!(TryRecvError::Empty, TryRecvError::Empty);
+        assert_ne!(TryRecvError::Empty, TryRecvError::Closed);
+        assert_eq!(RecvError, RecvError);
+    }
+}

@@ -55,11 +55,13 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
+pub mod channel;
 pub mod pack;
 pub mod scq;
 pub mod wcq;
 
 pub use api::{QueueHandle, WaitFreeQueue};
+pub use channel::{RecvError, SendError, TryRecvError, TrySendError};
 pub use pack::Layout;
 pub use scq::{ScqQueue, ScqRing};
 pub use wcq::{WcqConfig, WcqQueue, WcqRing};

@@ -298,7 +298,10 @@ mod tests {
                 let mut seen = vec![false; l.ring_size() as usize];
                 for pos in 0..l.ring_size() {
                     let r = l.remap(pos) as usize;
-                    assert!(!seen[r], "order {order} size {entry_size}: collision at {pos}");
+                    assert!(
+                        !seen[r],
+                        "order {order} size {entry_size}: collision at {pos}"
+                    );
                     seen[r] = true;
                 }
                 assert!(seen.iter().all(|&b| b));
@@ -351,7 +354,9 @@ mod tests {
             let max_cycle = (1u64 << (62 - l.cycle_shift())) - 1;
             for cycle in [0, 1, max_cycle - 1, max_cycle] {
                 for index in [0, 1, l.capacity() - 1, l.bottom(), l.bottom_c()] {
-                    for (is_safe, enq) in [(false, false), (true, false), (false, true), (true, true)] {
+                    for (is_safe, enq) in
+                        [(false, false), (true, false), (false, true), (true, true)]
+                    {
                         let e = l.unpack(l.pack(cycle, is_safe, enq, index));
                         assert_eq!(
                             (e.cycle, e.is_safe, e.enq, e.index),

@@ -145,8 +145,7 @@ impl ScqRing {
                 && l.is_reserved(e.index)
             {
                 let new = l.pack(l.cycle(t), true, true, index);
-                if self
-                    .entries[j]
+                if self.entries[j]
                     .compare_exchange(raw, new, SeqCst, SeqCst)
                     .is_err()
                 {

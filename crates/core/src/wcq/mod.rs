@@ -12,8 +12,8 @@
 //!   a data array (Figure 2).
 
 pub mod cells;
-pub mod record;
 mod queue;
+pub mod record;
 mod ring;
 
 pub use cells::{CellFamily, LlscFamily, NativeFamily};

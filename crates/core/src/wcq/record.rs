@@ -160,7 +160,11 @@ mod tests {
     #[test]
     fn phase2_snapshot_roundtrip() {
         let p = Phase2Rec::default();
-        assert_eq!(p.snapshot(), None, "initial seq1=1 != seq2=0 means no request");
+        assert_eq!(
+            p.snapshot(),
+            None,
+            "initial seq1=1 != seq2=0 means no request"
+        );
         p.prepare(3, true, 77);
         assert_eq!(p.snapshot(), Some((3, true, 77)));
         p.prepare(5, false, 99);

@@ -108,7 +108,10 @@ impl<F: CellFamily> WcqRing<F> {
     /// Creates an empty ring with an explicit configuration.
     pub fn with_config(order: u32, max_threads: usize, config: WcqConfig) -> Self {
         let layout = Layout::with_entry_size(order, 16);
-        assert!(max_threads >= 1, "at least one thread must be able to register");
+        assert!(
+            max_threads >= 1,
+            "at least one thread must be able to register"
+        );
         assert!(
             max_threads as u64 <= layout.capacity(),
             "the paper assumes k <= n (threads <= capacity)"
@@ -360,8 +363,7 @@ impl<F: CellFamily> WcqRing<F> {
                 helped = true;
             }
         }
-        rec.next_check
-            .store(self.config.help_delay.max(1), SeqCst);
+        rec.next_check.store(self.config.help_delay.max(1), SeqCst);
         rec.next_tid
             .store((target + 1) % self.records.len(), SeqCst);
         helped
@@ -902,7 +904,10 @@ mod tests {
             }
         });
 
-        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), producers as u64 * per_producer);
+        assert_eq!(
+            consumed.load(std::sync::atomic::Ordering::SeqCst),
+            producers as u64 * per_producer
+        );
         // Whatever remains in flight (none) — queue must now be empty.
         let mut h = r.register().unwrap();
         assert_eq!(h.dequeue(), None);

@@ -1,0 +1,338 @@
+//! Close-aware channel stress: the [`stress`](crate::stress) oracle's
+//! semantics, extended with the channel layer's shutdown guarantee.
+//!
+//! The channel endpoints (`wcq::channel`) promise more than the queue facade
+//! underneath them: after a close — explicit `close()` or the last sender
+//! dropping — **every value sent before the close is drained exactly once**
+//! before any receiver observes `Closed`, and every post-close send fails
+//! fast.  This module packages that claim as a seed-reproducible plan, the
+//! same shape as [`StressPlan`](crate::StressPlan):
+//!
+//! ```no_run
+//! use wcq::ChannelBackend;
+//! use wcq_harness::ChannelStressPlan;
+//! ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 0xC10_5E).assert_holds();
+//! ```
+//!
+//! Producers send a fixed per-producer quota through cloned [`Sender`]s and
+//! drop them; consumers `recv()` through cloned [`Receiver`]s until the
+//! channel reports closed-and-drained.  Depending on the seed, the close is
+//! either the organic last-sender-drop or an explicit `close()` by a
+//! coordinator that then proves post-close sends fail with `Closed`.  The
+//! oracle then checks no loss, no duplication, no invention and per-producer
+//! FIFO over the union of all observations — and, for the counting backends,
+//! that `is_empty_hint()` agrees the drained channel is empty.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use wcq::channel::{Receiver, Sender, TrySendError};
+use wcq::ChannelBackend;
+
+use crate::queues::HARNESS_SHARDS;
+use crate::rng::DetRng;
+use crate::stress::encode;
+
+/// A fully seed-derived close-semantics stress configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStressPlan {
+    /// The seed every other field was derived from.
+    pub seed: u64,
+    /// Queue shape behind the channel.  Sharded channels run with pinned
+    /// routing, the policy under which per-producer FIFO holds end to end
+    /// (the relaxed round-robin ordering is covered by the queue-level
+    /// [`StressPlan`](crate::StressPlan)).
+    pub backend: ChannelBackend,
+    /// Number of producer endpoints (≥ 1), each a `Sender` clone.
+    pub producers: usize,
+    /// Number of consumer endpoints (≥ 1), each a `Receiver` clone.
+    pub consumers: usize,
+    /// Values each producer sends before dropping its endpoint.
+    pub sends_per_producer: u64,
+    /// Capacity order of the backend (bounded: total capacity 2^order, so
+    /// producers really block on a full queue; unbounded: segment size).
+    pub capacity_order: u32,
+    /// `true`: a coordinator explicitly closes after the producers finish and
+    /// proves a post-close send fails; `false`: the close is the organic
+    /// last-sender-drop.
+    pub explicit_close: bool,
+}
+
+impl ChannelStressPlan {
+    /// Derives a complete plan from `seed`; the same `(backend, seed)` pair
+    /// always yields the same plan.
+    pub fn from_seed(backend: ChannelBackend, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed ^ 0xC1_05ED_C4A7);
+        Self {
+            seed,
+            backend,
+            producers: rng.range_inclusive(1, 3) as usize,
+            consumers: rng.range_inclusive(1, 3) as usize,
+            sends_per_producer: rng.range_inclusive(1_000, 4_000),
+            // Small enough that the bounded backend exercises real Full
+            // backpressure mid-run.
+            capacity_order: rng.range_inclusive(5, 7) as u32,
+            explicit_close: rng.chance(0.5),
+        }
+    }
+
+    /// Builds the channel pair this plan runs over.
+    fn make_channel(&self) -> (Sender<u64>, Receiver<u64>) {
+        let mut builder = wcq::builder()
+            .capacity_order(self.capacity_order)
+            // Endpoints register lazily, one slot each: producers + consumers
+            // + the coordinator's sender + a drained-state probe receiver.
+            .threads(self.producers + self.consumers + 2)
+            .backend(self.backend);
+        if self.backend == ChannelBackend::Sharded {
+            builder = builder
+                .shards(HARNESS_SHARDS)
+                .shard_policy(wcq::ShardPolicy::Pinned);
+        }
+        builder.build_channel::<u64>()
+    }
+
+    /// Executes the plan and gathers every observation.
+    pub fn run(&self) -> ChannelStressReport {
+        assert!(self.producers >= 1 && self.consumers >= 1);
+        let (tx, rx) = self.make_channel();
+        // Kept outside the worker set: answers `is_empty_hint` after the
+        // drain without re-opening the channel (receivers never hold it open).
+        let hint_probe = rx.clone();
+
+        let observations = Mutex::new(Vec::<Vec<u64>>::new());
+        let mut post_close_send_failed = None;
+
+        std::thread::scope(|s| {
+            let mut producer_joins = Vec::new();
+            for wid in 0..self.producers {
+                let mut tx = tx.clone();
+                let quota = self.sends_per_producer;
+                producer_joins.push(s.spawn(move || {
+                    for seq in 1..=quota {
+                        tx.send(encode(wid, seq))
+                            .expect("channel closed before the pre-close quota was sent");
+                    }
+                    // `tx` drops here; in the last-drop mode the final
+                    // producer's drop is what closes the channel.
+                }));
+            }
+            for _ in 0..self.consumers {
+                let mut rx = rx.clone();
+                let observations = &observations;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    // Blocking recv until closed *and* drained — the
+                    // channel's own definition of the end of the stream.
+                    while let Ok(value) = rx.recv() {
+                        local.push(value);
+                    }
+                    observations.lock().unwrap().push(local);
+                });
+            }
+            // The coordinator holds the original `tx`, keeping the channel
+            // open until every producer finished its quota.
+            for join in producer_joins {
+                join.join().expect("producer panicked");
+            }
+            let mut tx = tx;
+            if self.explicit_close {
+                tx.close();
+                post_close_send_failed = Some(matches!(
+                    tx.try_send(u64::MAX),
+                    Err(TrySendError::Closed(_))
+                ));
+            }
+            drop(tx); // last sender: closes organically in the drop mode
+            drop(rx);
+        });
+
+        let empty_hint_after_drain = match self.backend {
+            // Bounded wCQ's hint is derived from the data ring's tail−head
+            // distance, which slow-path retries inflate — sound as a
+            // scheduling hint (wrong only toward "non-empty"), but not a
+            // drain oracle, so the post-drain equality is only asserted for
+            // the unbounded kinds' maintained counters.
+            ChannelBackend::Bounded => None,
+            ChannelBackend::Unbounded | ChannelBackend::Sharded => Some(hint_probe.is_empty_hint()),
+        };
+
+        ChannelStressReport {
+            plan: self.clone(),
+            sent_per_producer: (0..self.producers)
+                .map(|wid| (wid, self.sends_per_producer))
+                .collect(),
+            observations: observations.into_inner().unwrap(),
+            post_close_send_failed,
+            empty_hint_after_drain,
+        }
+    }
+
+    /// Runs the plan and panics (with the seed in the message) unless every
+    /// oracle check passes.
+    pub fn assert_holds(&self) {
+        if let Err(violation) = self.run().verify() {
+            panic!(
+                "channel close oracle violated for {:?} (replay with \
+                 ChannelStressPlan::from_seed({:?}, {:#x})): {violation}\nplan: {self:?}",
+                self.backend, self.backend, self.seed
+            );
+        }
+    }
+}
+
+/// Everything a [`ChannelStressPlan::run`] observed.
+#[derive(Debug)]
+pub struct ChannelStressReport {
+    /// The plan that produced this report.
+    pub plan: ChannelStressPlan,
+    /// producer id → values that producer sent (all sends pre-close).
+    pub sent_per_producer: HashMap<usize, u64>,
+    /// Per-consumer observation sequences, in local order.
+    pub observations: Vec<Vec<u64>>,
+    /// Outcome of the coordinator's post-close send probe:
+    /// `Some(true)` = failed with `Closed` as required, `Some(false)` = was
+    /// accepted (a bug), `None` = plan used the last-drop close (no sender
+    /// left to probe with).
+    pub post_close_send_failed: Option<bool>,
+    /// `is_empty_hint()` observed after the full drain, for the counting
+    /// backends (`None` for the bounded backend, whose facade hint is the
+    /// conservative `false`).
+    pub empty_hint_after_drain: Option<bool>,
+}
+
+impl ChannelStressReport {
+    /// Runs the close-semantics oracle: exact drain (no loss / duplication /
+    /// invention), per-producer FIFO per observer, post-close sends rejected,
+    /// and a truthful emptiness hint after the drain.
+    pub fn verify(&self) -> Result<(), String> {
+        let expected: u64 = self.sent_per_producer.values().sum();
+        let got: u64 = self.observations.iter().map(|o| o.len() as u64).sum();
+        if got != expected {
+            return Err(format!(
+                "close drain violated: {expected} values sent pre-close but {got} received"
+            ));
+        }
+        // The per-observation half — invention / duplication / per-producer
+        // FIFO — is the queue-level oracle, shared verbatim; channel plans
+        // always pin sharded routing, so the FIFO clause always applies.
+        crate::stress::verify_observations(&self.sent_per_producer, &self.observations, true)?;
+        if self.post_close_send_failed == Some(false) {
+            return Err("a post-close send was accepted instead of failing Closed".into());
+        }
+        if self.empty_hint_after_drain == Some(false) {
+            return Err(
+                "is_empty_hint() returned false after a verified full drain \
+                 (the approximate length counter drifted)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Every channel backend, in a stable order — the set the close-semantics
+/// integration tests sweep.
+pub fn all_channel_backends() -> Vec<ChannelBackend> {
+    vec![
+        ChannelBackend::Bounded,
+        ChannelBackend::Unbounded,
+        ChannelBackend::Sharded,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn plans_are_reproducible_and_vary_with_the_seed() {
+        for backend in all_channel_backends() {
+            let a = ChannelStressPlan::from_seed(backend, 11);
+            let b = ChannelStressPlan::from_seed(backend, 11);
+            assert_eq!(a, b);
+        }
+        let shapes: HashSet<_> = (0..16u64)
+            .map(|s| {
+                let p = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, s);
+                (
+                    p.producers,
+                    p.consumers,
+                    p.sends_per_producer,
+                    p.explicit_close,
+                )
+            })
+            .collect();
+        assert!(shapes.len() > 1, "seeds must vary the plan shape");
+    }
+
+    #[test]
+    fn oracle_catches_a_lost_pre_close_value() {
+        let plan = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 3);
+        let report = ChannelStressReport {
+            plan,
+            sent_per_producer: HashMap::from([(0, 2)]),
+            observations: vec![vec![encode(0, 1)]],
+            post_close_send_failed: None,
+            empty_hint_after_drain: Some(true),
+        };
+        assert!(report.verify().unwrap_err().contains("drain violated"));
+    }
+
+    #[test]
+    fn oracle_catches_an_accepted_post_close_send() {
+        let plan = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 3);
+        let report = ChannelStressReport {
+            plan,
+            sent_per_producer: HashMap::from([(0, 1)]),
+            observations: vec![vec![encode(0, 1)]],
+            post_close_send_failed: Some(false),
+            empty_hint_after_drain: Some(true),
+        };
+        assert!(report.verify().unwrap_err().contains("post-close"));
+    }
+
+    #[test]
+    fn oracle_catches_a_drifted_empty_hint() {
+        let plan = ChannelStressPlan::from_seed(ChannelBackend::Sharded, 3);
+        let report = ChannelStressReport {
+            plan,
+            sent_per_producer: HashMap::from([(0, 1)]),
+            observations: vec![vec![encode(0, 1)]],
+            post_close_send_failed: Some(true),
+            empty_hint_after_drain: Some(false),
+        };
+        assert!(report.verify().unwrap_err().contains("is_empty_hint"));
+    }
+
+    #[test]
+    fn oracle_catches_fifo_and_duplication() {
+        let plan = ChannelStressPlan::from_seed(ChannelBackend::Bounded, 3);
+        let reordered = ChannelStressReport {
+            plan: plan.clone(),
+            sent_per_producer: HashMap::from([(0, 2)]),
+            observations: vec![vec![encode(0, 2), encode(0, 1)]],
+            post_close_send_failed: None,
+            empty_hint_after_drain: None,
+        };
+        assert!(reordered.verify().unwrap_err().contains("FIFO"));
+        let duplicated = ChannelStressReport {
+            plan,
+            sent_per_producer: HashMap::from([(0, 2)]),
+            observations: vec![vec![encode(0, 1)], vec![encode(0, 1)]],
+            post_close_send_failed: None,
+            empty_hint_after_drain: None,
+        };
+        assert!(duplicated.verify().unwrap_err().contains("duplicated"));
+    }
+
+    #[test]
+    fn smoke_run_one_backend() {
+        // A tiny end-to-end run; the full backend sweep lives in
+        // `tests/channel.rs`.
+        let mut plan = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 7);
+        plan.sends_per_producer = 300;
+        plan.assert_holds();
+    }
+}

@@ -28,6 +28,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod channel_stress;
+pub mod exec;
 pub mod memtrack;
 pub mod queues;
 pub mod report;
@@ -36,11 +38,13 @@ pub mod stats;
 pub mod stress;
 pub mod workload;
 
+pub use channel_stress::{all_channel_backends, ChannelStressPlan, ChannelStressReport};
+pub use exec::{block_on, block_on_counted, PollStats};
 pub use queues::{
-    make_queue, make_queue_configured, make_queue_with_policy, QueueHandle, QueueKind,
-    ShardPolicy, WaitFreeQueue, HARNESS_SHARDS,
+    make_queue, make_queue_configured, make_queue_with_policy, QueueHandle, QueueKind, ShardPolicy,
+    WaitFreeQueue, HARNESS_SHARDS,
 };
 pub use rng::DetRng;
 pub use stress::{all_real_queues, StressPlan, StressReport};
-pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};
 pub use wcq_core::wcq::WcqConfig;
+pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};

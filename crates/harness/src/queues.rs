@@ -192,7 +192,13 @@ pub fn make_queue_configured(
     ring_order: u32,
     wcq_config: Option<WcqConfig>,
 ) -> Box<dyn WaitFreeQueue<u64>> {
-    make_queue_with_policy(kind, max_threads, ring_order, wcq_config, ShardPolicy::Pinned)
+    make_queue_with_policy(
+        kind,
+        max_threads,
+        ring_order,
+        wcq_config,
+        ShardPolicy::Pinned,
+    )
 }
 
 /// The fully explicit construction path: like [`make_queue_configured`] with
@@ -304,7 +310,10 @@ mod tests {
         let x86: Vec<_> = QueueKind::x86_set().iter().map(|k| k.name()).collect();
         assert!(x86.contains(&"LCRQ"));
         let ppc: Vec<_> = QueueKind::powerpc_set().iter().map(|k| k.name()).collect();
-        assert!(!ppc.contains(&"LCRQ"), "LCRQ needs CAS2 and is absent on PowerPC");
+        assert!(
+            !ppc.contains(&"LCRQ"),
+            "LCRQ needs CAS2 and is absent on PowerPC"
+        );
         assert!(ppc.contains(&"wCQ (LL/SC)"));
         assert_eq!(QueueKind::all().len(), 13);
     }

@@ -156,7 +156,10 @@ mod tests {
         let json = t.render_json();
         assert!(json.contains("\"title\": \"Fig \\\"X\\\"\""), "{json}");
         assert!(json.contains("\"unit\": \"Mops/s\""));
-        assert!(json.contains("\"wCQ\": {\"1\": 10.5000, \"2\": 9.2500}"), "{json}");
+        assert!(
+            json.contains("\"wCQ\": {\"1\": 10.5000, \"2\": 9.2500}"),
+            "{json}"
+        );
         assert!(json.contains("\"SCQ\": {\"1\": 11.0000}"), "{json}");
         // Missing cells are omitted, not emitted as null.
         assert!(!json.contains("null"));

@@ -32,7 +32,11 @@ pub fn summarize(samples: &[f64]) -> Summary {
     Summary {
         mean,
         std_dev,
-        cv: if mean.abs() > f64::EPSILON { std_dev / mean } else { 0.0 },
+        cv: if mean.abs() > f64::EPSILON {
+            std_dev / mean
+        } else {
+            0.0
+        },
         min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
         max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
     }

@@ -59,13 +59,13 @@ const SEQ_BITS: u32 = 40;
 const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
 
 #[inline]
-fn encode(worker: usize, seq: u64) -> u64 {
+pub(crate) fn encode(worker: usize, seq: u64) -> u64 {
     debug_assert!(seq <= SEQ_MASK);
     ((worker as u64) << SEQ_BITS) | seq
 }
 
 #[inline]
-fn decode(value: u64) -> (usize, u64) {
+pub(crate) fn decode(value: u64) -> (usize, u64) {
     ((value >> SEQ_BITS) as usize, value & SEQ_MASK)
 }
 
@@ -288,10 +288,17 @@ impl StressPlan {
         }
         drop(_llsc_guard);
 
+        // The consumers only exit once every enqueued value was dequeued, so
+        // the queue is empty here; for the kinds that keep an approximate
+        // length counter, record whether the hint agrees (the oracle rejects
+        // a counter that drifted from the real count).
+        let empty_hint_after_drain = self.kind.has_len_hint().then(|| queue.is_empty_hint());
+
         StressReport {
             plan: self.clone(),
             enqueue_counts: enqueue_counts.into_inner().unwrap(),
             observations: observations.into_inner().unwrap(),
+            empty_hint_after_drain,
         }
     }
 
@@ -316,6 +323,10 @@ pub struct StressReport {
     pub enqueue_counts: HashMap<usize, u64>,
     /// Per-observer-thread dequeue sequences, in local observation order.
     pub observations: Vec<Vec<u64>>,
+    /// `is_empty_hint()` observed after the verified full drain, for the
+    /// counting kinds ([`QueueKind::has_len_hint`]); `None` for kinds whose
+    /// hint is the conservative `false` default.
+    pub empty_hint_after_drain: Option<bool>,
 }
 
 impl StressReport {
@@ -345,41 +356,68 @@ impl StressReport {
                 "loss or over-consumption: {expected} values enqueued but {got} dequeued"
             ));
         }
-        let mut seen = HashSet::with_capacity(got as usize);
-        for observation in &self.observations {
-            let mut last_seq = HashMap::<usize, u64>::new();
-            for &value in observation {
-                let (worker, seq) = decode(value);
-                match self.enqueue_counts.get(&worker) {
-                    None => {
-                        return Err(format!(
-                            "invented value {value:#x}: worker {worker} never enqueued"
-                        ))
-                    }
-                    Some(&count) if seq == 0 || seq > count => {
-                        return Err(format!(
-                            "invented value {value:#x}: worker {worker} enqueued only {count} values (got seq {seq})"
-                        ))
-                    }
-                    Some(_) => {}
-                }
-                if !seen.insert(value) {
-                    return Err(format!("duplicated value {value:#x}"));
-                }
-                if check_fifo {
-                    let last = last_seq.entry(worker).or_insert(0);
-                    if seq <= *last {
-                        return Err(format!(
-                            "per-producer FIFO violated: worker {worker} seq {seq} observed after {last:?}",
-                            last = *last
-                        ));
-                    }
-                    *last = seq;
-                }
-            }
+        verify_observations(&self.enqueue_counts, &self.observations, check_fifo)?;
+        // With the exact-count check above passed, the queue was fully
+        // drained — a counting kind whose hint still says "non-empty" has a
+        // drifted length counter.
+        if self.empty_hint_after_drain == Some(false) {
+            return Err(
+                "is_empty_hint() returned false after a verified full drain \
+                 (the approximate length counter drifted from the real count)"
+                    .into(),
+            );
         }
         Ok(())
     }
+}
+
+/// The per-observation half of the oracle, shared by [`StressReport::verify`]
+/// and the channel-layer `ChannelStressReport::verify`: no invention (every
+/// value decodes to a real `(worker, seq)` enqueue), no duplication across
+/// the union of all observations, and — when `check_fifo` — strictly
+/// increasing per-producer sequence order within each observer.  The
+/// count-balance check stays with the callers, whose "loss" wording differs
+/// (queue drain vs. channel close drain).
+pub(crate) fn verify_observations(
+    enqueue_counts: &HashMap<usize, u64>,
+    observations: &[Vec<u64>],
+    check_fifo: bool,
+) -> Result<(), String> {
+    let total: usize = observations.iter().map(Vec::len).sum();
+    let mut seen = HashSet::with_capacity(total);
+    for observation in observations {
+        let mut last_seq = HashMap::<usize, u64>::new();
+        for &value in observation {
+            let (worker, seq) = decode(value);
+            match enqueue_counts.get(&worker) {
+                None => {
+                    return Err(format!(
+                        "invented value {value:#x}: worker {worker} never enqueued"
+                    ))
+                }
+                Some(&count) if seq == 0 || seq > count => {
+                    return Err(format!(
+                        "invented value {value:#x}: worker {worker} enqueued only {count} values (got seq {seq})"
+                    ))
+                }
+                Some(_) => {}
+            }
+            if !seen.insert(value) {
+                return Err(format!("duplicated value {value:#x}"));
+            }
+            if check_fifo {
+                let last = last_seq.entry(worker).or_insert(0);
+                if seq <= *last {
+                    return Err(format!(
+                        "per-producer FIFO violated: worker {worker} seq {seq} observed after {last:?}",
+                        last = *last
+                    ));
+                }
+                *last = seq;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The real queue algorithms (everything except FAA), in a stable order —
@@ -451,6 +489,7 @@ mod tests {
             plan,
             enqueue_counts: HashMap::from([(0, 2)]),
             observations: vec![vec![encode(0, 1)]],
+            empty_hint_after_drain: None,
         };
         assert!(report.verify().unwrap_err().contains("loss"));
     }
@@ -462,6 +501,7 @@ mod tests {
             plan,
             enqueue_counts: HashMap::from([(0, 1)]),
             observations: vec![vec![encode(0, 1)], vec![encode(0, 1)]],
+            empty_hint_after_drain: None,
         };
         // Counts mismatch fires first unless we claim two enqueues; build the
         // precise duplicate case instead.
@@ -479,6 +519,7 @@ mod tests {
             plan,
             enqueue_counts: HashMap::from([(0, 2)]),
             observations: vec![vec![encode(0, 2), encode(0, 1)]],
+            empty_hint_after_drain: None,
         };
         assert!(report.verify().unwrap_err().contains("FIFO"));
     }
@@ -501,6 +542,7 @@ mod tests {
             plan: plan.clone(),
             enqueue_counts: HashMap::from([(0, 2)]),
             observations: vec![vec![encode(0, 2), encode(0, 1)]],
+            empty_hint_after_drain: None,
         };
         reordered
             .verify()
@@ -511,12 +553,14 @@ mod tests {
             plan: pinned,
             enqueue_counts: HashMap::from([(0, 2)]),
             observations: vec![vec![encode(0, 2), encode(0, 1)]],
+            empty_hint_after_drain: None,
         };
         assert!(rejected.verify().unwrap_err().contains("FIFO"));
         let lossy = StressReport {
             plan,
             enqueue_counts: HashMap::from([(0, 3)]),
             observations: vec![vec![encode(0, 2), encode(0, 1)]],
+            empty_hint_after_drain: None,
         };
         assert!(lossy.verify().unwrap_err().contains("loss"));
     }
@@ -528,6 +572,7 @@ mod tests {
             plan,
             enqueue_counts: HashMap::from([(0, 1)]),
             observations: vec![vec![encode(9, 1)]],
+            empty_hint_after_drain: None,
         };
         assert!(report.verify().unwrap_err().contains("invented"));
     }

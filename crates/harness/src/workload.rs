@@ -207,7 +207,12 @@ mod tests {
 
     #[test]
     fn empty_dequeue_workload_runs_for_all_kinds() {
-        for kind in [QueueKind::Wcq, QueueKind::Scq, QueueKind::MsQueue, QueueKind::Faa] {
+        for kind in [
+            QueueKind::Wcq,
+            QueueKind::Scq,
+            QueueKind::MsQueue,
+            QueueKind::Faa,
+        ] {
             let q = make_queue(kind, 2, 8);
             let res = run_workload(q.as_ref(), Workload::EmptyDequeue, &small_cfg(1));
             assert!(res.mops.mean > 0.0, "kind {:?}", kind);

@@ -106,7 +106,10 @@ impl HazardDomain {
     /// owning `hazards_per_thread` hazard slots.
     pub fn new(max_threads: usize, hazards_per_thread: usize) -> Self {
         assert!(max_threads > 0, "need at least one participant");
-        assert!(hazards_per_thread > 0, "need at least one hazard per thread");
+        assert!(
+            hazards_per_thread > 0,
+            "need at least one hazard per thread"
+        );
         let total = max_threads * hazards_per_thread;
         let slots = (0..total)
             .map(|_| CachePadded::new(AtomicPtr::new(std::ptr::null_mut())))
@@ -443,11 +446,19 @@ mod tests {
         shared.store(std::ptr::null_mut(), Ordering::SeqCst);
         unsafe { owner.retire(p) };
         owner.flush();
-        assert_eq!(live.load(Ordering::SeqCst), 1, "protected node must survive");
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            1,
+            "protected node must survive"
+        );
 
         reader.clear();
         owner.flush();
-        assert_eq!(live.load(Ordering::SeqCst), 0, "freed after protection cleared");
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "freed after protection cleared"
+        );
     }
 
     #[test]
@@ -529,6 +540,10 @@ mod tests {
         unsafe { drop(Box::from_raw(last)) };
         drop(shared);
         drop(dom);
-        assert_eq!(live.load(Ordering::SeqCst), 0, "every node reclaimed exactly once");
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "every node reclaimed exactly once"
+        );
     }
 }

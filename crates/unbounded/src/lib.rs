@@ -69,5 +69,7 @@ mod queue;
 mod segment;
 mod shard;
 
-pub use queue::{CacheStats, SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
+pub use queue::{
+    CacheStats, SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE,
+};
 pub use shard::{ShardPolicy, ShardedWcq, ShardedWcqHandle};

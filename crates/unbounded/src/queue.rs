@@ -667,9 +667,12 @@ mod tests {
             );
         }
         let stats = q.segment_stats();
-        assert!(stats.reused_total > 0, "later bursts must reuse cached segments: {stats:?}");
         assert!(
-            stats.allocated_total < 4 * (64 / 8) ,
+            stats.reused_total > 0,
+            "later bursts must reuse cached segments: {stats:?}"
+        );
+        assert!(
+            stats.allocated_total < 4 * (64 / 8),
             "the cache must cap allocations across rounds: {stats:?}"
         );
     }

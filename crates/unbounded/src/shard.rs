@@ -554,7 +554,10 @@ mod tests {
             h.enqueue(i); // 30 values per 8-slot-segment shard: growth everywhere
         }
         let stats = q.segment_stats();
-        assert!(stats.live >= 3, "every shard keeps at least one live segment");
+        assert!(
+            stats.live >= 3,
+            "every shard keeps at least one live segment"
+        );
         assert_eq!(
             stats.live,
             q.shards().iter().map(|s| s.segments_live()).sum::<usize>()

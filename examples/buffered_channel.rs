@@ -1,151 +1,86 @@
-//! A Go-style buffered channel built on wCQ.
+//! A Go-style buffered-channel pipeline on the wCQ channel endpoints.
 //!
 //! The paper's introduction points at language runtimes: "Go needs a queue
-//! for its buffered channel implementation".  This example wraps `WcqQueue`
-//! in a minimal buffered-channel API (`send` blocks while the buffer is full,
-//! `recv` blocks while it is empty, `close` wakes all receivers) and runs a
-//! pipeline of three stages connected by two channels.
+//! for its buffered channel implementation".  Earlier revisions of this
+//! example hand-rolled the channel (closed flag, backoff loops, scoped
+//! threads); since ISSUE 5 the library ships it: `build_channel()` over the
+//! bounded wCQ *is* a buffered channel — `send` blocks while the buffer is
+//! full, `recv` blocks while it is empty, dropping the last `Sender` closes,
+//! and receivers drain every pre-close value before observing the closure.
 //!
-//! Waiting uses the bounded exponential `Backoff` from `wcq-atomics` — spin
-//! briefly with growing delays to ride out short full/empty windows, then
-//! fall back to `yield_now` so a stalled peer still gets the CPU.
+//! The pipeline below is the classic three-stage shape: a generator feeds two
+//! parallel squarers over one channel, the squarers feed an accumulator over
+//! a second one.  Every endpoint is `Send`, so the stages are plain
+//! `thread::spawn`s — no scopes, no `Arc`, no manual registration.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example buffered_channel
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
-use wcq::atomics::Backoff;
-use wcq::{WcqQueue, WcqQueueHandle};
-
-/// A bounded, wait-free buffered channel.
-struct Channel<T> {
-    queue: WcqQueue<T>,
-    closed: AtomicBool,
-}
-
-impl<T> Channel<T> {
-    /// A channel buffering up to `2^order` elements for `max_threads` users.
-    fn new(order: u32, max_threads: usize) -> Self {
-        Self {
-            queue: wcq::builder()
-                .capacity_order(order)
-                .threads(max_threads)
-                .build_bounded(),
-            closed: AtomicBool::new(false),
-        }
-    }
-
-    fn attach(&self) -> Endpoint<'_, T> {
-        Endpoint {
-            channel: self,
-            handle: self.queue.register().expect("registration slot available"),
-        }
-    }
-
-    fn close(&self) {
-        self.closed.store(true, Ordering::SeqCst);
-    }
-}
-
-/// A per-thread endpoint (sender and/or receiver).
-struct Endpoint<'c, T> {
-    channel: &'c Channel<T>,
-    handle: WcqQueueHandle<'c, T>,
-}
-
-impl<'c, T> Endpoint<'c, T> {
-    /// Sends a value, waiting while the buffer is full.  Returns `Err` if the
-    /// channel is closed.
-    fn send(&mut self, value: T) -> Result<(), T> {
-        let mut item = value;
-        let mut backoff = Backoff::new();
-        loop {
-            if self.channel.closed.load(Ordering::SeqCst) {
-                return Err(item);
-            }
-            match self.handle.enqueue(item) {
-                Ok(()) => return Ok(()),
-                Err(back) => {
-                    item = back;
-                    backoff.snooze_or_yield();
-                }
-            }
-        }
-    }
-
-    /// Receives a value, waiting while the buffer is empty.  Returns `None`
-    /// once the channel is closed *and* drained.
-    fn recv(&mut self) -> Option<T> {
-        let mut backoff = Backoff::new();
-        loop {
-            if let Some(v) = self.handle.dequeue() {
-                return Some(v);
-            }
-            if self.channel.closed.load(Ordering::SeqCst) {
-                // One more look to avoid racing with a send-then-close.
-                return self.handle.dequeue();
-            }
-            backoff.snooze_or_yield();
-        }
-    }
-}
+use wcq::channel::{Receiver, Sender};
+use wcq::ChannelBackend;
 
 const ITEMS: u64 = 200_000;
 
+/// A bounded channel buffering up to `2^order` elements for `endpoints`
+/// concurrently live senders + receivers.
+fn buffered<T: Send + 'static>(order: u32, endpoints: usize) -> (Sender<T>, Receiver<T>) {
+    wcq::builder()
+        .capacity_order(order)
+        .threads(endpoints)
+        .backend(ChannelBackend::Bounded)
+        .build_channel::<T>()
+}
+
 fn main() {
     // Stage 1 -> Stage 2 -> Stage 3 pipeline, Go-style.
-    let raw: Channel<u64> = Channel::new(8, 4);
-    let squared: Channel<u64> = Channel::new(8, 4);
+    let (raw_tx, raw_rx) = buffered::<u64>(8, 4);
+    let (sq_tx, mut sq_rx) = buffered::<u64>(8, 4);
 
-    std::thread::scope(|s| {
-        // Stage 1: generator.
-        let raw_ref = &raw;
-        s.spawn(move || {
-            let mut tx = raw_ref.attach();
-            for i in 0..ITEMS {
-                tx.send(i).expect("channel closed early");
-            }
-            raw_ref.close();
-        });
-
-        // Stage 2: squarer (two parallel workers).
-        for _ in 0..2 {
-            let raw_ref = &raw;
-            let squared_ref = &squared;
-            s.spawn(move || {
-                let mut rx = raw_ref.attach();
-                let mut tx = squared_ref.attach();
-                while let Some(v) = rx.recv() {
-                    tx.send(v.wrapping_mul(v)).expect("downstream closed early");
-                }
-            });
+    // Stage 1: generator.  Dropping the sender at the end of the thread
+    // closes the raw channel once both squarers drained it.
+    let generator = std::thread::spawn(move || {
+        let mut tx = raw_tx;
+        for i in 0..ITEMS {
+            tx.send(i).expect("squarers alive");
         }
-
-        // Stage 3: accumulator.  It knows how many items to expect, then the
-        // squared channel gets closed by main after the scope joins stage 2.
-        let squared_ref = &squared;
-        s.spawn(move || {
-            let mut rx = squared_ref.attach();
-            let mut count = 0u64;
-            let mut checksum = 0u64;
-            while count < ITEMS {
-                if let Some(v) = rx.recv() {
-                    checksum = checksum.wrapping_add(v);
-                    count += 1;
-                }
-            }
-            let expected: u64 = (0..ITEMS).fold(0u64, |acc, i| acc.wrapping_add(i.wrapping_mul(i)));
-            assert_eq!(checksum, expected, "pipeline lost or duplicated items");
-            println!("pipeline moved {count} items, checksum OK ({checksum:#x})");
-        });
     });
 
-    println!(
-        "channel buffers: raw {} KiB, squared {} KiB",
-        raw.queue.memory_footprint() / 1024,
-        squared.queue.memory_footprint() / 1024
-    );
+    // Stage 2: two parallel squarers, each with cloned endpoints.
+    let squarers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut rx = raw_rx.clone();
+            let mut tx = sq_tx.clone();
+            std::thread::spawn(move || {
+                // The receiving iterator ends at close-and-drained.
+                for v in &mut rx {
+                    tx.send(v.wrapping_mul(v)).expect("accumulator alive");
+                }
+            })
+        })
+        .collect();
+    // The stages own their clones; dropping the originals here arms the
+    // close-on-last-drop for both channels.
+    drop(raw_rx);
+    drop(sq_tx);
+
+    // Stage 3: accumulator (this thread).  No expected count needed — the
+    // squared channel closes exactly when both squarers finish.
+    let mut count = 0u64;
+    let mut checksum = 0u64;
+    for v in &mut sq_rx {
+        checksum = checksum.wrapping_add(v);
+        count += 1;
+    }
+
+    generator.join().unwrap();
+    for s in squarers {
+        s.join().unwrap();
+    }
+
+    let expected: u64 = (0..ITEMS).fold(0u64, |acc, i| acc.wrapping_add(i.wrapping_mul(i)));
+    assert_eq!(count, ITEMS, "pipeline lost or duplicated items");
+    assert_eq!(checksum, expected, "pipeline corrupted items");
+    println!("pipeline moved {count} items, checksum OK ({checksum:#x})");
 }

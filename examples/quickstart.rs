@@ -51,7 +51,11 @@ fn main() {
                     None => std::thread::yield_now(),
                 }
             }
-            assert_eq!(sum, ITEMS * (ITEMS - 1) / 2, "no element lost or duplicated");
+            assert_eq!(
+                sum,
+                ITEMS * (ITEMS - 1) / 2,
+                "no element lost or duplicated"
+            );
             let (aq, fq) = handle.stats();
             println!("consumer done: {received} items, checksum OK");
             println!(

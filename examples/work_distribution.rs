@@ -74,7 +74,10 @@ fn main() {
                 let mut h = tasks.handle();
                 for i in 0..TASKS_PER_PRODUCER {
                     let id = p * TASKS_PER_PRODUCER + i;
-                    h.enqueue(Task { id, n: 1_000_003 + id * 7 });
+                    h.enqueue(Task {
+                        id,
+                        n: 1_000_003 + id * 7,
+                    });
                 }
             });
         }

@@ -1,0 +1,363 @@
+//! Async channel endpoints: [`AsyncSender`]/[`AsyncReceiver`] over any
+//! [`WaitFreeQueue`](crate::WaitFreeQueue) backend.
+//!
+//! The queue algorithms never block — wLSCQ in particular has no full state
+//! at all — which makes them a natural base for an async MPMC channel: the
+//! only thing the async layer adds is *parking*.  A receiver that observes an
+//! empty channel parks its task waker in a per-endpoint slot of the shared
+//! channel core's waker registry;
+//! every successful send wakes **one** parked receiver, a close wakes **all**
+//! of them, and (symmetrically, for the bounded backend) every successful
+//! receive wakes one sender parked on a full queue.  No thread ever spins
+//! inside the executor: a future returns `Pending` only after re-checking
+//! the queue *with its waker already parked*, so a wake can never be lost.
+//!
+//! The park decision is gated by
+//! [`is_empty_hint`](crate::WaitFreeQueue::is_empty_hint) (the counting
+//! backends' approximate length): while the hint says values are present —
+//! they may sit in another shard moments from being stolen — the receiver
+//! retries the dequeue instead of paying the park/re-check round trip.
+//!
+//! No executor is required or shipped: the futures are ordinary
+//! [`std::future::Future`]s driven by any runtime; this repo's tests and
+//! benches use the dependency-free `wcq_harness::exec::block_on` shim.
+//!
+//! ```
+//! let (tx, rx) = wcq::builder().threads(4).build_async::<u64>();
+//! let (mut tx, mut rx) = (tx, rx);
+//! wcq_harness::exec::block_on(async move {
+//!     tx.send(7).await.unwrap();
+//!     assert_eq!(rx.recv().await, Ok(7));
+//!     tx.close();
+//!     assert!(rx.recv().await.is_err(), "closed and drained");
+//! });
+//! ```
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+
+// --------------------------------------------------------------------------
+// AsyncSender
+// --------------------------------------------------------------------------
+
+/// The producing endpoint of a channel built by
+/// [`build_async`](crate::QueueBuilder::build_async).
+///
+/// Wraps a [`Sender`] (same close semantics, same typed errors) and adds a
+/// parked-waker slot so [`send`](AsyncSender::send) on a full *bounded*
+/// backend suspends the task instead of spinning; a receive or a close wakes
+/// it.  Unbounded and sharded backends never report full, so their send
+/// futures complete on first poll.
+pub struct AsyncSender<T: Send + 'static> {
+    inner: Sender<T>,
+    waker_id: u64,
+}
+
+impl<T: Send + 'static> AsyncSender<T> {
+    /// Sends `value`, suspending while a bounded backend is full.  Resolves
+    /// with the value back inside [`SendError`] if the channel closes first.
+    pub fn send(&mut self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            tx: self,
+            value: Some(value),
+            parked: false,
+        }
+    }
+
+    /// Non-blocking send; identical to [`Sender::try_send`].
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(value)
+    }
+
+    /// Closes the channel (see [`Sender::close`]); wakes every parked task.
+    pub fn close(&self) -> bool {
+        self.inner.close()
+    }
+
+    /// `true` once the channel is closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+
+    /// Display name of the backend queue.
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    /// Strips the async layer, keeping the registered endpoint.
+    pub fn into_sync(self) -> Sender<T> {
+        // Clone-then-drop keeps the sender count ≥ 1 throughout, so the
+        // conversion can never be the "last drop" that closes the channel.
+        let sync = self.inner.clone();
+        drop(self);
+        sync
+    }
+}
+
+impl<T: Send + 'static> From<Sender<T>> for AsyncSender<T> {
+    fn from(inner: Sender<T>) -> Self {
+        let waker_id = inner.core.send_wakers.attach();
+        Self { inner, waker_id }
+    }
+}
+
+impl<T: Send + 'static> Clone for AsyncSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.clone().into()
+    }
+}
+
+impl<T: Send + 'static> Drop for AsyncSender<T> {
+    fn drop(&mut self) {
+        self.inner.core.send_wakers.detach(self.waker_id);
+        // `inner` drops next; the last sender drop closes the channel.
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for AsyncSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncSender")
+            .field("backend", &self.backend_name())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+/// Future of [`AsyncSender::send`].
+#[must_use = "futures do nothing unless polled"]
+pub struct SendFuture<'a, T: Send + 'static> {
+    tx: &'a mut AsyncSender<T>,
+    /// The value still to be sent; taken on completion.
+    value: Option<T>,
+    /// Whether the last poll returned `Pending` with the waker parked — the
+    /// drop impl uses it to tell a consumed notification from a clean slot.
+    parked: bool,
+}
+
+// No field is structurally pinned (`poll` only ever takes plain `&mut` to
+// them), so the future is `Unpin` regardless of `T`.
+impl<T: Send + 'static> Unpin for SendFuture<'_, T> {}
+
+impl<T: Send + 'static> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut(); // SendFuture is Unpin
+        let value = this
+            .value
+            .take()
+            .expect("SendFuture polled after completion");
+        let value = match this.tx.inner.try_send(value) {
+            Ok(()) => return Poll::Ready(this.complete(Ok(()))),
+            Err(TrySendError::Closed(v)) => return Poll::Ready(this.complete(Err(SendError(v)))),
+            Err(TrySendError::Full(v)) => v,
+        };
+        // Full: park, then retry once with the waker in place — a dequeue
+        // that raced between the attempt above and the park has already
+        // consumed its notification, so only this re-check can see it.
+        this.tx
+            .inner
+            .core
+            .send_wakers
+            .park(this.tx.waker_id, cx.waker());
+        this.parked = true;
+        match this.tx.inner.try_send(value) {
+            Ok(()) => Poll::Ready(this.complete(Ok(()))),
+            Err(TrySendError::Closed(v)) => Poll::Ready(this.complete(Err(SendError(v)))),
+            Err(TrySendError::Full(v)) => {
+                this.value = Some(v);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> SendFuture<'_, T> {
+    /// Completion bookkeeping: clear any waker still parked from an earlier
+    /// `Pending` round, so no later `notify_one` burns itself on this
+    /// already-finished future.
+    fn complete(&mut self, output: Result<(), SendError<T>>) -> Result<(), SendError<T>> {
+        if self.parked {
+            self.parked = false;
+            self.tx.inner.core.send_wakers.unpark(self.tx.waker_id);
+        }
+        output
+    }
+}
+
+impl<T: Send + 'static> Drop for SendFuture<'_, T> {
+    fn drop(&mut self) {
+        // Cancellation safety: never leave a stale waker behind, and never
+        // swallow a notification.  If we parked and the waker is *gone*, a
+        // notify chose us between the wake and this drop — forward it, or
+        // the queue slot it announced goes unobserved by the other parked
+        // senders.
+        if self.parked && !self.tx.inner.core.send_wakers.unpark(self.tx.waker_id) {
+            self.tx.inner.core.send_wakers.notify_one();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// AsyncReceiver
+// --------------------------------------------------------------------------
+
+/// The consuming endpoint of a channel built by
+/// [`build_async`](crate::QueueBuilder::build_async).
+///
+/// Wraps a [`Receiver`] and adds the park/wake machinery:
+/// [`recv`](AsyncReceiver::recv) on an empty channel parks the task and is
+/// woken by the next send (one receiver per send) or by a close (all
+/// receivers).  The close-drain guarantee carries over unchanged — a receiver
+/// resolves to `Err(`[`RecvError`]`)` only after every pre-close send has
+/// been drained by someone.
+pub struct AsyncReceiver<T: Send + 'static> {
+    inner: Receiver<T>,
+    waker_id: u64,
+}
+
+impl<T: Send + 'static> AsyncReceiver<T> {
+    /// Receives the next value, suspending while the channel is empty.
+    /// Resolves with `Err(`[`RecvError`]`)` once the channel is closed and
+    /// fully drained.
+    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture {
+            rx: self,
+            parked: false,
+        }
+    }
+
+    /// Non-blocking receive; identical to [`Receiver::try_recv`].
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Closes the channel (see [`Receiver::close`]); wakes every parked task.
+    pub fn close(&self) -> bool {
+        self.inner.close()
+    }
+
+    /// `true` once the channel is closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+
+    /// The backend's emptiness hint that gates the park decision.
+    pub fn is_empty_hint(&self) -> bool {
+        self.inner.is_empty_hint()
+    }
+
+    /// Display name of the backend queue.
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    /// Strips the async layer, keeping the registered endpoint.
+    pub fn into_sync(self) -> Receiver<T> {
+        let sync = self.inner.clone();
+        drop(self);
+        sync
+    }
+}
+
+impl<T: Send + 'static> From<Receiver<T>> for AsyncReceiver<T> {
+    fn from(inner: Receiver<T>) -> Self {
+        let waker_id = inner.core.recv_wakers.attach();
+        Self { inner, waker_id }
+    }
+}
+
+impl<T: Send + 'static> Clone for AsyncReceiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.clone().into()
+    }
+}
+
+impl<T: Send + 'static> Drop for AsyncReceiver<T> {
+    fn drop(&mut self) {
+        self.inner.core.recv_wakers.detach(self.waker_id);
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for AsyncReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncReceiver")
+            .field("backend", &self.backend_name())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+/// Future of [`AsyncReceiver::recv`].
+#[must_use = "futures do nothing unless polled"]
+pub struct RecvFuture<'a, T: Send + 'static> {
+    rx: &'a mut AsyncReceiver<T>,
+    /// Whether the last poll returned `Pending` with the waker parked — the
+    /// drop impl uses it to tell a consumed notification from a clean slot.
+    parked: bool,
+}
+
+impl<T: Send + 'static> Future for RecvFuture<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut(); // RecvFuture is Unpin
+                                   // Hint-gated fast path: while the backend's length hint says values
+                                   // exist (they may be headed to another shard or segment), a retry is
+                                   // cheaper than the park/re-check round trip.  The bound keeps one
+                                   // poll finite even if the hint stays stubbornly non-empty.
+        for attempt in 0..3 {
+            match this.rx.inner.try_recv() {
+                Ok(value) => return Poll::Ready(this.complete(Ok(value))),
+                Err(TryRecvError::Closed) => return Poll::Ready(this.complete(Err(RecvError))),
+                Err(TryRecvError::Empty) => {}
+            }
+            if attempt == 0 && this.rx.inner.is_empty_hint() {
+                break; // genuinely empty: go park
+            }
+        }
+        // Park, then re-check with the waker in place — an enqueue that raced
+        // ahead of the park has already spent its notification on an empty
+        // registry, so only this re-check can observe its value.
+        this.rx
+            .inner
+            .core
+            .recv_wakers
+            .park(this.rx.waker_id, cx.waker());
+        this.parked = true;
+        match this.rx.inner.try_recv() {
+            Ok(value) => Poll::Ready(this.complete(Ok(value))),
+            Err(TryRecvError::Closed) => Poll::Ready(this.complete(Err(RecvError))),
+            Err(TryRecvError::Empty) => Poll::Pending,
+        }
+    }
+}
+
+impl<T: Send + 'static> RecvFuture<'_, T> {
+    /// Completion bookkeeping: clear any waker still parked from an earlier
+    /// `Pending` round, so no later `notify_one` burns itself on this
+    /// already-finished future.
+    fn complete(&mut self, output: Result<T, RecvError>) -> Result<T, RecvError> {
+        if self.parked {
+            self.parked = false;
+            self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id);
+        }
+        output
+    }
+}
+
+impl<T: Send + 'static> Drop for RecvFuture<'_, T> {
+    fn drop(&mut self) {
+        // Cancellation safety: never leave a stale waker behind, and never
+        // swallow a notification.  If we parked and the waker is *gone*, a
+        // notify chose us between the wake and this drop — forward it, or
+        // the value it announced goes unobserved by the other parked
+        // receivers.
+        if self.parked && !self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id) {
+            self.rx.inner.core.recv_wakers.notify_one();
+        }
+    }
+}

@@ -1,0 +1,812 @@
+//! Channel-grade endpoints over any [`WaitFreeQueue`]: typed
+//! [`Sender`]/[`Receiver`] pairs with close semantics.
+//!
+//! The queue facade ends at "register, operate through a handle, drop to
+//! release" — the shape the paper's evaluation needs.  Applications consume
+//! an MPMC queue as a *channel*: distinct producer/consumer endpoints that
+//! can be moved into threads, typed full/empty/closed errors instead of
+//! `Result<(), T>` / `Option<T>`, and graceful shutdown.  This module layers
+//! exactly that on top of the [`WaitFreeQueue`] trait, so every backend the
+//! builder produces — the bounded wCQ (where [`TrySendError::Full`] is a real
+//! error), the unbounded wLSCQ and the sharded wLSCQ — serves as a channel
+//! without touching algorithm code.
+//!
+//! # Close protocol
+//!
+//! A channel closes when the last [`Sender`] drops, the last [`Receiver`]
+//! drops, or either side calls `close()` explicitly.  After that:
+//!
+//! * sends fail fast with [`TrySendError::Closed`] / [`SendError`];
+//! * receivers **drain every value sent before the close**, then observe
+//!   [`TryRecvError::Closed`] / [`RecvError`].
+//!
+//! The drain guarantee is exact, not best-effort: a send takes an *in-flight
+//! credit* before checking the closed flag (mirroring the pre-close enqueue
+//! credit wLSCQ segments use), and a receiver only concludes `Closed` after
+//! it observes `closed && in-flight == 0` *and* one final empty dequeue — so
+//! every enqueue that passed the closed check is visible to some receiver's
+//! final drain, and bounded-memory reclamation (Theorem 5.8) keeps running
+//! unchanged underneath.
+//!
+//! # Threading model
+//!
+//! Endpoints are [`Send`] but not [`Sync`]: move one into a thread (or task)
+//! and operate through `&mut self`; clone it to fan out.  Each endpoint lazily
+//! registers its own queue handle on the thread that first uses it — and
+//! transparently re-registers if the endpoint migrates — so the per-thread
+//! record slots the algorithm needs (Figure 4) follow the endpoints around.
+//! Size [`crate::QueueBuilder::threads`] for the peak number of endpoints
+//! alive at once.
+//!
+//! ```
+//! use wcq::channel::TryRecvError;
+//!
+//! let (tx, mut rx) = wcq::builder().threads(4).build_channel::<u64>();
+//!
+//! let mut tx2 = tx.clone();
+//! let producer = std::thread::spawn(move || {
+//!     for i in 0..100 {
+//!         tx2.send(i).expect("receiver alive");
+//!     }
+//! });
+//! drop(tx); // the clone keeps the channel open until the producer finishes
+//!
+//! let mut sum = 0;
+//! loop {
+//!     match rx.try_recv() {
+//!         Ok(v) => sum += v,
+//!         Err(TryRecvError::Empty) => std::thread::yield_now(),
+//!         Err(TryRecvError::Closed) => break, // all senders gone and drained
+//!     }
+//! }
+//! producer.join().unwrap();
+//! assert_eq!(sum, (0..100).sum());
+//! ```
+
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex};
+use std::task::Waker;
+use std::thread::ThreadId;
+
+use wcq_atomics::Backoff;
+use wcq_core::api::{QueueHandle, WaitFreeQueue};
+
+pub use wcq_core::channel::{RecvError, SendError, TryRecvError, TrySendError};
+
+// --------------------------------------------------------------------------
+// Waker registry (shared with the async endpoints)
+// --------------------------------------------------------------------------
+
+/// A registry of parked task wakers, one slot per attached async endpoint.
+///
+/// The sync endpoints never park, but they *notify*: every successful send
+/// wakes one parked receiver, every successful receive wakes one parked
+/// sender, and a close wakes everyone.  When no async endpoint is attached
+/// the notify paths cost one relaxed-ish atomic load (`parked == 0`), so the
+/// sync channel pays nothing for its async sibling.
+#[derive(Debug, Default)]
+pub(crate) struct WakerRegistry {
+    /// Number of slots currently holding a registered waker (fast path for
+    /// the notify calls).
+    parked: AtomicUsize,
+    /// `(slot id, parked waker)` per attached endpoint.
+    slots: Mutex<Vec<(u64, Option<Waker>)>>,
+    next_id: AtomicU64,
+}
+
+impl WakerRegistry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(u64, Option<Waker>)>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Adds an empty slot and returns its id.
+    pub(crate) fn attach(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, SeqCst);
+        self.lock().push((id, None));
+        id
+    }
+
+    /// Removes a slot (dropping any waker still parked in it).
+    pub(crate) fn detach(&self, id: u64) {
+        let mut slots = self.lock();
+        if let Some(pos) = slots.iter().position(|(sid, _)| *sid == id) {
+            if slots.remove(pos).1.is_some() {
+                self.parked.fetch_sub(1, SeqCst);
+            }
+        }
+    }
+
+    /// Parks `waker` in slot `id`, replacing any previous one.
+    pub(crate) fn park(&self, id: u64, waker: &Waker) {
+        let mut slots = self.lock();
+        if let Some((_, slot)) = slots.iter_mut().find(|(sid, _)| *sid == id) {
+            if slot.replace(waker.clone()).is_none() {
+                self.parked.fetch_add(1, SeqCst);
+            }
+        }
+    }
+
+    /// Clears slot `id` without waking (the endpoint made progress itself).
+    ///
+    /// Returns whether a waker was actually removed.  `false` for a slot
+    /// that *was* parked means a notification consumed the waker and has not
+    /// been acted on yet — a cancelled future must forward it (see the
+    /// future `Drop` impls) or another parked endpoint is stranded.
+    pub(crate) fn unpark(&self, id: u64) -> bool {
+        if self.parked.load(SeqCst) == 0 {
+            // Globally nothing parked, so this slot holds no waker either.
+            return false;
+        }
+        let mut slots = self.lock();
+        if let Some((_, slot)) = slots.iter_mut().find(|(sid, _)| *sid == id) {
+            if slot.take().is_some() {
+                self.parked.fetch_sub(1, SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Wakes one parked endpoint, if any.
+    pub(crate) fn notify_one(&self) {
+        if self.parked.load(SeqCst) == 0 {
+            return;
+        }
+        let woken = {
+            let mut slots = self.lock();
+            slots.iter_mut().find_map(|(_, slot)| slot.take())
+        };
+        if let Some(waker) = woken {
+            self.parked.fetch_sub(1, SeqCst);
+            waker.wake();
+        }
+    }
+
+    /// Wakes every parked endpoint.
+    pub(crate) fn notify_all(&self) {
+        if self.parked.load(SeqCst) == 0 {
+            return;
+        }
+        let woken: Vec<Waker> = {
+            let mut slots = self.lock();
+            slots
+                .iter_mut()
+                .filter_map(|(_, slot)| slot.take())
+                .collect()
+        };
+        self.parked.fetch_sub(woken.len(), SeqCst);
+        for waker in woken {
+            waker.wake();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Shared channel state
+// --------------------------------------------------------------------------
+
+/// State shared by every endpoint of one channel.
+pub(crate) struct ChannelCore<T: Send + 'static> {
+    queue: Box<dyn WaitFreeQueue<T>>,
+    /// Set once by the first close; never cleared.
+    closed: AtomicBool,
+    /// Live `Sender` + `AsyncSender` endpoints; last drop closes the channel.
+    senders: AtomicUsize,
+    /// Live `Receiver` + `AsyncReceiver` endpoints; last drop closes too, so
+    /// senders into an abandoned channel fail instead of filling it forever.
+    receivers: AtomicUsize,
+    /// Sends that have taken their pre-close credit but not yet completed
+    /// (see [`ChannelCore::try_send`]): a receiver only concludes `Closed`
+    /// once this is zero.
+    inflight: AtomicUsize,
+    /// Parked async receivers: one is woken per successful send, all on close.
+    pub(crate) recv_wakers: WakerRegistry,
+    /// Parked async senders (bounded backend, full): one is woken per
+    /// successful receive, all on close.
+    pub(crate) send_wakers: WakerRegistry,
+}
+
+impl<T: Send + 'static> ChannelCore<T> {
+    /// The backend queue (for hints and diagnostics).
+    pub(crate) fn queue(&self) -> &dyn WaitFreeQueue<T> {
+        &*self.queue
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(SeqCst)
+    }
+
+    /// Sets the closed flag and wakes everyone.  Returns `true` for the call
+    /// that actually performed the transition.
+    pub(crate) fn close(&self) -> bool {
+        let transitioned = !self.closed.swap(true, SeqCst);
+        if transitioned {
+            self.recv_wakers.notify_all();
+            self.send_wakers.notify_all();
+        }
+        transitioned
+    }
+
+    /// The closed-aware non-blocking send (see the module docs for why the
+    /// in-flight credit brackets the closed check *and* the enqueue).
+    pub(crate) fn try_send(
+        &self,
+        handle: &mut dyn QueueHandle<T>,
+        value: T,
+    ) -> Result<(), TrySendError<T>> {
+        // Credit first, closed check second: a receiver reads the flags in
+        // the opposite order (`closed` then `inflight`), so under the SeqCst
+        // total order it either sees our credit and waits for us, or we see
+        // the closed flag and fail without enqueuing.
+        self.inflight.fetch_add(1, SeqCst);
+        if self.closed.load(SeqCst) {
+            self.inflight.fetch_sub(1, SeqCst);
+            // A parked receiver may be waiting for exactly this credit to
+            // clear before it can conclude `Closed`.
+            self.recv_wakers.notify_all();
+            return Err(TrySendError::Closed(value));
+        }
+        let outcome = handle.try_enqueue(value);
+        self.inflight.fetch_sub(1, SeqCst);
+        // If a close raced in while our credit was held, every parked
+        // receiver may be blocked on exactly this credit clearing (they
+        // re-park on `closed && inflight != 0`), and no later send will come
+        // to wake them — broadcast, whatever the enqueue outcome.  A lone
+        // `notify_one` here would hand the last pre-close value to one
+        // receiver and strand the rest on a closed, drained channel.
+        let closed_during = self.closed.load(SeqCst);
+        match outcome {
+            Ok(()) => {
+                if closed_during {
+                    self.recv_wakers.notify_all();
+                } else {
+                    self.recv_wakers.notify_one();
+                }
+                Ok(())
+            }
+            Err(back) => {
+                if closed_during {
+                    self.recv_wakers.notify_all();
+                }
+                Err(TrySendError::Full(back))
+            }
+        }
+    }
+
+    /// The closed-aware non-blocking receive.
+    pub(crate) fn try_recv(&self, handle: &mut dyn QueueHandle<T>) -> Result<T, TryRecvError> {
+        if let Some(value) = handle.dequeue() {
+            self.send_wakers.notify_one();
+            return Ok(value);
+        }
+        if self.closed.load(SeqCst) {
+            if self.inflight.load(SeqCst) != 0 {
+                // A pre-close send is still completing; its value must not be
+                // missed, so this is still `Empty`, not `Closed`.
+                return Err(TryRecvError::Empty);
+            }
+            // Final look: every send that passed the closed check finished
+            // before the in-flight count we just read hit zero.
+            return match handle.dequeue() {
+                Some(value) => {
+                    self.send_wakers.notify_one();
+                    Ok(value)
+                }
+                None => Err(TryRecvError::Closed),
+            };
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for ChannelCore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelCore")
+            .field("backend", &self.queue.name())
+            .field("closed", &self.closed)
+            .field("senders", &self.senders)
+            .field("receivers", &self.receivers)
+            .finish()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Lazily-bound per-endpoint queue handle
+// --------------------------------------------------------------------------
+
+/// An endpoint's registered queue handle, bound to the thread that last used
+/// the endpoint.
+///
+/// The boxed handle borrows the queue inside the endpoint's
+/// `Arc<ChannelCore>`; the lifetime is erased to `'static` so the endpoint
+/// can own both.  Soundness rests on two invariants, upheld structurally:
+///
+/// * endpoints declare the slot field *before* the `Arc`, so the handle drops
+///   first and never dangles;
+/// * the slot is private and never leaves the endpoint, so the handle cannot
+///   outlive the `Arc` through any other path (`mem::forget` leaks both
+///   together, which is safe).
+struct HandleSlot<T: Send + 'static> {
+    bound: Option<(ThreadId, Box<dyn QueueHandle<T> + 'static>)>,
+}
+
+impl<T: Send + 'static> HandleSlot<T> {
+    const fn new() -> Self {
+        Self { bound: None }
+    }
+
+    /// Returns the handle bound to the current thread, (re-)registering if
+    /// the endpoint is fresh or migrated here from another thread.
+    ///
+    /// # Panics
+    /// Panics when every registration slot of the backend is taken (size
+    /// `QueueBuilder::threads` for the peak number of live endpoints); the
+    /// message names the backend queue.
+    fn bind<'s>(
+        &'s mut self,
+        core: &Arc<ChannelCore<T>>,
+    ) -> &'s mut (dyn QueueHandle<T> + 'static) {
+        let me = std::thread::current().id();
+        if let Some((owner, _)) = &self.bound {
+            if *owner != me {
+                // The endpoint migrated: release the old registration (all
+                // handle state is tid-keyed shared atomics, so a cross-thread
+                // drop is fine) and re-register on this thread.
+                self.bound = None;
+            }
+        }
+        if self.bound.is_none() {
+            let handle: Box<dyn QueueHandle<T> + '_> = core.queue.handle();
+            // SAFETY: lifetime erasure only — see the type-level comment.
+            // The handle borrows `core.queue`, which the endpoint's `Arc`
+            // keeps alive strictly longer than this slot.
+            let handle: Box<dyn QueueHandle<T> + 'static> = unsafe { std::mem::transmute(handle) };
+            self.bound = Some((me, handle));
+        }
+        &mut **self.bound.as_mut().map(|(_, h)| h).expect("just bound")
+    }
+}
+
+// --------------------------------------------------------------------------
+// Sender
+// --------------------------------------------------------------------------
+
+/// The producing endpoint of a channel built by
+/// [`build_channel`](crate::QueueBuilder::build_channel).
+///
+/// Cloning re-acquires a registration slot lazily, so every clone can run on
+/// its own thread.  Dropping the last sender closes the channel: receivers
+/// drain the remaining values, then observe
+/// [`Closed`](TryRecvError::Closed).
+///
+/// ```
+/// let (tx, mut rx) = wcq::builder().threads(4).build_channel::<String>();
+/// let mut tx = tx; // send takes &mut self
+/// tx.send("over any backend".to_string()).unwrap();
+/// drop(tx); // last sender gone -> channel closes after the drain
+/// assert_eq!(rx.recv().as_deref(), Ok("over any backend"));
+/// assert!(rx.recv().is_err(), "closed and drained");
+/// ```
+pub struct Sender<T: Send + 'static> {
+    // Declared before `core`: fields drop in order, so the lifetime-erased
+    // handle dies before the Arc that keeps its queue alive.
+    slot: HandleSlot<T>,
+    pub(crate) core: Arc<ChannelCore<T>>,
+}
+
+// SAFETY: the slot's type-erased handle only ever wraps handles of the
+// workspace's queues (the safe constructors guarantee it; `from_queue`
+// forwards the obligation to its caller), whose entire state is tid-keyed
+// shared atomics — the thread-locals involved (tid memo, LL/SC reservation)
+// are per-operation hints that tolerate migration.  `&mut self` on every
+// operation serializes use, and `bind` re-registers after a migration.
+unsafe impl<T: Send + 'static> Send for Sender<T> {}
+
+impl<T: Send + 'static> Sender<T> {
+    /// Attempts to send without waiting.
+    ///
+    /// Fails with [`TrySendError::Full`] when a *bounded* backend is at
+    /// capacity (the unbounded and sharded backends never report it) and with
+    /// [`TrySendError::Closed`] once the channel is closed.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        let Self { slot, core } = self;
+        let handle = slot.bind(core);
+        core.try_send(handle, value)
+    }
+
+    /// Sends `value`, waiting (bounded spin, then yielding) while a bounded
+    /// backend is full.  Fails only when the channel closes first; the value
+    /// comes back inside the error.
+    pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
+        let mut item = value;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_send(item) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Closed(v)) => return Err(SendError(v)),
+                Err(TrySendError::Full(v)) => {
+                    item = v;
+                    backoff.snooze_or_yield();
+                }
+            }
+        }
+    }
+
+    /// Closes the channel: all senders fail fast from now on, receivers drain
+    /// what was sent before the close and then observe `Closed`.  Returns
+    /// `true` for the call that actually closed (idempotent otherwise).
+    pub fn close(&self) -> bool {
+        self.core.close()
+    }
+
+    /// `true` once the channel is closed (by any endpoint, or by the last
+    /// endpoint of either class dropping).
+    pub fn is_closed(&self) -> bool {
+        self.core.is_closed()
+    }
+
+    /// Display name of the backend queue (e.g. `"wLSCQ"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.core.queue().name()
+    }
+
+    /// `true` when `other` is an endpoint of the same channel.
+    pub fn same_channel(&self, other: &Receiver<T>) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+}
+
+impl<T: Send + 'static> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.core.senders.fetch_add(1, SeqCst);
+        Self {
+            slot: HandleSlot::new(),
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.core.senders.fetch_sub(1, SeqCst) == 1 {
+            self.core.close();
+        }
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("backend", &self.core.queue.name())
+            .field("closed", &self.core.is_closed())
+            .finish()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Receiver
+// --------------------------------------------------------------------------
+
+/// The consuming endpoint of a channel built by
+/// [`build_channel`](crate::QueueBuilder::build_channel).
+///
+/// Channels are MPMC: receivers clone just like senders, and every value goes
+/// to exactly one receiver.  After a close, receivers drain all remaining
+/// pre-close values before reporting [`TryRecvError::Closed`] — the queue's
+/// bounded-memory reclamation keeps running through the drain.
+///
+/// ```
+/// let (tx, rx) = wcq::builder().threads(4).build_channel::<u64>();
+/// let (mut tx, mut rx) = (tx, rx);
+/// tx.send(1).unwrap();
+/// tx.send(2).unwrap();
+/// tx.close();
+/// assert!(tx.send(3).is_err(), "post-close sends fail fast");
+/// // The receiver still drains everything sent before the close...
+/// assert_eq!((&mut rx).collect::<Vec<_>>(), vec![1, 2]);
+/// // ...and only then reports the closure.
+/// assert!(rx.recv().is_err());
+/// ```
+pub struct Receiver<T: Send + 'static> {
+    // Field order: see `Sender`.
+    slot: HandleSlot<T>,
+    pub(crate) core: Arc<ChannelCore<T>>,
+}
+
+// SAFETY: identical argument to `Sender`'s impl.
+unsafe impl<T: Send + 'static> Send for Receiver<T> {}
+
+impl<T: Send + 'static> Receiver<T> {
+    /// Attempts to receive without waiting.  [`TryRecvError::Empty`] means a
+    /// later attempt can succeed; [`TryRecvError::Closed`] is final.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        let Self { slot, core } = self;
+        let handle = slot.bind(core);
+        core.try_recv(handle)
+    }
+
+    /// Receives a value, waiting (bounded spin, then yielding) while the
+    /// channel is empty.  Fails only once the channel is closed *and* fully
+    /// drained.
+    pub fn recv(&mut self) -> Result<T, RecvError> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_recv() {
+                Ok(value) => return Ok(value),
+                Err(TryRecvError::Closed) => return Err(RecvError),
+                Err(TryRecvError::Empty) => backoff.snooze_or_yield(),
+            }
+        }
+    }
+
+    /// Closes the channel from the consuming side (e.g. a worker pool
+    /// shutting down): senders fail fast, and the remaining pre-close values
+    /// stay drainable.  Returns `true` for the transitioning call.
+    pub fn close(&self) -> bool {
+        self.core.close()
+    }
+
+    /// `true` once the channel is closed.
+    pub fn is_closed(&self) -> bool {
+        self.core.is_closed()
+    }
+
+    /// Cheap, racy emptiness hint of the backend queue (see
+    /// [`WaitFreeQueue::is_empty_hint`]); the async receiver uses it to
+    /// decide whether parking is worthwhile.
+    pub fn is_empty_hint(&self) -> bool {
+        self.core.queue().is_empty_hint()
+    }
+
+    /// Display name of the backend queue (e.g. `"wLSCQ"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.core.queue().name()
+    }
+}
+
+impl<T: Send + 'static> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.core.receivers.fetch_add(1, SeqCst);
+        Self {
+            slot: HandleSlot::new(),
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.core.receivers.fetch_sub(1, SeqCst) == 1 {
+            // No receiver can ever drain the channel again: close it so
+            // senders fail fast instead of filling an abandoned queue.
+            self.core.close();
+        }
+    }
+}
+
+/// Receivers iterate the channel to completion: the iterator blocks like
+/// [`Receiver::recv`] and ends when the channel is closed and drained.
+impl<T: Send + 'static> Iterator for &mut Receiver<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.recv().ok()
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver")
+            .field("backend", &self.core.queue.name())
+            .field("closed", &self.core.is_closed())
+            .finish()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Construction
+// --------------------------------------------------------------------------
+
+/// Internal safe constructor: the builder finishers call this with the
+/// workspace's own queues, whose handles satisfy the migration contract.
+pub(crate) fn channel_over<T: Send + 'static>(
+    queue: Box<dyn WaitFreeQueue<T>>,
+) -> (Sender<T>, Receiver<T>) {
+    let core = Arc::new(ChannelCore {
+        queue,
+        closed: AtomicBool::new(false),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        inflight: AtomicUsize::new(0),
+        recv_wakers: WakerRegistry::default(),
+        send_wakers: WakerRegistry::default(),
+    });
+    (
+        Sender {
+            slot: HandleSlot::new(),
+            core: Arc::clone(&core),
+        },
+        Receiver {
+            slot: HandleSlot::new(),
+            core,
+        },
+    )
+}
+
+/// Builds a channel over an arbitrary [`WaitFreeQueue`] implementation.
+///
+/// Prefer [`build_channel`](crate::QueueBuilder::build_channel), which covers
+/// every queue this workspace ships.  This is the extension point for
+/// third-party implementors of the trait.
+///
+/// # Safety
+/// The endpoints are [`Send`], so the caller must guarantee that every handle
+/// `queue` hands out remains valid when *moved* between threads — used by at
+/// most one thread at a time, possibly dropped on a thread other than the
+/// registering one.  Handles whose state lives in tid-keyed shared memory
+/// (every queue in this workspace) qualify; handles relying on genuinely
+/// thread-bound state (e.g. `Rc` internals or OS TLS keyed by the registering
+/// thread) do not.
+pub unsafe fn from_queue<T: Send + 'static>(
+    queue: Box<dyn WaitFreeQueue<T>>,
+) -> (Sender<T>, Receiver<T>) {
+    channel_over(queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unbounded_pair() -> (Sender<u64>, Receiver<u64>) {
+        crate::builder()
+            .capacity_order(4)
+            .threads(4)
+            .build_channel::<u64>()
+    }
+
+    #[test]
+    fn round_trip_and_empty() {
+        let (mut tx, mut rx) = unbounded_pair();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn last_sender_drop_closes_after_drain() {
+        let (mut tx, mut rx) = unbounded_pair();
+        tx.send(1).unwrap();
+        let mut tx2 = tx.clone();
+        drop(tx);
+        // A live clone keeps the channel open.
+        assert!(!rx.is_closed());
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert!(rx.is_closed());
+        // Both pre-close values drain before Closed appears.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+    }
+
+    #[test]
+    fn explicit_close_fails_senders_fast() {
+        let (mut tx, mut rx) = unbounded_pair();
+        tx.send(1).unwrap();
+        assert!(rx.close(), "first close transitions");
+        assert!(!tx.close(), "second close is idempotent");
+        assert_eq!(tx.try_send(2), Err(TrySendError::Closed(2)));
+        assert_eq!(tx.send(3), Err(SendError(3)));
+        assert_eq!(rx.recv(), Ok(1), "pre-close value still drains");
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn last_receiver_drop_closes_for_senders() {
+        let (mut tx, rx) = unbounded_pair();
+        let rx2 = rx.clone();
+        drop(rx);
+        assert!(!tx.is_closed());
+        drop(rx2);
+        assert!(tx.is_closed());
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_backend_reports_full_then_recovers() {
+        let (mut tx, mut rx) = crate::builder()
+            .capacity_order(1) // capacity 2
+            .threads(2)
+            .backend(crate::ChannelBackend::Bounded)
+            .build_channel::<u64>();
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(matches!(err, TrySendError::Full(3)));
+        assert!(!err.is_closed());
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+    }
+
+    #[test]
+    fn endpoints_move_between_threads_and_rebind() {
+        let (tx, mut rx) = unbounded_pair();
+        let handle = std::thread::spawn(move || {
+            let mut tx = tx;
+            tx.send(7).unwrap();
+            // Moving back out proves the endpoint is a plain Send value.
+            tx
+        });
+        let mut tx = handle.join().unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        tx.send(8).unwrap(); // re-binds on this thread after the migration
+        assert_eq!(rx.recv(), Ok(8));
+    }
+
+    #[test]
+    fn receiver_iterates_to_close() {
+        let (mut tx, mut rx) = unbounded_pair();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!((&mut rx).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn same_channel_links_the_pair() {
+        let (tx, rx) = unbounded_pair();
+        let (tx2, rx2) = unbounded_pair();
+        assert!(tx.same_channel(&rx));
+        assert!(!tx.same_channel(&rx2));
+        assert!(!tx2.same_channel(&rx));
+    }
+
+    #[test]
+    fn waker_registry_counts_parks_and_notifies() {
+        use std::sync::atomic::AtomicUsize;
+        use std::task::{Wake, Waker};
+
+        struct CountingWake(AtomicUsize);
+        impl Wake for CountingWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, SeqCst);
+            }
+        }
+
+        let reg = WakerRegistry::default();
+        let count = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&count));
+
+        let a = reg.attach();
+        let b = reg.attach();
+        reg.notify_one(); // nobody parked: no-op
+        assert_eq!(count.0.load(SeqCst), 0);
+
+        reg.park(a, &waker);
+        reg.park(b, &waker);
+        reg.notify_one();
+        assert_eq!(count.0.load(SeqCst), 1, "wake one, not all");
+        reg.notify_all();
+        assert_eq!(count.0.load(SeqCst), 2, "remaining parked waker woken");
+        reg.notify_all();
+        assert_eq!(count.0.load(SeqCst), 2, "nothing left to wake");
+
+        reg.park(a, &waker);
+        reg.unpark(a);
+        reg.notify_all();
+        assert_eq!(count.0.load(SeqCst), 2, "unpark removes without waking");
+
+        reg.park(b, &waker);
+        reg.detach(b);
+        reg.notify_all();
+        assert_eq!(count.0.load(SeqCst), 2, "detach drops the parked waker");
+        reg.detach(a);
+    }
+}

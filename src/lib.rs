@@ -10,7 +10,12 @@
 //!   baselines), re-exported from [`wcq_core::api`];
 //! * RAII registration — handles acquired via `queue.handle()` auto-register
 //!   the calling thread (O(1) re-entry through a thread-local tid memo) and
-//!   release their record slot on drop.
+//!   release their record slot on drop;
+//! * [`channel`] / [`async_channel`] — typed [`Sender`]/[`Receiver`] (and
+//!   [`AsyncSender`]/[`AsyncReceiver`]) endpoints with close semantics over
+//!   any backend, built by the
+//!   [`build_channel`](QueueBuilder::build_channel) /
+//!   [`build_async`](QueueBuilder::build_async) finishers.
 //!
 //! ## Quickstart
 //!
@@ -71,6 +76,27 @@
 //! # drop(ppc);
 //! ```
 //!
+//! Consumed as a *channel*, the same backends gain `Send` endpoints, typed
+//! errors and graceful shutdown — no scoped threads, no manual registration:
+//!
+//! ```
+//! let (tx, rx) = wcq::builder().threads(4).build_channel::<u64>();
+//!
+//! let mut tx2 = tx.clone();
+//! let worker = std::thread::spawn(move || tx2.send(7));
+//! drop(tx); // the clone keeps the channel open until the worker is done
+//!
+//! let mut rx = rx;
+//! assert_eq!(rx.recv(), Ok(7));
+//! assert!(rx.recv().is_err(), "last sender gone: closed after the drain");
+//! worker.join().unwrap().unwrap();
+//! ```
+//!
+//! The async endpoints ([`build_async`](QueueBuilder::build_async)) park the
+//! task instead of blocking — a send wakes one parked receiver, a close
+//! wakes all — and run on any executor (this repo's tests use the
+//! dependency-free `wcq_harness::exec::block_on`).
+//!
 //! ## Migrating from the constructor zoo
 //!
 //! | Before (≤ PR 2) | Now |
@@ -82,6 +108,9 @@
 //! | `UnboundedWcq::with_config_and_cache(o, t, cfg, n)` | `…().config(cfg).segment_cache(n).build_unbounded()` |
 //! | `WcqRing::new(order, threads)` | `…().build_ring()` |
 //! | `queue.register().expect(…)` | `queue.handle()` (RAII, memoized re-entry) |
+//! | hand-rolled closed-flag channel over `WcqQueue` | `…().backend(ChannelBackend::Bounded).build_channel()` |
+//! | `h.try_enqueue(v) == Err(v)` / `h.dequeue() == None` | `TrySendError::{Full, Closed}` / `TryRecvError::{Empty, Closed}` |
+//! | spin-wait for consumers (`Backoff` loops) | `build_async()` + `AsyncReceiver::recv().await` (park/wake) |
 //!
 //! The per-crate constructors remain available inside `wcq-core` /
 //! `wcq-unbounded` for the algorithm-level tests, but application code —
@@ -90,12 +119,17 @@
 
 #![warn(missing_docs)]
 
+pub mod async_channel;
+pub mod channel;
+
 pub use wcq_atomics as atomics;
 pub use wcq_baselines as baselines;
 pub use wcq_core as core_queue;
 pub use wcq_reclaim as reclaim;
 pub use wcq_unbounded as unbounded;
 
+pub use async_channel::{AsyncReceiver, AsyncSender};
+pub use channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
 pub use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
 pub use wcq_core::scq::ScqQueue;
 pub use wcq_core::wcq::{
@@ -125,8 +159,25 @@ pub fn builder() -> QueueBuilder<NativeFamily> {
         segment_cache: DEFAULT_SEGMENT_CACHE,
         shards: 1,
         shard_policy: ShardPolicy::default(),
+        backend: None,
         _family: PhantomData,
     }
+}
+
+/// Which queue shape backs a channel built by
+/// [`build_channel`](QueueBuilder::build_channel) /
+/// [`build_async`](QueueBuilder::build_async).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelBackend {
+    /// The bounded wCQ: fixed capacity, so [`TrySendError::Full`] is a real
+    /// error and `send` exerts backpressure.
+    Bounded,
+    /// The unbounded wLSCQ (the default): sends never report full.
+    Unbounded,
+    /// The sharded wLSCQ (the default when
+    /// [`shards`](QueueBuilder::shards)` > 1`): unbounded, with the builder's
+    /// shard count and routing policy.
+    Sharded,
 }
 
 /// The one construction path for every wCQ-family queue.
@@ -153,6 +204,7 @@ pub struct QueueBuilder<F: CellFamily = NativeFamily> {
     segment_cache: usize,
     shards: usize,
     shard_policy: ShardPolicy,
+    backend: Option<ChannelBackend>,
     _family: PhantomData<F>,
 }
 
@@ -167,6 +219,7 @@ impl<F: CellFamily> Clone for QueueBuilder<F> {
             segment_cache: self.segment_cache,
             shards: self.shards,
             shard_policy: self.shard_policy,
+            backend: self.backend,
             _family: PhantomData,
         }
     }
@@ -183,6 +236,7 @@ impl QueueBuilder<NativeFamily> {
             segment_cache: self.segment_cache,
             shards: self.shards,
             shard_policy: self.shard_policy,
+            backend: self.backend,
             _family: PhantomData,
         }
     }
@@ -246,6 +300,79 @@ impl<F: CellFamily> QueueBuilder<F> {
         self
     }
 
+    /// Selects the queue shape backing [`build_channel`](QueueBuilder::build_channel)
+    /// / [`build_async`](QueueBuilder::build_async) (ignored by the queue
+    /// finishers, which each name their shape).  Without this, channels are
+    /// backed by the sharded wLSCQ when [`shards`](QueueBuilder::shards)` > 1`
+    /// and by the plain unbounded wLSCQ otherwise; `Bounded` must be opted
+    /// into, because it changes semantics ([`TrySendError::Full`] appears and
+    /// `send` blocks on a full queue).
+    pub fn backend(mut self, backend: ChannelBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The channel backend in effect: the explicit
+    /// [`backend`](QueueBuilder::backend) choice, or the shard-count-derived
+    /// default.
+    fn effective_backend(&self) -> ChannelBackend {
+        self.backend.unwrap_or(if self.shards > 1 {
+            ChannelBackend::Sharded
+        } else {
+            ChannelBackend::Unbounded
+        })
+    }
+
+    /// Builds the queue shape selected by [`backend`](QueueBuilder::backend)
+    /// behind the type-erased facade — the construction path shared by both
+    /// channel finishers.
+    fn build_backend<T: Send + 'static>(&self) -> Box<dyn WaitFreeQueue<T>> {
+        match self.effective_backend() {
+            ChannelBackend::Bounded => Box::new(self.build_bounded::<T>()),
+            ChannelBackend::Unbounded => Box::new(self.build_unbounded::<T>()),
+            ChannelBackend::Sharded => Box::new(self.build_sharded::<T>()),
+        }
+    }
+
+    /// Builds a channel: typed [`Sender`]/[`Receiver`] endpoints with close
+    /// semantics over the backend selected by
+    /// [`backend`](QueueBuilder::backend).  Endpoints are `Send`, clonable
+    /// (MPMC) and lazily register on the thread using them; size
+    /// [`threads`](QueueBuilder::threads) for the peak number of live
+    /// endpoints.
+    ///
+    /// Per-sender FIFO order holds on the bounded and unbounded backends
+    /// unconditionally; a *sharded* channel keeps it only under
+    /// [`ShardPolicy::Pinned`] routing ([`shard_policy`](QueueBuilder::shard_policy))
+    /// — the spreading policies trade that order for load balance, exactly as
+    /// they do on the raw queue.
+    ///
+    /// ```
+    /// let (tx, mut rx) = wcq::builder().threads(2).build_channel::<u64>();
+    /// let mut tx = tx;
+    /// tx.send(1).unwrap();
+    /// drop(tx); // last sender: channel closes once drained
+    /// assert_eq!(rx.recv(), Ok(1));
+    /// assert!(rx.recv().is_err());
+    /// ```
+    pub fn build_channel<T: Send + 'static>(&self) -> (channel::Sender<T>, channel::Receiver<T>) {
+        channel::channel_over(self.build_backend::<T>())
+    }
+
+    /// Builds an async channel: [`AsyncSender`]/[`AsyncReceiver`] endpoints
+    /// whose futures park the task instead of blocking — a send wakes one
+    /// parked receiver, a close wakes all (see [`async_channel`]).  Runs on
+    /// any executor; none is bundled.
+    pub fn build_async<T: Send + 'static>(
+        &self,
+    ) -> (
+        async_channel::AsyncSender<T>,
+        async_channel::AsyncReceiver<T>,
+    ) {
+        let (tx, rx) = self.build_channel::<T>();
+        (tx.into(), rx.into())
+    }
+
     /// Builds the bounded wait-free queue of the paper (Figures 4–7): fixed
     /// capacity, fixed memory, wait-free enqueue and dequeue.
     pub fn build_bounded<T>(&self) -> WcqQueue<T, F> {
@@ -293,7 +420,10 @@ mod tests {
 
     #[test]
     fn builder_builds_bounded_with_requested_geometry() {
-        let q = builder().capacity_order(5).threads(3).build_bounded::<u64>();
+        let q = builder()
+            .capacity_order(5)
+            .threads(3)
+            .build_bounded::<u64>();
         assert_eq!(q.capacity(), 32);
         assert_eq!(WcqQueue::max_threads(&q), 3);
     }
@@ -329,7 +459,11 @@ mod tests {
             help_delay: 1,
             catchup_bound: 8,
         };
-        let q = builder().capacity_order(4).threads(1).config(cfg).build_bounded::<u64>();
+        let q = builder()
+            .capacity_order(4)
+            .threads(1)
+            .config(cfg)
+            .build_bounded::<u64>();
         assert_eq!(*q.config(), cfg, "builder config must reach the rings");
         let mut h = q.register().expect("one slot free");
         h.enqueue(9).unwrap();
@@ -345,7 +479,11 @@ mod tests {
     #[test]
     fn builder_llsc_switches_the_hardware_model() {
         wcq_atomics::llsc::set_spurious_failure_rate(0.0);
-        let q = builder().capacity_order(4).threads(2).llsc().build_bounded::<u64>();
+        let q = builder()
+            .capacity_order(4)
+            .threads(2)
+            .llsc()
+            .build_bounded::<u64>();
         assert_eq!(WaitFreeQueue::<u64>::name(&q), "wCQ (LL/SC)");
         let mut h = q.handle(); // the facade trait's RAII registration
         h.enqueue(5);
@@ -376,7 +514,10 @@ mod tests {
 
     #[test]
     fn builder_defaults_to_one_round_robin_shard() {
-        let q = builder().capacity_order(4).threads(2).build_sharded::<u64>();
+        let q = builder()
+            .capacity_order(4)
+            .threads(2)
+            .build_sharded::<u64>();
         assert_eq!(q.shard_count(), 1);
         assert_eq!(q.policy(), ShardPolicy::RoundRobin);
     }

@@ -195,8 +195,7 @@ fn sharded_wcq_steady_state_allocates_nothing_on_any_shard() {
     while h.dequeue().is_some() {}
     h.flush_reclamation();
 
-    let allocated_before: Vec<usize> =
-        q.shards().iter().map(|s| s.segments_allocated()).collect();
+    let allocated_before: Vec<usize> = q.shards().iter().map(|s| s.segments_allocated()).collect();
     let misses_before: Vec<usize> = q.shards().iter().map(|s| s.cache_stats().misses).collect();
     let before = memtrack::snapshot();
     const ROUNDS: u64 = 40;

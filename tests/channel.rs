@@ -1,0 +1,194 @@
+//! Close-semantics integration suite for the channel endpoints (ISSUE 5).
+//!
+//! The acceptance claim: `build_channel::<u64>()` works over the bounded,
+//! unbounded and sharded backends, every pre-close send is drained exactly
+//! once, and post-close sends fail with `Closed`.  The seeded
+//! [`ChannelStressPlan`] packages the concurrent version of that claim (the
+//! close racing live consumers); the direct tests below pin down the
+//! single-threaded corners and the cross-thread endpoint ergonomics the
+//! channel API exists for.
+
+use wcq::channel::{RecvError, TryRecvError, TrySendError};
+use wcq::ChannelBackend;
+use wcq_harness::{all_channel_backends, ChannelStressPlan};
+
+fn pair_over(backend: ChannelBackend) -> (wcq::Sender<u64>, wcq::Receiver<u64>) {
+    wcq::builder()
+        .capacity_order(6)
+        .threads(6)
+        .shards(if backend == ChannelBackend::Sharded {
+            4
+        } else {
+            1
+        })
+        // Pinned routing is the policy under which a sharded channel keeps
+        // per-producer FIFO (each endpoint stays on its home shard); the
+        // spreading policies deliberately trade that order away.
+        .shard_policy(wcq::ShardPolicy::Pinned)
+        .backend(backend)
+        .build_channel::<u64>()
+}
+
+#[test]
+fn seeded_close_oracle_holds_on_every_backend() {
+    // Both close modes (explicit close and last-sender-drop) appear across
+    // the seeds; assert_holds replays the exact plan on failure.
+    for backend in all_channel_backends() {
+        for seed in 0..4u64 {
+            ChannelStressPlan::from_seed(backend, seed).assert_holds();
+        }
+    }
+}
+
+#[test]
+fn every_backend_round_trips_and_reports_its_name() {
+    for backend in all_channel_backends() {
+        let (mut tx, mut rx) = pair_over(backend);
+        assert!(tx.same_channel(&rx));
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(rx.recv(), Ok(i), "backend {backend:?} keeps FIFO");
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert!(!tx.backend_name().is_empty());
+        assert_eq!(tx.backend_name(), rx.backend_name());
+    }
+}
+
+#[test]
+fn pre_close_values_drain_exactly_once_then_closed_on_every_backend() {
+    for backend in all_channel_backends() {
+        let (mut tx, mut rx) = pair_over(backend);
+        for i in 0..20 {
+            tx.send(i).unwrap();
+        }
+        tx.close();
+        assert_eq!(
+            tx.try_send(99),
+            Err(TrySendError::Closed(99)),
+            "backend {backend:?}: post-close sends fail fast"
+        );
+        let drained: Vec<u64> = (&mut rx).collect();
+        assert_eq!(
+            drained,
+            (0..20).collect::<Vec<_>>(),
+            "backend {backend:?}: every pre-close send drained exactly once"
+        );
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+    }
+}
+
+#[test]
+fn endpoints_fan_out_across_plain_spawned_threads() {
+    // The ergonomic point of the channel layer: endpoints are Send + 'static,
+    // so plain `thread::spawn` works — no scoped threads, no manual
+    // registration, no `Arc<Queue>` plumbing.
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: u64 = 5_000;
+    let (tx, rx) = wcq::builder().threads(8).build_channel::<u64>();
+
+    let mut workers = Vec::new();
+    for p in 0..PRODUCERS {
+        let mut tx = tx.clone();
+        workers.push(std::thread::spawn(move || {
+            for i in 0..PER_PRODUCER {
+                tx.send(p * PER_PRODUCER + i).unwrap();
+            }
+        }));
+    }
+    drop(tx); // workers' clones keep the channel open
+
+    let mut consumers = Vec::new();
+    for _ in 0..2 {
+        let mut rx = rx.clone();
+        consumers.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        }));
+    }
+    drop(rx);
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    let mut all: Vec<u64> = consumers
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
+}
+
+#[test]
+fn receiver_side_close_fails_producers_fast() {
+    let (mut tx, rx) = pair_over(ChannelBackend::Unbounded);
+    tx.send(1).unwrap();
+    rx.close();
+    assert!(tx.send(2).is_err(), "producers observe a consumer shutdown");
+    // The pre-close value remains drainable by the closing side.
+    let mut rx = rx;
+    assert_eq!(rx.recv(), Ok(1));
+    assert_eq!(rx.recv(), Err(RecvError));
+}
+
+#[test]
+fn bounded_backend_backpressure_resolves_through_a_consumer() {
+    let (mut tx, mut rx) = wcq::builder()
+        .capacity_order(2) // capacity 4: producers really block
+        .threads(3)
+        .backend(ChannelBackend::Bounded)
+        .build_channel::<u64>();
+    for i in 0..4 {
+        tx.try_send(i).unwrap();
+    }
+    assert!(matches!(tx.try_send(4), Err(TrySendError::Full(4))));
+    let producer = std::thread::spawn(move || {
+        let mut tx = tx;
+        // Blocks on the full queue until the consumer below drains.
+        for i in 4..200 {
+            tx.send(i).unwrap();
+        }
+    });
+    for i in 0..200 {
+        assert_eq!(rx.recv(), Ok(i));
+    }
+    producer.join().unwrap();
+}
+
+#[test]
+fn llsc_hardware_model_channels_work_end_to_end() {
+    wcq::atomics::llsc::set_spurious_failure_rate(0.0);
+    let (tx, mut rx) = wcq::builder()
+        .capacity_order(5)
+        .threads(4)
+        .llsc()
+        .build_channel::<u64>();
+    let mut tx = tx;
+    assert_eq!(tx.backend_name(), "wLSCQ (LL/SC)");
+    for i in 0..300 {
+        tx.send(i).unwrap(); // crosses segments: 300 values through 32-slot rings
+    }
+    drop(tx);
+    assert_eq!((&mut rx).collect::<Vec<_>>(), (0..300).collect::<Vec<_>>());
+}
+
+#[test]
+fn counting_backends_hint_empty_after_a_drain() {
+    for backend in [ChannelBackend::Unbounded, ChannelBackend::Sharded] {
+        let (mut tx, mut rx) = pair_over(backend);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert!(!rx.is_empty_hint(), "backend {backend:?}: holds 100 values");
+        for _ in 0..100 {
+            rx.recv().unwrap();
+        }
+        assert!(rx.is_empty_hint(), "backend {backend:?}: drained");
+    }
+}

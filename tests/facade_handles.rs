@@ -32,14 +32,19 @@ fn bounded_handle_drop_releases_the_record_slot() {
 
 #[test]
 fn unbounded_handle_drop_releases_the_record_slot() {
-    let q: UnboundedWcq<u64> = wcq::builder().capacity_order(6).threads(2).build_unbounded();
+    let q: UnboundedWcq<u64> = wcq::builder()
+        .capacity_order(6)
+        .threads(2)
+        .build_unbounded();
     let mut h1 = q.handle();
     h1.enqueue(7); // establish a segment binding before dropping
     let tid = h1.tid();
     let _h2 = q.handle();
     assert!(q.register().is_none());
     drop(h1);
-    let h3 = q.register().expect("drop must release the slot (and its binding)");
+    let h3 = q
+        .register()
+        .expect("drop must release the slot (and its binding)");
     assert_eq!(h3.tid(), tid);
 }
 
@@ -83,7 +88,10 @@ fn segment_memo_survives_forced_growth_without_missing_values() {
     // while a consumer chases the producer.  The memoized binding must follow
     // head/tail across every transition without losing or reordering values.
     const ITEMS: u64 = 2_000;
-    let q: UnboundedWcq<u64> = wcq::builder().capacity_order(4).threads(3).build_unbounded();
+    let q: UnboundedWcq<u64> = wcq::builder()
+        .capacity_order(4)
+        .threads(3)
+        .build_unbounded();
     std::thread::scope(|s| {
         s.spawn(|| {
             let mut h = q.handle();
@@ -112,12 +120,19 @@ fn segment_memo_survives_forced_growth_without_missing_values() {
     assert_eq!(h.dequeue(), None, "fully drained");
     h.flush_reclamation();
     drop(h);
-    assert_eq!(q.segments_live(), 1, "drained queue returns to one live segment");
+    assert_eq!(
+        q.segments_live(),
+        1,
+        "drained queue returns to one live segment"
+    );
 }
 
 #[test]
 fn segment_memo_amortizes_binding_on_the_stay_in_one_segment_case() {
-    let q: UnboundedWcq<u64> = wcq::builder().capacity_order(8).threads(1).build_unbounded();
+    let q: UnboundedWcq<u64> = wcq::builder()
+        .capacity_order(8)
+        .threads(1)
+        .build_unbounded();
     let mut h = q.handle();
     for round in 0..50u64 {
         for i in 0..100 {
@@ -148,8 +163,81 @@ fn empty_hint_is_meaningful_for_counting_kinds_and_conservative_elsewhere() {
         );
         assert_eq!(h.dequeue(), Some(1), "kind {kind:?}");
         if counting {
-            assert!(q.is_empty_hint(), "kind {kind:?}: drained queue hints empty");
+            assert!(
+                q.is_empty_hint(),
+                "kind {kind:?}: drained queue hints empty"
+            );
         }
+    }
+}
+
+#[test]
+fn registration_slot_exhaustion_is_uniform_across_all_kinds() {
+    // Satellite (ISSUE 5): for every one of the 13 kinds — `try_handle()`
+    // returns `None` at `max_threads`, a dropped handle frees the slot, and
+    // the panicking `handle()` names the queue and the limit.  Kinds without
+    // registration (`max_threads == usize::MAX`) hand out handles without
+    // ever exhausting.
+    //
+    // The `handle()` panic below is expected; silence the default hook for
+    // just that call so the test log stays readable.  The hook is process
+    // global (parallel tests in this binary share it), so the blind window
+    // is confined to the intentional panic, and an RAII guard restores the
+    // hook even if the expected panic fails to materialize.
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct HookGuard(Option<PanicHook>);
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            std::panic::set_hook(self.0.take().expect("restored once"));
+        }
+    }
+    fn catch_expected_panic(op: impl FnOnce()) -> std::thread::Result<()> {
+        let _guard = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(op))
+    }
+    for kind in QueueKind::all() {
+        let q = make_queue(kind, 2, 8);
+        if q.max_threads() == usize::MAX {
+            // Unregistered kinds: any number of simultaneous handles.
+            let _a = q.handle();
+            let _b = q.handle();
+            let _c = q.handle();
+            continue;
+        }
+        assert_eq!(q.max_threads(), 2, "kind {kind:?}");
+        let a = q.try_handle().expect("slot 1 free");
+        let b = q.try_handle().expect("slot 2 free");
+        assert!(
+            q.try_handle().is_none(),
+            "kind {kind:?}: exhausted at max_threads"
+        );
+        let panic_payload = match catch_expected_panic(|| {
+            let _ = q.handle();
+        }) {
+            Err(payload) => payload,
+            Ok(()) => panic!("kind {kind:?}: handle() must panic when exhausted"),
+        };
+        let message = panic_payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains(q.name()) && message.contains("all 2 registration slots"),
+            "kind {kind:?}: exhaustion panic must name the queue and the limit, got {message:?}"
+        );
+        drop(a);
+        let a_again = q.try_handle();
+        assert!(
+            a_again.is_some(),
+            "kind {kind:?}: dropped handle frees its slot"
+        );
+        drop(a_again);
+        drop(b);
+        // Fully released: both slots reusable.
+        let x = q.try_handle().expect("slot free after full release");
+        let y = q.try_handle().expect("second slot free after full release");
+        drop((x, y));
     }
 }
 

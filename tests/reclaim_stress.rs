@@ -142,7 +142,11 @@ fn reclaimed_total_catches_up_after_handles_drop() {
         // one is handed to the domain as an orphan.
     }
     assert_eq!(dom.retired_total(), 21);
-    assert_eq!(dom.reclaimed_total(), 20, "protected node must survive the drop scan");
+    assert_eq!(
+        dom.reclaimed_total(),
+        20,
+        "protected node must survive the drop scan"
+    );
     assert_eq!(live.load(Ordering::SeqCst), 1);
 
     // Protection clears; any later scan — here from a fresh handle with its

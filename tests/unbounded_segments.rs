@@ -37,8 +37,14 @@ fn burst_drain_returns_to_steady_state<F: CellFamily>() {
         h.flush_reclamation();
 
         let stats = q.segment_stats();
-        assert_eq!(stats.live, 1, "drain must shrink back to one segment: {stats:?}");
-        assert_eq!(stats.retired_pending, 0, "flush reclaims every retired segment: {stats:?}");
+        assert_eq!(
+            stats.live, 1,
+            "drain must shrink back to one segment: {stats:?}"
+        );
+        assert_eq!(
+            stats.retired_pending, 0,
+            "flush reclaims every retired segment: {stats:?}"
+        );
         assert!(
             stats.resident() <= 1 + DEFAULT_SEGMENT_CACHE,
             "residency bounded by live + cache: {stats:?}"
@@ -117,7 +123,11 @@ fn concurrent_churn_with_forced_slow_path_returns_to_bound() {
 
     let n = PRODUCERS * PER_PRODUCER;
     assert_eq!(consumed.load(Ordering::SeqCst), n);
-    assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2, "no loss, no duplication");
+    assert_eq!(
+        sum.load(Ordering::SeqCst),
+        n * (n - 1) / 2,
+        "no loss, no duplication"
+    );
 
     // Everything was consumed, so after one reclamation pass the queue is
     // back to its steady-state segment bound.

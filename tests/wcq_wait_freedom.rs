@@ -160,7 +160,9 @@ fn memory_footprint_is_bounded_and_constant() {
 fn handles_can_be_reregistered_many_times() {
     let q: WcqQueue<u64> = WcqQueue::new(4, 2);
     for round in 0..200u64 {
-        let mut h = q.register().expect("slot must be released by previous drop");
+        let mut h = q
+            .register()
+            .expect("slot must be released by previous drop");
         h.enqueue(round).unwrap();
         assert_eq!(h.dequeue(), Some(round));
     }
