@@ -46,6 +46,12 @@ impl FaaQueue {
         self.slots.len()
     }
 
+    /// Racy emptiness hint: the head counter has caught up with the tail
+    /// counter.  Two counter loads.
+    pub fn is_empty_hint(&self) -> bool {
+        self.head.load(SeqCst) >= self.tail.load(SeqCst)
+    }
+
     /// "Enqueues" a value: one F&A plus one store.
     #[inline]
     pub fn enqueue(&self, value: u64) {

@@ -43,6 +43,12 @@ impl<T: Send> WaitFreeQueue<T> for MsQueue<T> {
     fn memory_footprint(&self) -> usize {
         std::mem::size_of::<Self>()
     }
+    fn is_empty_hint(&self) -> bool {
+        MsQueue::is_empty_hint(self)
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -71,6 +77,12 @@ impl<T: Send> WaitFreeQueue<T> for CcQueue<T> {
     }
     fn memory_footprint(&self) -> usize {
         std::mem::size_of::<Self>()
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.len_hint() == 0
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
     }
 }
 
@@ -101,6 +113,11 @@ impl WaitFreeQueue<u64> for Lcrq {
     fn memory_footprint(&self) -> usize {
         Lcrq::memory_footprint(self)
     }
+    // No emptiness hint: deciding emptiness needs the head ring's counters,
+    // and reading them from an unregistered `&self` would dereference a ring
+    // that a concurrent dequeuer may retire at any moment.  The default
+    // `has_empty_hint() == false` tells the async park path "no information"
+    // — it parks after one empty answer instead of spinning on retries.
 }
 
 // --------------------------------------------------------------------------
@@ -129,6 +146,12 @@ impl WaitFreeQueue<u64> for CrTurnQueue {
     }
     fn memory_footprint(&self) -> usize {
         std::mem::size_of::<Self>()
+    }
+    fn is_empty_hint(&self) -> bool {
+        CrTurnQueue::is_empty_hint(self)
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
     }
 }
 
@@ -159,6 +182,12 @@ impl WaitFreeQueue<u64> for YmcQueue {
     fn memory_footprint(&self) -> usize {
         YmcQueue::memory_footprint(self)
     }
+    fn is_empty_hint(&self) -> bool {
+        YmcQueue::is_empty_hint(self)
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
+    }
 }
 
 impl QueueHandle<u64> for &FaaQueue {
@@ -184,6 +213,12 @@ impl WaitFreeQueue<u64> for FaaQueue {
     fn memory_footprint(&self) -> usize {
         FaaQueue::memory_footprint(self)
     }
+    fn is_empty_hint(&self) -> bool {
+        FaaQueue::is_empty_hint(self)
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +242,41 @@ mod tests {
         round_trip(&CrTurnQueue::new(2));
         round_trip(&YmcQueue::new());
         round_trip(&FaaQueue::new(6));
+    }
+
+    #[test]
+    fn emptiness_hints_are_truthful_when_advertised() {
+        fn check(queue: &dyn WaitFreeQueue<u64>) {
+            if !queue.has_empty_hint() {
+                return; // constant-false hint; nothing to verify
+            }
+            assert!(
+                queue.is_empty_hint(),
+                "{}: fresh queue is empty",
+                queue.name()
+            );
+            let mut h = queue.handle();
+            h.enqueue(7);
+            assert!(
+                !queue.is_empty_hint(),
+                "{}: hint sees the quiescent element",
+                queue.name()
+            );
+            assert_eq!(h.dequeue(), Some(7));
+            assert!(
+                queue.is_empty_hint(),
+                "{}: hint clears after the drain",
+                queue.name()
+            );
+        }
+        check(&MsQueue::<u64>::new(2));
+        check(&CcQueue::<u64>::new(2));
+        check(&CrTurnQueue::new(2));
+        check(&YmcQueue::new());
+        check(&FaaQueue::new(6));
+        // LCRQ deliberately reports "no hint" — emptiness would need a
+        // hazard-protected ring dereference.
+        assert!(!WaitFreeQueue::<u64>::has_empty_hint(&Lcrq::new(6, 2)));
     }
 
     #[test]

@@ -74,6 +74,14 @@ impl<T> MsQueue<T> {
     pub fn reclamation_backlog(&self) -> usize {
         self.domain.pending()
     }
+
+    /// Racy emptiness hint: `head == tail` holds exactly when both point at
+    /// the sentinel (empty queue) or while an enqueue's tail swing is still
+    /// in flight — a pointer compare, never a dereference, so it needs no
+    /// hazard protection.
+    pub fn is_empty_hint(&self) -> bool {
+        self.head.load(SeqCst) == self.tail.load(SeqCst)
+    }
 }
 
 impl<T> Drop for MsQueue<T> {

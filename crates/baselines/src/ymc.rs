@@ -94,6 +94,12 @@ impl YmcQueue {
         self.segments_allocated.load(SeqCst)
     }
 
+    /// Racy emptiness hint: the dequeue ticket has caught up with the
+    /// enqueue ticket.  Two counter loads, no segment access.
+    pub fn is_empty_hint(&self) -> bool {
+        self.head_ticket.load(SeqCst) >= self.tail_ticket.load(SeqCst)
+    }
+
     /// Approximate bytes held by the queue's segments.
     pub fn memory_footprint(&self) -> usize {
         std::mem::size_of::<Self>()

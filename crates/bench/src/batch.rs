@@ -1,0 +1,83 @@
+//! Batched-operation twin of the pairwise workload.
+//!
+//! The single-op pairwise rows pay one FAA, one closed-check and one shard
+//! decision *per element*; the batched rows move the same elements through
+//! [`QueueHandle::enqueue_many`]/[`QueueHandle::dequeue_into`] so those costs
+//! amortize over the whole run.  `bench_sharded` and `bench_channel` both
+//! record a `batch=64` series next to their single-op pairwise series, which
+//! is the comparison ROADMAP item 1 (the LCRQ pairwise gap) tracks.
+//!
+//! [`QueueHandle::enqueue_many`]: wcq_core::api::QueueHandle::enqueue_many
+//! [`QueueHandle::dequeue_into`]: wcq_core::api::QueueHandle::dequeue_into
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::time::Instant;
+
+use wcq::WaitFreeQueue;
+
+/// The batch size the committed baseline rows are recorded with.
+pub const PAIRWISE_BATCH: usize = 64;
+
+/// One timed repetition of the batched pairwise workload: every thread
+/// alternates an `enqueue_many` of up to `batch` values with a `dequeue_into`
+/// of the same size.  Returns Mops/s over the operations that actually
+/// happened (accepted enqueues + successful dequeues), the same both-sides
+/// accounting as the single-op pairwise rows.
+pub fn run_batched_pairs_once(
+    queue: &dyn WaitFreeQueue<u64>,
+    threads: usize,
+    total_ops: u64,
+    batch: usize,
+) -> f64 {
+    let per_thread = (total_ops / threads as u64).max(1);
+    let completed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let completed = &completed;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                let mut buf = Vec::with_capacity(batch);
+                let mut out = Vec::with_capacity(batch);
+                let mut ops = 0u64;
+                let mut remaining = per_thread;
+                while remaining > 0 {
+                    let n = batch.min(remaining as usize);
+                    buf.extend((0..n as u64).map(|i| i & 0xFFFF));
+                    while !buf.is_empty() {
+                        let accepted = h.enqueue_many(&mut buf);
+                        ops += accepted as u64;
+                        if accepted == 0 {
+                            // A full fixed-capacity ring: drain some of our
+                            // own backlog instead of spinning, so the
+                            // all-threads-enqueueing moment cannot wedge.
+                            ops += h.dequeue_into(&mut out, batch) as u64;
+                            out.clear();
+                        }
+                    }
+                    ops += h.dequeue_into(&mut out, n) as u64;
+                    out.clear();
+                    remaining -= n as u64;
+                }
+                completed.fetch_add(ops, SeqCst);
+            });
+        }
+    });
+    completed.load(SeqCst) as f64 / start.elapsed().as_secs_f64().max(1e-9) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_pairs_runs_and_reports_positive_throughput() {
+        let queue = wcq::builder()
+            .capacity_order(8)
+            .threads(3)
+            .build_unbounded::<u64>();
+        let mops = run_batched_pairs_once(&queue, 2, 2_000, 16);
+        assert!(mops > 0.0);
+    }
+}

@@ -10,6 +10,10 @@
 //!   bounded and sharded (pinned, x4) backends; the run ends through the
 //!   channel's own close-and-drain protocol (producers drop, consumers recv
 //!   until `Closed`);
+//! * **batched rows** — the unbounded and sharded backends again, but with
+//!   producers pushing `send_iter` chunks of 64 and consumers draining with
+//!   `recv_many`, so the closed-check and in-flight credit amortize over the
+//!   batch (series `… enqueue_many(batch=64)`);
 //! * **async row** — the same pipeline through `build_async()` endpoints,
 //!   each thread driving its futures with the dependency-free
 //!   `wcq_harness::exec::block_on` shim;
@@ -41,6 +45,10 @@ use wcq_harness::stats::summarize;
 /// Shard count for the sharded-backend row (matches `bench_sharded`'s sweet
 /// spot and the harness default).
 const CHANNEL_SHARDS: usize = 4;
+
+/// Batch size for the `send_iter`/`recv_many` rows (the same size
+/// `bench_sharded` records, so the two artifacts stay comparable).
+const PIPELINE_BATCH: usize = wcq_bench::batch::PAIRWISE_BATCH;
 
 fn channel_builder(
     backend: ChannelBackend,
@@ -84,6 +92,47 @@ fn run_channel_once(tx: Sender<u64>, rx: Receiver<u64>, pairs: usize, total_ops:
             s.spawn(move || while rx.recv().is_ok() {});
         }
         drop(tx); // producers' clones hold the channel open until done
+        drop(rx);
+    });
+    2.0 * moved as f64 / start.elapsed().as_secs_f64().max(1e-9) / 1e6
+}
+
+/// The batched twin of [`run_channel_once`]: producers push chunks through
+/// `send_iter` and consumers drain with `recv_many`, so the closed-check and
+/// in-flight credit are paid once per batch instead of once per value.
+fn run_channel_batched_once(
+    tx: Sender<u64>,
+    rx: Receiver<u64>,
+    pairs: usize,
+    total_ops: u64,
+    batch: usize,
+) -> f64 {
+    let per_producer = (total_ops / pairs as u64).max(1);
+    let moved = per_producer * pairs as u64;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..pairs {
+            let mut tx = tx.clone();
+            s.spawn(move || {
+                let mut i = 0u64;
+                while i < per_producer {
+                    let n = (batch as u64).min(per_producer - i);
+                    tx.send_iter((i..i + n).map(|v| (p as u64) << 40 | v))
+                        .expect("receivers alive");
+                    i += n;
+                }
+            });
+        }
+        for _ in 0..pairs {
+            let mut rx = rx.clone();
+            s.spawn(move || {
+                let mut grab = Vec::with_capacity(batch);
+                while rx.recv_many(&mut grab, batch).is_ok() {
+                    grab.clear();
+                }
+            });
+        }
+        drop(tx);
         drop(rx);
     });
     2.0 * moved as f64 / start.elapsed().as_secs_f64().max(1e-9) / 1e6
@@ -191,6 +240,26 @@ fn main() {
                 })
                 .collect();
             record(&mut table, series, pairs, &samples);
+        }
+
+        for (backend, series) in [
+            (
+                ChannelBackend::Unbounded,
+                format!("channel/wLSCQ enqueue_many(batch={PIPELINE_BATCH})"),
+            ),
+            (
+                ChannelBackend::Sharded,
+                format!("channel/Sharded wLSCQ x4 enqueue_many(batch={PIPELINE_BATCH})"),
+            ),
+        ] {
+            let samples: Vec<f64> = (0..opts.repeats)
+                .map(|_| {
+                    let (tx, rx) =
+                        channel_builder(backend, pairs, opts.ring_order).build_channel::<u64>();
+                    run_channel_batched_once(tx, rx, pairs, opts.ops, PIPELINE_BATCH)
+                })
+                .collect();
+            record(&mut table, &series, pairs, &samples);
         }
 
         let samples: Vec<f64> = (0..opts.repeats)

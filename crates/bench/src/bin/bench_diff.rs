@@ -119,7 +119,17 @@ fn main() -> ExitCode {
     let mut regressions = 0usize;
     let mut compared = 0usize;
     for baseline_path in &baselines {
-        let name = baseline_path.file_name().unwrap().to_string_lossy();
+        // `file_name()` is None only for paths ending in `..`; that cannot
+        // come out of `bench_artifacts`, but a gate must die loudly — with
+        // the offending path — rather than unwrap-panic on a refactor.
+        let Some(name) = baseline_path.file_name() else {
+            eprintln!(
+                "bench_diff: baseline path {} has no file name component — aborting",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        let name = name.to_string_lossy();
         let current_path = opts.current_dir.join(name.as_ref());
         if !current_path.exists() {
             println!(

@@ -18,6 +18,12 @@
 //! dequeue on an empty queue must observe *every* shard empty before
 //! returning `None`, so its cost grows linearly with the shard count.
 //!
+//! The pairwise table additionally records `enqueue_many(batch=64)` rows for
+//! plain wLSCQ and the x4 pinned shards: the same traffic through the batched
+//! entry points, which claim a run of tickets with one F&A and pay the
+//! shard-routing / segment-memo cost once per batch (ROADMAP item 1 tracks
+//! this against LCRQ's single-op pairwise row).
+//!
 //! Usage:
 //! ```text
 //! cargo run --release -p wcq-bench --bin bench_sharded -- [empty|pairs|mixed] \
@@ -29,9 +35,11 @@
 //! `bench_baselines/BENCH_sharded.json` was recorded with.
 
 use wcq::{ShardPolicy, WaitFreeQueue};
+use wcq_bench::batch::{run_batched_pairs_once, PAIRWISE_BATCH};
 use wcq_bench::sweep::{print_table, write_tables_json};
 use wcq_bench::{json_artifact_name, select_workloads, BenchOpts};
 use wcq_harness::report::FigureTable;
+use wcq_harness::stats::summarize;
 use wcq_harness::{make_queue, run_workload, QueueKind, Workload, WorkloadConfig};
 
 /// Shard counts the sweep covers.
@@ -124,6 +132,41 @@ fn main() {
                     threads,
                     &opts,
                 );
+            }
+            // Batched pairwise rows: the same traffic through
+            // `enqueue_many`/`dequeue_into`, next to the per-op series they
+            // are meant to beat (ROADMAP item 1, the LCRQ pairwise gap).
+            if matches!(workload, Workload::Pairs) {
+                for (series, queue) in [
+                    (
+                        format!("wLSCQ enqueue_many(batch={PAIRWISE_BATCH})"),
+                        make_queue(QueueKind::WcqUnbounded, threads + 1, opts.ring_order),
+                    ),
+                    (
+                        format!("Sharded wLSCQ x4 enqueue_many(batch={PAIRWISE_BATCH})"),
+                        sharded_queue(4, ShardPolicy::Pinned, threads, opts.ring_order),
+                    ),
+                ] {
+                    let samples: Vec<f64> = (0..opts.repeats)
+                        .map(|_| {
+                            run_batched_pairs_once(
+                                queue.as_ref(),
+                                threads,
+                                opts.ops,
+                                PAIRWISE_BATCH,
+                            )
+                        })
+                        .collect();
+                    let stats = summarize(&samples);
+                    table.record(&series, threads, stats.mean);
+                    eprintln!(
+                        "  [{}] {:<22} threads={threads:<3} {:>10.3} Mops/s (cv {:.4})",
+                        workload.name(),
+                        series,
+                        stats.mean,
+                        stats.cv
+                    );
+                }
             }
         }
         print_table(&table);

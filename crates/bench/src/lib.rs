@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod diff;
 pub mod sweep;
 

@@ -84,6 +84,65 @@ pub trait QueueHandle<T> {
             backoff.snooze_or_yield();
         }
     }
+
+    /// Enqueues a batch: accepts a prefix of `values` (removed from the
+    /// front, in order) and returns the number accepted; the unaccepted
+    /// remainder is left in `values`.
+    ///
+    /// **Partial-success contract.** A return value smaller than
+    /// `values.len()` means the queue was full or a concurrent operation
+    /// raced the batch reservation — both transient; callers that need the
+    /// whole batch in retry the remainder (as [`QueueHandle::enqueue`] does
+    /// per element).  A partial batch never reorders: the accepted prefix is
+    /// enqueued in `values` order.
+    ///
+    /// **FIFO guarantee scope.** The batch preserves exactly the underlying
+    /// queue's ordering guarantee — for FIFO queues, elements of one batch
+    /// dequeue in batch order and batches from one handle dequeue in call
+    /// order (per-producer FIFO); no ordering is added *across* concurrent
+    /// producers, and a sharded backend keeps per-producer FIFO only under
+    /// pinned routing, batch or not.
+    ///
+    /// The default walks [`QueueHandle::try_enqueue`]; implementations with
+    /// a cheaper bulk path (one ticket-run reservation per batch, one
+    /// segment bind per batch, one shard pick per batch) override it.
+    fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        let mut rest = std::mem::take(values).into_iter();
+        let mut accepted = 0;
+        for value in rest.by_ref() {
+            match self.try_enqueue(value) {
+                Ok(()) => accepted += 1,
+                Err(back) => {
+                    values.push(back);
+                    values.extend(rest);
+                    break;
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Dequeues a batch: appends up to `max` values to `out` and returns the
+    /// number appended.  Like a single [`QueueHandle::dequeue`] returning
+    /// `None`, a short batch is a *racy* emptiness observation — elements
+    /// may remain (or arrive) concurrently; callers poll again.  Appended
+    /// values follow the underlying queue's dequeue order.
+    ///
+    /// The default loops [`QueueHandle::dequeue`]; bulk implementations
+    /// override it to reserve the whole run at once.
+    fn dequeue_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.dequeue() {
+                Some(value) => {
+                    out.push(value);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
 }
 
 /// A concurrent MPMC FIFO queue that threads operate on through registered
@@ -134,7 +193,23 @@ pub trait WaitFreeQueue<T>: Send + Sync {
     /// concurrent enqueue, and a `false` with the final dequeue.  The only
     /// authoritative emptiness observation remains a [`QueueHandle::dequeue`]
     /// that returns `None`.
+    ///
+    /// Callers that change behaviour on the hint (e.g. an async receiver
+    /// deciding whether to spin before parking) must first check
+    /// [`WaitFreeQueue::has_empty_hint`]: for a backend without a real hint,
+    /// the constant `false` here means "don't know", **not** "non-empty".
     fn is_empty_hint(&self) -> bool {
+        false
+    }
+
+    /// Whether [`WaitFreeQueue::is_empty_hint`] is backed by a real
+    /// observation of this queue's state.  The default is `false`: a backend
+    /// that does not override the hint returns a constant `false` from it,
+    /// and treating that constant as "non-empty" would make pollers spin
+    /// forever (see the async receiver's park path).  Every queue in this
+    /// workspace overrides both methods; the default exists for third-party
+    /// implementors.
+    fn has_empty_hint(&self) -> bool {
         false
     }
 }
@@ -240,6 +315,12 @@ impl<T: Send, F: CellFamily> QueueHandle<T> for WcqQueueHandle<'_, T, F> {
     fn dequeue(&mut self) -> Option<T> {
         WcqQueueHandle::dequeue(self)
     }
+    fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        WcqQueueHandle::enqueue_many(self, values)
+    }
+    fn dequeue_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        WcqQueueHandle::dequeue_many(self, out, max)
+    }
 }
 
 impl<T: Send, F: CellFamily> WaitFreeQueue<T> for WcqQueue<T, F> {
@@ -265,6 +346,9 @@ impl<T: Send, F: CellFamily> WaitFreeQueue<T> for WcqQueue<T, F> {
         // direction), so it is a scheduling hint, not a drain oracle like the
         // unbounded kinds' maintained counters.
         WcqQueue::is_empty_hint(self)
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
     }
 }
 
@@ -296,6 +380,9 @@ impl<T: Send> WaitFreeQueue<T> for ScqQueue<T> {
         // stale but `true` means a recent genuinely-empty observation.
         ScqQueue::is_empty_hint(self)
     }
+    fn has_empty_hint(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +401,39 @@ mod tests {
         assert_eq!(h.dequeue(), None);
         assert_eq!(dynq.name(), "wCQ");
         assert!(dynq.memory_footprint() > 0);
+    }
+
+    #[test]
+    fn batch_defaults_and_overrides_agree_through_the_trait() {
+        // The wCQ handle overrides the batch methods (ticket-run
+        // reservation); SCQ's shared-access handle uses the trait defaults.
+        // Both must show identical prefix-acceptance semantics.
+        let wcq: WcqQueue<u64> = WcqQueue::new(2, 1); // capacity 4
+        let scq: ScqQueue<u64> = ScqQueue::new(2); // capacity 4
+        for dynq in [
+            &wcq as &dyn WaitFreeQueue<u64>,
+            &scq as &dyn WaitFreeQueue<u64>,
+        ] {
+            let mut h = dynq.handle();
+            let mut batch: Vec<u64> = (0..6).collect();
+            let accepted = h.enqueue_many(&mut batch);
+            assert_eq!(accepted, 4, "{}", dynq.name());
+            assert_eq!(batch, vec![4, 5], "{}", dynq.name());
+            let mut out = Vec::new();
+            assert_eq!(h.dequeue_into(&mut out, 10), 4, "{}", dynq.name());
+            assert_eq!(out, vec![0, 1, 2, 3], "{}", dynq.name());
+            assert_eq!(h.dequeue_into(&mut out, 1), 0, "{}", dynq.name());
+        }
+    }
+
+    #[test]
+    fn hint_presence_is_reported_per_backend() {
+        let q: WcqQueue<u64> = WcqQueue::new(4, 2);
+        let dynq: &dyn WaitFreeQueue<u64> = &q;
+        assert!(dynq.has_empty_hint());
+        assert!(dynq.is_empty_hint());
+        let scq: ScqQueue<u64> = ScqQueue::new(4);
+        assert!((&scq as &dyn WaitFreeQueue<u64>).has_empty_hint());
     }
 
     #[test]

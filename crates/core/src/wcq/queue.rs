@@ -193,6 +193,57 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
         Some(value)
     }
 
+    /// Attempts to enqueue a prefix of `values` as the thread owning record
+    /// slot `tid`, with one free-ring F&A claiming the whole run of free
+    /// slots and one data-ring F&A publishing it (instead of one pair per
+    /// element).  Accepted elements are removed from the *front* of `values`
+    /// in order, so the batch preserves per-producer FIFO; the remainder is
+    /// left in `values` (partial success — the queue was full, or a
+    /// concurrent producer raced the free-slot claim).  Returns the number
+    /// of elements accepted.
+    ///
+    /// # Safety
+    /// Same contract as [`WcqQueue::enqueue_at`].
+    pub unsafe fn enqueue_many_at(&self, tid: usize, values: &mut Vec<T>) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        let mut free = Vec::with_capacity(values.len().min(self.capacity()));
+        self.fq.dequeue_many(tid, &mut free, values.len());
+        let accepted = free.len();
+        for (&index, value) in free.iter().zip(values.drain(..accepted)) {
+            // SAFETY: each free index came from `fq`; we own its slot until
+            // the run is published through `aq`.
+            unsafe { (*self.data[index as usize].get()).write(value) };
+        }
+        self.aq.enqueue_many(tid, &free);
+        accepted
+    }
+
+    /// Dequeues up to `max` elements into `out` as the thread owning record
+    /// slot `tid`, with one data-ring F&A claiming the run and one free-ring
+    /// F&A recycling the slot indices.  Returns the number appended —
+    /// possibly fewer than `max` even while elements remain (see
+    /// `WcqRing::dequeue_many` for the partial-success contract).
+    ///
+    /// # Safety
+    /// Same contract as [`WcqQueue::enqueue_at`].
+    pub unsafe fn dequeue_many_at(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut indices = Vec::with_capacity(max.min(self.capacity()));
+        let got = self.aq.dequeue_many(tid, &mut indices, max);
+        for &index in &indices {
+            // SAFETY: each index came from `aq`; the matching enqueue fully
+            // initialized the slot and nobody else touches it until the run
+            // is handed back to `fq`.
+            out.push(unsafe { (*self.data[index as usize].get()).assume_init_read() });
+        }
+        self.fq.enqueue_many(tid, &indices);
+        got
+    }
+
     /// Returns `true` if a dequeue would currently observe an empty queue
     /// (hint only under concurrency).
     pub fn is_empty_hint(&self) -> bool {
@@ -303,6 +354,31 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
             self.fq_stats.fast_enqueues += 1;
         }
         Some(value)
+    }
+
+    /// Batch [`WcqQueueHandle::enqueue`]: accepts a FIFO prefix of `values`
+    /// with one free-ring and one data-ring F&A for the whole run (see
+    /// [`WcqQueue::enqueue_many_at`]); the unaccepted remainder stays in
+    /// `values`.  Returns the number accepted.  Batch elements are counted
+    /// as fast-path operations in [`WcqQueueHandle::stats`].
+    pub fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        // SAFETY: the handle's existence proves ownership of slot `tid` on
+        // the registering thread (`!Send`).
+        let accepted = unsafe { self.queue.enqueue_many_at(self.tid, values) };
+        self.fq_stats.fast_dequeues += accepted as u64;
+        self.aq_stats.fast_enqueues += accepted as u64;
+        accepted
+    }
+
+    /// Batch [`WcqQueueHandle::dequeue`]: appends up to `max` elements to
+    /// `out` with one data-ring and one free-ring F&A for the whole run (see
+    /// [`WcqQueue::dequeue_many_at`] for the partial-success contract).
+    pub fn dequeue_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        // SAFETY: as in `enqueue_many`.
+        let got = unsafe { self.queue.dequeue_many_at(self.tid, out, max) };
+        self.aq_stats.fast_dequeues += got as u64;
+        self.fq_stats.fast_enqueues += got as u64;
+        got
     }
 
     /// The queue this handle operates on.
@@ -472,6 +548,83 @@ mod tests {
             drop(h);
         }
         assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn batch_accepts_a_fifo_prefix_when_full() {
+        let q: WcqQueue<u64> = WcqQueue::new(2, 1); // capacity 4
+        let mut h = q.register().unwrap();
+        h.enqueue(0).unwrap();
+        let mut rest: Vec<u64> = vec![1, 2, 3, 4, 5];
+        // Only 3 free slots remain: the batch accepts exactly the prefix.
+        assert_eq!(h.enqueue_many(&mut rest), 3);
+        assert_eq!(rest, vec![4, 5]);
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_many(&mut out, 10), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(h.dequeue(), None);
+        // The freed slots are recycled for the remainder.
+        assert_eq!(h.enqueue_many(&mut rest), 2);
+        assert!(rest.is_empty());
+        out.clear();
+        assert_eq!(h.dequeue_many(&mut out, 2), 2);
+        assert_eq!(out, vec![4, 5]);
+    }
+
+    #[test]
+    fn batch_roundtrip_drops_nothing() {
+        use std::sync::Arc;
+        let probe = Arc::new(());
+        {
+            let q: WcqQueue<Arc<()>> = WcqQueue::new(3, 1);
+            let mut h = q.register().unwrap();
+            let mut batch: Vec<Arc<()>> = (0..6).map(|_| Arc::clone(&probe)).collect();
+            assert_eq!(h.enqueue_many(&mut batch), 6);
+            let mut out = Vec::new();
+            assert_eq!(h.dequeue_many(&mut out, 4), 4);
+            drop(out);
+            assert_eq!(Arc::strong_count(&probe), 3);
+            drop(h);
+            // Two elements left inside the queue; Drop must release them.
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn batch_matches_singles_under_forced_slow_path() {
+        let cfg = WcqConfig {
+            max_patience_enqueue: 1,
+            max_patience_dequeue: 1,
+            help_delay: 1,
+            catchup_bound: 8,
+        };
+        let q: WcqQueue<u64> = WcqQueue::with_config(4, 2, cfg);
+        let mut h = q.register().unwrap();
+        let mut expected = VecDeque::new();
+        let mut next = 0u64;
+        for round in 0..300u64 {
+            let mut batch: Vec<u64> = (0..(round % 7))
+                .map(|_| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+                .collect();
+            let accepted = h.enqueue_many(&mut batch);
+            expected.extend((next - (round % 7))..(next - (round % 7) + accepted as u64));
+            next = next - (round % 7) + accepted as u64;
+            let mut out = Vec::new();
+            h.dequeue_many(&mut out, (round % 5) as usize);
+            for v in out {
+                assert_eq!(Some(v), expected.pop_front());
+            }
+        }
+        let mut out = Vec::new();
+        while h.dequeue_many(&mut out, 8) > 0 {}
+        for v in out {
+            assert_eq!(Some(v), expected.pop_front());
+        }
+        assert!(expected.is_empty());
     }
 
     #[test]

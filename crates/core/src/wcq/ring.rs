@@ -248,8 +248,15 @@ impl<F: CellFamily> WcqRing<F> {
     /// Fast-path enqueue attempt (`try_enq`).  On failure returns the tail
     /// ticket, which seeds the slow path.
     fn try_enq_fast(&self, index: u64) -> Result<(), u64> {
-        let l = &self.layout;
         let t = self.tail.fetch_add_cnt();
+        self.try_enq_at(t, index)
+    }
+
+    /// One insertion attempt at an already-reserved tail ticket `t` — the
+    /// body of `try_enq` after the F&A.  Batch enqueues reserve a run of
+    /// tickets with a single F&A and drive each through this.
+    fn try_enq_at(&self, t: u64, index: u64) -> Result<(), u64> {
+        let l = &self.layout;
         let j = l.slot(t);
         let cell = &self.entries[j];
         loop {
@@ -274,8 +281,17 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Fast-path dequeue attempt (`try_deq`).
     fn try_deq_fast(&self, my_tid: usize) -> FastDeq {
-        let l = &self.layout;
         let h = self.head.fetch_add_cnt();
+        self.try_deq_at(my_tid, h)
+    }
+
+    /// One consume attempt at an already-reserved head ticket `h` — the body
+    /// of `try_deq` after the F&A.  Every reserved ticket MUST pass through
+    /// here: a missed ticket still advances the slot's cycle so a straggling
+    /// enqueuer with an older ticket cannot deposit into a slot no dequeuer
+    /// will ever visit again.
+    fn try_deq_at(&self, my_tid: usize, h: u64) -> FastDeq {
+        let l = &self.layout;
         let j = l.slot(h);
         let cell = &self.entries[j];
         loop {
@@ -691,6 +707,85 @@ impl<F: CellFamily> WcqRing<F> {
         }
         (None, true)
     }
+
+    // ------------------------------------------------------------------
+    // Batch operations: one F&A reserves a run of consecutive tickets.
+    // ------------------------------------------------------------------
+
+    /// Enqueues every index in `indices`, reserving `indices.len()`
+    /// consecutive tail tickets with a single F&A (instead of one F&A per
+    /// element).  Always accepts the whole batch — like
+    /// [`WcqHandle::enqueue`], callers must respect the capacity discipline
+    /// (at most `capacity` values in circulation).
+    ///
+    /// Elements whose reserved ticket lands on an unusable slot (stale cycle,
+    /// unsafe bit, straddling the head) abandon that ticket — exactly what a
+    /// failed fast-path attempt does — and fall back to the standard
+    /// [`WcqRing::enqueue_index`] path, patience bound and slow-path helping
+    /// included, so the wait-freedom argument is unchanged.  Returns the
+    /// number of elements that used their batch ticket (statistics).
+    pub(crate) fn enqueue_many(&self, tid: usize, indices: &[u64]) -> usize {
+        if indices.is_empty() {
+            return 0;
+        }
+        self.help_threads(tid);
+        let base = self.tail.fetch_add_cnt_n(indices.len() as u64);
+        let mut on_ticket = 0;
+        for (k, &index) in indices.iter().enumerate() {
+            debug_assert!(index < self.layout.capacity());
+            if self.try_enq_at(base + k as u64, index).is_ok() {
+                on_ticket += 1;
+            } else {
+                self.enqueue_index(tid, index);
+            }
+        }
+        on_ticket
+    }
+
+    /// Dequeues up to `max` indices into `out`, reserving the whole run of
+    /// head tickets with a single F&A.  Returns the number of indices
+    /// appended — possibly fewer than `max` (partial success): the run is
+    /// clamped to the visible backlog, and a ticket raced by a concurrent
+    /// consumer or a not-yet-visible slow-path insertion counts as a miss
+    /// rather than being retried.
+    ///
+    /// Every reserved ticket is inspected via `try_deq_at` even after a miss;
+    /// skipping one would let a straggling enqueuer deposit into a slot no
+    /// dequeuer revisits (lost element).  A missed ticket pays the same
+    /// threshold decrement an individual failed dequeue would (Lemma 5.6).
+    pub(crate) fn dequeue_many(&self, tid: usize, out: &mut Vec<u64>, max: usize) -> usize {
+        if max == 0 || self.threshold.load(SeqCst) < 0 {
+            return 0;
+        }
+        self.help_threads(tid);
+        // Clamp to the visible backlog so an oversized batch never burns a
+        // run of guaranteed-empty tickets (each would cost a threshold
+        // decrement and a catchup).
+        let run = self.len_hint().min(max as u64);
+        if run == 0 {
+            // The tail counter lags a slow-path insertion's visibility; the
+            // standard path (patience + helping) covers that window.
+            return match self.dequeue_index(tid) {
+                (Some(index), _) => {
+                    out.push(index);
+                    1
+                }
+                (None, _) => 0,
+            };
+        }
+        let base = self.head.fetch_add_cnt_n(run);
+        let mut got = 0;
+        for k in 0..run {
+            match self.try_deq_at(tid, base + k) {
+                FastDeq::Got(index) => {
+                    out.push(index);
+                    got += 1;
+                }
+                FastDeq::Empty | FastDeq::Retry(_) => {}
+            }
+        }
+        got
+    }
 }
 
 // SAFETY: every shared field is an atomic (or an atomic-only struct); the
@@ -743,6 +838,25 @@ impl<'q, F: CellFamily> WcqHandle<'q, F> {
             self.stats.fast_dequeues += 1;
         }
         value
+    }
+
+    /// Enqueues every index in `indices` with one tail F&A for the whole run
+    /// (see `WcqRing::enqueue_many`).  Elements that could not use their
+    /// batch ticket fell back to the standard path and are counted as slow
+    /// enqueues.
+    pub fn enqueue_many(&mut self, indices: &[u64]) {
+        let on_ticket = self.ring.enqueue_many(self.tid, indices) as u64;
+        self.stats.fast_enqueues += on_ticket;
+        self.stats.slow_enqueues += indices.len() as u64 - on_ticket;
+    }
+
+    /// Dequeues up to `max` indices into `out` with one head F&A for the
+    /// whole run; returns the number appended (see
+    /// `WcqRing::dequeue_many` for the partial-success contract).
+    pub fn dequeue_many(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
+        let got = self.ring.dequeue_many(self.tid, out, max);
+        self.stats.fast_dequeues += got as u64;
+        got
     }
 }
 
@@ -916,6 +1030,132 @@ mod tests {
     #[test]
     fn mpmc_stress_native() {
         mpmc_stress::<NativeFamily>(3, 3, 4_000);
+    }
+
+    fn batch_fifo_roundtrip<F: CellFamily>() {
+        let r = ring::<F>(4, 2);
+        let mut h = r.register().unwrap();
+        let capacity = r.capacity();
+        let all: Vec<u64> = (0..capacity).collect();
+        h.enqueue_many(&all);
+        let mut out = Vec::new();
+        // Partial success: ask for more than is present.
+        let got = h.dequeue_many(&mut out, capacity as usize + 8);
+        assert_eq!(got, out.len());
+        assert_eq!(out, all);
+        assert_eq!(h.dequeue_many(&mut out, 4), 0);
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_fifo_roundtrip_native() {
+        batch_fifo_roundtrip::<NativeFamily>();
+    }
+
+    #[test]
+    fn batch_fifo_roundtrip_llsc() {
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        batch_fifo_roundtrip::<LlscFamily>();
+    }
+
+    #[test]
+    fn batch_wraparound_interleaved_with_singles() {
+        let r = ring::<NativeFamily>(3, 2);
+        let mut h = r.register().unwrap();
+        let mut expected = std::collections::VecDeque::new();
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        for round in 0..200u64 {
+            // Respect the ring's capacity discipline: a bare-ring enqueue on
+            // a full ring spins (the fq/aq pairing in `WcqQueue` is what
+            // rules that state out for real users).
+            let room = (r.capacity() as usize).saturating_sub(expected.len());
+            let batch: Vec<u64> = (0..((round % 5) as usize).min(room))
+                .map(|_| {
+                    let v = next % r.capacity();
+                    next += 1;
+                    expected.push_back(v);
+                    v
+                })
+                .collect();
+            h.enqueue_many(&batch);
+            let want = (round % 3) as usize;
+            out.clear();
+            let got = h.dequeue_many(&mut out, want.min(expected.len()));
+            for &v in &out {
+                assert_eq!(Some(v), expected.pop_front());
+            }
+            assert_eq!(got, out.len());
+        }
+        out.clear();
+        h.dequeue_many(&mut out, expected.len());
+        for &v in &out {
+            assert_eq!(Some(v), expected.pop_front());
+        }
+        assert!(expected.is_empty());
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_mpmc_no_loss_or_duplication() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let order = 6;
+        let r = ring::<NativeFamily>(order, 4);
+        let capacity = r.capacity();
+        let consumed = AtomicU64::new(0);
+        let inflight = AtomicU64::new(0);
+        let per_producer = 4_000u64;
+        let batch = 8u64;
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let r = &r;
+                let inflight = &inflight;
+                s.spawn(move || {
+                    let mut h = r.register().unwrap();
+                    let mut sent = 0;
+                    while sent < per_producer {
+                        if inflight.fetch_add(batch, Ordering::SeqCst) < capacity - 2 * batch {
+                            let run: Vec<u64> =
+                                (sent..sent + batch).map(|v| v % capacity).collect();
+                            h.enqueue_many(&run);
+                            sent += batch;
+                        } else {
+                            inflight.fetch_sub(batch, Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let r = &r;
+                let consumed = &consumed;
+                let inflight = &inflight;
+                let total = 2 * per_producer;
+                s.spawn(move || {
+                    let mut h = r.register().unwrap();
+                    let mut out = Vec::new();
+                    while consumed.load(Ordering::SeqCst) < total {
+                        out.clear();
+                        let got = h.dequeue_many(&mut out, batch as usize) as u64;
+                        if got > 0 {
+                            for &v in &out {
+                                assert!(v < capacity);
+                            }
+                            consumed.fetch_add(got, Ordering::SeqCst);
+                            inflight.fetch_sub(got, Ordering::SeqCst);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            consumed.load(std::sync::atomic::Ordering::SeqCst),
+            2 * per_producer
+        );
+        let mut h = r.register().unwrap();
+        assert_eq!(h.dequeue(), None);
     }
 
     #[test]

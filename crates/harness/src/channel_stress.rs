@@ -24,9 +24,10 @@
 //! that `is_empty_hint()` agrees the drained channel is empty.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Mutex;
 
-use wcq::channel::{Receiver, Sender, TrySendError};
+use wcq::channel::{Receiver, SendError, Sender, TrySendError};
 use wcq::ChannelBackend;
 
 use crate::queues::HARNESS_SHARDS;
@@ -56,6 +57,22 @@ pub struct ChannelStressPlan {
     /// proves a post-close send fails; `false`: the close is the organic
     /// last-sender-drop.
     pub explicit_close: bool,
+    /// Batch size for the producer and consumer endpoints.  `1` keeps the
+    /// per-value `send`/`recv` loops; larger values send through
+    /// [`Sender::send_iter`] in chunks of this size and drain through
+    /// [`Receiver::recv_many`], exercising the batched close-check paths
+    /// against the same exact-drain oracle.
+    pub send_batch: usize,
+    /// `true` (batched plans only): the coordinator closes the channel
+    /// *while* producers are still inside `send_iter`, once a fraction of the
+    /// quota has drained.  Producers then report exactly how many values the
+    /// channel accepted before `Closed` — `send_iter` accepts a FIFO prefix
+    /// and returns the rest in its error — and the oracle checks that every
+    /// accepted element drains exactly once.  Overrides [`explicit_close`]:
+    /// the racing close is always explicit.
+    ///
+    /// [`explicit_close`]: ChannelStressPlan::explicit_close
+    pub racing_close: bool,
 }
 
 impl ChannelStressPlan {
@@ -63,16 +80,30 @@ impl ChannelStressPlan {
     /// always yields the same plan.
     pub fn from_seed(backend: ChannelBackend, seed: u64) -> Self {
         let mut rng = DetRng::new(seed ^ 0xC1_05ED_C4A7);
+        let producers = rng.range_inclusive(1, 3) as usize;
+        let consumers = rng.range_inclusive(1, 3) as usize;
+        let sends_per_producer = rng.range_inclusive(1_000, 4_000);
+        // Small enough that the bounded backend exercises real Full
+        // backpressure mid-run.
+        let capacity_order = rng.range_inclusive(5, 7) as u32;
+        let explicit_close = rng.chance(0.5);
+        // Drawn last so the batch dimensions never perturb the older fields.
+        let send_batch = if rng.chance(0.5) {
+            rng.range_inclusive(2, 32) as usize
+        } else {
+            1
+        };
+        let racing_close = send_batch > 1 && rng.chance(0.5);
         Self {
             seed,
             backend,
-            producers: rng.range_inclusive(1, 3) as usize,
-            consumers: rng.range_inclusive(1, 3) as usize,
-            sends_per_producer: rng.range_inclusive(1_000, 4_000),
-            // Small enough that the bounded backend exercises real Full
-            // backpressure mid-run.
-            capacity_order: rng.range_inclusive(5, 7) as u32,
-            explicit_close: rng.chance(0.5),
+            producers,
+            consumers,
+            sends_per_producer,
+            capacity_order,
+            explicit_close,
+            send_batch,
+            racing_close,
         }
     }
 
@@ -101,6 +132,10 @@ impl ChannelStressPlan {
         let hint_probe = rx.clone();
 
         let observations = Mutex::new(Vec::<Vec<u64>>::new());
+        // producer id → values the channel actually accepted pre-close
+        // (always the full quota except under a racing close).
+        let accepted_counts = Mutex::new(HashMap::<usize, u64>::new());
+        let received_total = AtomicU64::new(0);
         let mut post_close_send_failed = None;
 
         std::thread::scope(|s| {
@@ -108,11 +143,49 @@ impl ChannelStressPlan {
             for wid in 0..self.producers {
                 let mut tx = tx.clone();
                 let quota = self.sends_per_producer;
+                let batch = self.send_batch.max(1);
+                let racing = self.racing_close;
+                let accepted_counts = &accepted_counts;
                 producer_joins.push(s.spawn(move || {
-                    for seq in 1..=quota {
-                        tx.send(encode(wid, seq))
-                            .expect("channel closed before the pre-close quota was sent");
+                    let mut accepted = 0u64;
+                    if batch == 1 {
+                        for seq in 1..=quota {
+                            match tx.send(encode(wid, seq)) {
+                                Ok(()) => accepted += 1,
+                                Err(_) if racing => break,
+                                Err(_) => {
+                                    panic!("channel closed before the pre-close quota was sent")
+                                }
+                            }
+                        }
+                    } else {
+                        let mut next_seq = 1u64;
+                        while next_seq <= quota {
+                            let n = batch.min((quota - next_seq + 1) as usize);
+                            let chunk: Vec<u64> =
+                                (0..n).map(|k| encode(wid, next_seq + k as u64)).collect();
+                            next_seq += n as u64;
+                            match tx.send_iter(chunk) {
+                                Ok(sent) => accepted += sent as u64,
+                                // `send_iter` accepts a FIFO prefix of the
+                                // chunk and hands back the unsent suffix, so
+                                // this producer's accepted set is exactly
+                                // seqs 1..=accepted.
+                                Err(SendError(remainder)) => {
+                                    assert!(
+                                        racing,
+                                        "channel closed before the pre-close quota was sent"
+                                    );
+                                    accepted += (n - remainder.len()) as u64;
+                                    break;
+                                }
+                            }
+                        }
                     }
+                    accepted_counts
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .insert(wid, accepted);
                     // `tx` drops here; in the last-drop mode the final
                     // producer's drop is what closes the channel.
                 }));
@@ -120,28 +193,62 @@ impl ChannelStressPlan {
             for _ in 0..self.consumers {
                 let mut rx = rx.clone();
                 let observations = &observations;
+                let received_total = &received_total;
+                let batch = self.send_batch.max(1);
                 s.spawn(move || {
                     let mut local = Vec::new();
                     // Blocking recv until closed *and* drained — the
                     // channel's own definition of the end of the stream.
-                    while let Ok(value) = rx.recv() {
-                        local.push(value);
+                    if batch == 1 {
+                        while let Ok(value) = rx.recv() {
+                            received_total.fetch_add(1, SeqCst);
+                            local.push(value);
+                        }
+                    } else {
+                        let mut grab = Vec::with_capacity(batch);
+                        while let Ok(got) = rx.recv_many(&mut grab, batch) {
+                            received_total.fetch_add(got as u64, SeqCst);
+                            local.append(&mut grab);
+                        }
                     }
-                    observations.lock().unwrap().push(local);
+                    observations
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(local);
                 });
             }
-            // The coordinator holds the original `tx`, keeping the channel
-            // open until every producer finished its quota.
-            for join in producer_joins {
-                join.join().expect("producer panicked");
-            }
             let mut tx = tx;
-            if self.explicit_close {
+            if self.racing_close {
+                // Close mid-stream: wait only until a quarter of the quota
+                // has drained (or the producers outran us), then cut the
+                // senders off inside their `send_iter` loops.
+                let threshold = (self.producers as u64 * self.sends_per_producer) / 4;
+                while received_total.load(SeqCst) < threshold
+                    && !producer_joins.iter().all(|j| j.is_finished())
+                {
+                    std::thread::yield_now();
+                }
                 tx.close();
                 post_close_send_failed = Some(matches!(
                     tx.try_send(u64::MAX),
                     Err(TrySendError::Closed(_))
                 ));
+                for join in producer_joins {
+                    join.join().expect("producer panicked");
+                }
+            } else {
+                // The coordinator holds the original `tx`, keeping the
+                // channel open until every producer finished its quota.
+                for join in producer_joins {
+                    join.join().expect("producer panicked");
+                }
+                if self.explicit_close {
+                    tx.close();
+                    post_close_send_failed = Some(matches!(
+                        tx.try_send(u64::MAX),
+                        Err(TrySendError::Closed(_))
+                    ));
+                }
             }
             drop(tx); // last sender: closes organically in the drop mode
             drop(rx);
@@ -159,10 +266,12 @@ impl ChannelStressPlan {
 
         ChannelStressReport {
             plan: self.clone(),
-            sent_per_producer: (0..self.producers)
-                .map(|wid| (wid, self.sends_per_producer))
-                .collect(),
-            observations: observations.into_inner().unwrap(),
+            sent_per_producer: accepted_counts
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            observations: observations
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
             post_close_send_failed,
             empty_hint_after_drain,
         }
@@ -186,7 +295,9 @@ impl ChannelStressPlan {
 pub struct ChannelStressReport {
     /// The plan that produced this report.
     pub plan: ChannelStressPlan,
-    /// producer id → values that producer sent (all sends pre-close).
+    /// producer id → values the channel accepted from that producer before
+    /// the close (the full quota except under a racing close, where it is
+    /// the FIFO prefix `send_iter` reported as accepted).
     pub sent_per_producer: HashMap<usize, u64>,
     /// Per-consumer observation sequences, in local order.
     pub observations: Vec<Vec<u64>>,
@@ -333,6 +444,41 @@ mod tests {
         // `tests/channel.rs`.
         let mut plan = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 7);
         plan.sends_per_producer = 300;
+        plan.send_batch = 1;
+        plan.racing_close = false;
+        plan.assert_holds();
+    }
+
+    #[test]
+    fn seed_derivation_covers_batched_and_racing_plans() {
+        let plans: Vec<_> = (0..32u64)
+            .map(|s| ChannelStressPlan::from_seed(ChannelBackend::Unbounded, s))
+            .collect();
+        assert!(plans.iter().any(|p| p.send_batch == 1));
+        assert!(plans.iter().any(|p| p.send_batch > 1));
+        assert!(plans.iter().any(|p| p.racing_close));
+        assert!(plans.iter().all(|p| !p.racing_close || p.send_batch > 1));
+    }
+
+    #[test]
+    fn batched_sends_drain_exactly_once() {
+        let mut plan = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 7);
+        plan.sends_per_producer = 300;
+        plan.send_batch = 16;
+        plan.racing_close = false;
+        plan.assert_holds();
+    }
+
+    #[test]
+    fn send_iter_racing_close_drains_every_accepted_element_exactly_once() {
+        // The close lands while producers are mid-`send_iter`; the oracle
+        // then holds over exactly the accepted prefixes.  (On a loaded box
+        // the race may degenerate to closing after the quota — the oracle is
+        // the same either way.)
+        let mut plan = ChannelStressPlan::from_seed(ChannelBackend::Unbounded, 7);
+        plan.sends_per_producer = 400;
+        plan.send_batch = 8;
+        plan.racing_close = true;
         plan.assert_holds();
     }
 }

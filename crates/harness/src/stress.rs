@@ -109,6 +109,17 @@ pub struct StressPlan {
     /// invention for them.  Ignored by non-sharded kinds (their FIFO check
     /// always applies).  `from_seed` pins sharded plans by default.
     pub pin_producers: bool,
+    /// Batch size for producer enqueues and consumer dequeues.  `1` runs the
+    /// original per-operation loops; larger values route through
+    /// [`QueueHandle::enqueue_many`]/[`QueueHandle::dequeue_into`] so the
+    /// batched paths face the same no-loss / no-duplication / per-producer
+    /// FIFO oracle as the singles (a producer's batch is one FIFO run, so
+    /// the ordering clause is unchanged).  Mixers always run per-op: they
+    /// exist to interleave helping, not to amortize.
+    ///
+    /// [`QueueHandle::enqueue_many`]: wcq_core::api::QueueHandle::enqueue_many
+    /// [`QueueHandle::dequeue_into`]: wcq_core::api::QueueHandle::dequeue_into
+    pub batch: usize,
 }
 
 impl StressPlan {
@@ -146,6 +157,13 @@ impl StressPlan {
         } else {
             0.0
         };
+        // Half the plans stress the batched entry points (drawn last so the
+        // batch dimension never perturbs the older fields' derivations).
+        let batch = if rng.chance(0.5) {
+            rng.range_inclusive(2, 16) as usize
+        } else {
+            1
+        };
         Self {
             seed,
             kind,
@@ -159,6 +177,7 @@ impl StressPlan {
             wcq_config,
             spurious_rate,
             pin_producers: kind.is_sharded(),
+            batch,
         }
     }
 
@@ -211,13 +230,34 @@ impl StressPlan {
                 let feeders_done = &feeders_done;
                 let enqueue_counts = &enqueue_counts;
                 let ops = self.ops_per_producer;
+                let batch = self.batch.max(1);
                 s.spawn(move || {
                     let mut h = queue.handle();
-                    for seq in 1..=ops {
-                        h.enqueue(encode(wid, seq));
-                        enqueued_total.fetch_add(1, SeqCst);
+                    if batch == 1 {
+                        for seq in 1..=ops {
+                            h.enqueue(encode(wid, seq));
+                            enqueued_total.fetch_add(1, SeqCst);
+                        }
+                    } else {
+                        let mut buf = Vec::with_capacity(batch);
+                        let mut next_seq = 1u64;
+                        while next_seq <= ops || !buf.is_empty() {
+                            while buf.len() < batch && next_seq <= ops {
+                                buf.push(encode(wid, next_seq));
+                                next_seq += 1;
+                            }
+                            let accepted = h.enqueue_many(&mut buf);
+                            enqueued_total.fetch_add(accepted as u64, SeqCst);
+                            if accepted == 0 {
+                                // Bounded backend full: let consumers run.
+                                std::thread::yield_now();
+                            }
+                        }
                     }
-                    enqueue_counts.lock().unwrap().insert(wid, ops);
+                    enqueue_counts
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .insert(wid, ops);
                     feeders_done.fetch_add(1, SeqCst);
                 });
             }
@@ -247,9 +287,15 @@ impl StressPlan {
                             consumed_total.fetch_add(1, SeqCst);
                         }
                     }
-                    enqueue_counts.lock().unwrap().insert(wid, seq);
+                    enqueue_counts
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .insert(wid, seq);
                     feeders_done.fetch_add(1, SeqCst);
-                    observations.lock().unwrap().push(local);
+                    observations
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(local);
                 });
             }
             // Consumers: drain until every enqueued value is accounted for.
@@ -259,9 +305,11 @@ impl StressPlan {
                 let consumed_total = &consumed_total;
                 let feeders_done = &feeders_done;
                 let observations = &observations;
+                let batch = self.batch.max(1);
                 s.spawn(move || {
                     let mut h = queue.handle();
                     let mut local = Vec::new();
+                    let mut grab = Vec::with_capacity(batch);
                     loop {
                         let done = feeders_done.load(SeqCst) == feeders;
                         // `enqueued_total` is only final once all feeders are
@@ -270,15 +318,28 @@ impl StressPlan {
                         if done && consumed_total.load(SeqCst) >= enqueued_total.load(SeqCst) {
                             break;
                         }
-                        match h.dequeue() {
-                            Some(v) => {
-                                local.push(v);
-                                consumed_total.fetch_add(1, SeqCst);
+                        if batch == 1 {
+                            match h.dequeue() {
+                                Some(v) => {
+                                    local.push(v);
+                                    consumed_total.fetch_add(1, SeqCst);
+                                }
+                                None => std::thread::yield_now(),
                             }
-                            None => std::thread::yield_now(),
+                        } else {
+                            let got = h.dequeue_into(&mut grab, batch);
+                            if got > 0 {
+                                consumed_total.fetch_add(got as u64, SeqCst);
+                                local.append(&mut grab);
+                            } else {
+                                std::thread::yield_now();
+                            }
                         }
                     }
-                    observations.lock().unwrap().push(local);
+                    observations
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(local);
                 });
             }
         });
@@ -296,8 +357,15 @@ impl StressPlan {
 
         StressReport {
             plan: self.clone(),
-            enqueue_counts: enqueue_counts.into_inner().unwrap(),
-            observations: observations.into_inner().unwrap(),
+            // `into_inner` recovers through poison too: if a worker panicked
+            // while holding a collector lock, its own panic is the one the
+            // caller must see — not a second-hand `PoisonError` unwrap here.
+            enqueue_counts: enqueue_counts
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            observations: observations
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
             empty_hint_after_drain,
         }
     }
@@ -585,5 +653,66 @@ mod tests {
         plan.ops_per_producer = 500;
         plan.ops_per_mixer = 200;
         plan.assert_holds();
+    }
+
+    #[test]
+    fn seed_derivation_covers_both_batched_and_single_op_plans() {
+        let batches: HashSet<usize> = (0..32u64)
+            .map(|s| StressPlan::from_seed(QueueKind::Wcq, s).batch)
+            .collect();
+        assert!(
+            batches.contains(&1),
+            "some plans must keep the per-op loops"
+        );
+        assert!(
+            batches.iter().any(|&b| b > 1),
+            "some plans must exercise enqueue_many/dequeue_into"
+        );
+    }
+
+    #[test]
+    fn batched_plans_satisfy_the_full_oracle() {
+        // Batched producers and consumers over a bounded ring small enough
+        // that enqueue_many sees real partial acceptance mid-run.
+        let mut plan = StressPlan::from_seed(QueueKind::Scq, 7);
+        plan.ops_per_producer = 500;
+        plan.ops_per_mixer = 100;
+        plan.ring_order = 6;
+        plan.batch = 8;
+        plan.assert_holds();
+    }
+
+    #[test]
+    fn a_failing_workers_own_panic_survives_collector_poisoning() {
+        // A worker that panics while holding a collector lock poisons it.
+        // The report assembly must recover the data through the poison so
+        // the *worker's* message is what a test harness reports — before
+        // the `unwrap_or_else(into_inner)` fix, the next `.lock().unwrap()`
+        // died with an unrelated `PoisonError` instead.
+        let observations = Mutex::new(Vec::<Vec<u64>>::new());
+        let payload = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _held = observations.lock().unwrap();
+                panic!("worker 3 dequeued an impossible value");
+            })
+            .join()
+        })
+        .expect_err("the worker panics by design");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a string");
+        assert!(
+            message.contains("impossible value"),
+            "the worker's own message must survive: {message}"
+        );
+        assert!(!message.contains("PoisonError"));
+        // The harness-side recovery: collectors stay readable after poison.
+        let recovered = observations
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        assert!(recovered.is_empty());
     }
 }

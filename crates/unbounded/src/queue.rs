@@ -547,6 +547,118 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
         }
     }
 
+    /// Enqueues every element of `values` (draining it), paying the tail
+    /// protection, memo rebind, close-check, and `len_hint` update **once per
+    /// segment run** instead of once per element.  Returns the number
+    /// enqueued, which — the queue being unbounded — is always the original
+    /// `values.len()`.
+    ///
+    /// Elements that straddle a segment boundary fall back to the single-op
+    /// close-and-append path for one element, then resume batching into the
+    /// fresh tail, so the wait-freedom and exact-close arguments of
+    /// [`UnboundedWcqHandle::enqueue`] carry over unchanged.
+    pub fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        let tid = self.hp.tid();
+        let mut total = 0;
+        while !values.is_empty() {
+            let tailp = self.hp.protect(0, &self.queue.tail);
+            // SAFETY: protected by hazard slot 0; segments are retired only
+            // after becoming unreachable and unprotected.
+            let seg = unsafe { &*tailp };
+            let next = seg.next.load(SeqCst);
+            if !next.is_null() {
+                let _ = self
+                    .queue
+                    .tail
+                    .compare_exchange(tailp, next, SeqCst, SeqCst);
+                continue;
+            }
+            // SAFETY: `tailp` is protected by slot 0 (rebind contract), and
+            // the bound op runs under the binding established here.
+            let accepted = unsafe {
+                self.rebind(tailp);
+                seg.try_enqueue_many_bound(tid, values)
+            };
+            if accepted > 0 {
+                self.queue.len_hint.fetch_add(accepted as isize, Relaxed);
+                total += accepted;
+                continue;
+            }
+            // Full or closed with nothing accepted: push one element through
+            // the single-op path (which closes the tail and appends a fresh
+            // segment), then resume batching into the new tail.
+            let value = values.remove(0);
+            self.enqueue(value);
+            total += 1;
+        }
+        self.hp.clear_one(0);
+        total
+    }
+
+    /// Dequeues up to `max` elements into `out` with one head protection,
+    /// memo rebind, and `len_hint` update per call.  Returns the number
+    /// appended; `0` means the whole queue was observed empty.
+    ///
+    /// A call never straddles a segment boundary: the first segment that
+    /// yields anything ends the call, so fewer than `max` elements returned
+    /// does **not** imply the queue is empty.
+    pub fn dequeue_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let tid = self.hp.tid();
+        let mut backoff = Backoff::new();
+        loop {
+            let headp = self.hp.protect(0, &self.queue.head);
+            // SAFETY: protected by hazard slot 0; the bound ops below run
+            // under the binding established by `rebind`.
+            let seg = unsafe {
+                self.rebind(headp);
+                &*headp
+            };
+            // SAFETY: bound just above.
+            let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
+            if got > 0 {
+                self.queue.len_hint.fetch_sub(got as isize, Relaxed);
+                self.hp.clear_one(0);
+                return got;
+            }
+            let next = seg.next.load(SeqCst);
+            if next.is_null() {
+                self.hp.clear_one(0);
+                return 0;
+            }
+            if seg.inflight() != 0 {
+                backoff.snooze_or_yield();
+                continue;
+            }
+            // SAFETY: still bound to `headp`.
+            let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
+            if got > 0 {
+                self.queue.len_hint.fetch_sub(got as isize, Relaxed);
+                self.hp.clear_one(0);
+                return got;
+            }
+            let _ = self
+                .queue
+                .tail
+                .compare_exchange(headp, next, SeqCst, SeqCst);
+            if self
+                .queue
+                .head
+                .compare_exchange(headp, next, SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.queue.segments_live.fetch_sub(1, SeqCst);
+                self.unbind();
+                self.hp.clear_one(0);
+                // SAFETY: the CAS winner is the unique retirer of the now
+                // unreachable segment; `recycle_segment` matches `T, F`.
+                unsafe { self.hp.retire_with(headp, recycle_segment::<T, F>) };
+            }
+        }
+    }
+
     /// Forces a hazard-pointer scan of this handle's retired segments right
     /// now (used by tests to make recycling deterministic).
     pub fn flush_reclamation(&mut self) {
@@ -583,6 +695,12 @@ impl<T: Send, F: CellFamily> QueueHandle<T> for UnboundedWcqHandle<'_, T, F> {
         // Unbounded: no full state to retry around.
         UnboundedWcqHandle::enqueue(self, value);
     }
+    fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        UnboundedWcqHandle::enqueue_many(self, values)
+    }
+    fn dequeue_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        UnboundedWcqHandle::dequeue_many(self, out, max)
+    }
 }
 
 impl<T: Send, F: CellFamily> WaitFreeQueue<T> for UnboundedWcq<T, F> {
@@ -604,6 +722,9 @@ impl<T: Send, F: CellFamily> WaitFreeQueue<T> for UnboundedWcq<T, F> {
     }
     fn is_empty_hint(&self) -> bool {
         self.len_hint() == 0
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
     }
 }
 
@@ -744,6 +865,71 @@ mod tests {
             assert_eq!(h.dequeue(), Some(i));
         }
         assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_roundtrip_across_segment_boundaries() {
+        // 8-slot segments, batches of 30: every batch straddles boundaries,
+        // exercising the close-and-append fallback inside `enqueue_many`.
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 2);
+        let mut h = q.register().unwrap();
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..10 {
+            let mut batch: Vec<u64> = (next_in..next_in + 30).collect();
+            next_in += 30;
+            assert_eq!(h.enqueue_many(&mut batch), 30, "unbounded accepts all");
+            assert!(batch.is_empty());
+            let mut out = Vec::new();
+            while out.len() < 30 {
+                let want = 30 - out.len();
+                let got = h.dequeue_many(&mut out, want);
+                assert!(got > 0, "queue holds undelivered elements");
+            }
+            for v in out {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+        }
+        assert_eq!(h.dequeue(), None);
+        assert_eq!(q.len_hint(), 0, "batch ops keep the hint balanced");
+    }
+
+    #[test]
+    fn batch_amortizes_the_memo_within_one_segment() {
+        // Large segment: batches must not rebind more than the single op
+        // would (one initial bind, no churn).
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(8, 2);
+        let mut h = q.register().unwrap();
+        for round in 0..8u64 {
+            let mut batch: Vec<u64> = (round * 16..(round + 1) * 16).collect();
+            h.enqueue_many(&mut batch);
+            let mut out = Vec::new();
+            assert_eq!(h.dequeue_many(&mut out, 16), 16);
+            assert_eq!(out, ((round * 16)..(round + 1) * 16).collect::<Vec<_>>());
+        }
+        assert_eq!(h.segment_rebinds(), 1, "{h:?}");
+    }
+
+    #[test]
+    fn batch_trait_impls_delegate_to_the_specialized_paths() {
+        use wcq_core::api::WaitFreeQueue;
+        let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 2);
+        assert!(
+            (&q as &dyn WaitFreeQueue<u64>).has_empty_hint(),
+            "wLSCQ advertises its truthful emptiness hint"
+        );
+        let mut h = q.register().unwrap();
+        let mut batch: Vec<u64> = (0..40).collect();
+        assert_eq!(QueueHandle::enqueue_many(&mut h, &mut batch), 40);
+        let mut out = Vec::new();
+        let mut got = 0;
+        while got < 40 {
+            let n = QueueHandle::dequeue_into(&mut h, &mut out, 40 - got);
+            assert!(n > 0);
+            got += n;
+        }
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
     }
 
     #[test]

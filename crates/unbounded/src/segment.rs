@@ -122,6 +122,64 @@ impl<T, F: CellFamily> Segment<T, F> {
         res
     }
 
+    /// Batch counterpart of [`Segment::try_enqueue_bound`]: claims up to
+    /// `values.len()` credits with **one** `fetch_sub`, feeds the granted
+    /// prefix to the inner batch enqueue, and returns the number accepted
+    /// (drained from the front of `values`).  Returning `0` means the segment
+    /// is full or closed and will never accept anything.
+    ///
+    /// Credits over-claimed by the single subtraction are returned before the
+    /// inner enqueue runs, so the semaphore invariant (credits never exceed
+    /// free inner slots) holds throughout.  The claim is clamped to the
+    /// segment capacity so an oversized batch cannot push `state` anywhere
+    /// near the [`CLOSE_DELTA`] sentinel range.
+    ///
+    /// # Safety
+    /// The caller must hold a live [`Segment::bind`] on `tid`.
+    pub(crate) unsafe fn try_enqueue_many_bound(&self, tid: usize, values: &mut Vec<T>) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        let want = (values.len() as i64).min(self.capacity);
+        self.inflight.fetch_add(1, SeqCst);
+        let credit = self.state.fetch_sub(want, SeqCst);
+        let granted = credit.clamp(0, want);
+        if granted < want {
+            self.state.fetch_add(want - granted, SeqCst);
+        }
+        if granted == 0 {
+            self.inflight.fetch_sub(1, SeqCst);
+            return 0;
+        }
+        let accepted = if granted as usize == values.len() {
+            // SAFETY: bound per the function contract.
+            unsafe { self.queue.enqueue_many_at(tid, values) }
+        } else {
+            // Only the granted prefix may touch the inner ring: feeding the
+            // whole vec would let the inner enqueue consume free slots that
+            // belong to other credit holders.
+            let mut run: Vec<T> = values.drain(..granted as usize).collect();
+            // SAFETY: bound per the function contract.
+            let accepted = unsafe { self.queue.enqueue_many_at(tid, &mut run) };
+            if !run.is_empty() {
+                run.append(values);
+                *values = run;
+            }
+            accepted
+        };
+        if (accepted as i64) < granted {
+            // A credit guarantees a free inner slot, so this branch is
+            // unreachable; restore the credits if the invariant ever breaks.
+            debug_assert!(
+                false,
+                "credit-holding batch enqueue found the inner ring full"
+            );
+            self.state.fetch_add(granted - accepted as i64, SeqCst);
+        }
+        self.inflight.fetch_sub(1, SeqCst);
+        accepted
+    }
+
     /// Attempts to dequeue assuming the caller is already bound; `None` means
     /// the inner ring was observed empty.
     ///
@@ -134,6 +192,26 @@ impl<T, F: CellFamily> Segment<T, F> {
             self.state.fetch_add(1, SeqCst);
         }
         v
+    }
+
+    /// Batch counterpart of [`Segment::try_dequeue_bound`]: pulls up to `max`
+    /// values with one inner batch dequeue and returns one credit per value
+    /// with a **single** `fetch_add`.
+    ///
+    /// # Safety
+    /// The caller must hold a live [`Segment::bind`] on `tid`.
+    pub(crate) unsafe fn try_dequeue_many_bound(
+        &self,
+        tid: usize,
+        out: &mut Vec<T>,
+        max: usize,
+    ) -> usize {
+        // SAFETY: bound per the function contract.
+        let got = unsafe { self.queue.dequeue_many_at(tid, out, max) };
+        if got > 0 {
+            self.state.fetch_add(got as i64, SeqCst);
+        }
+        got
     }
 
     /// One-shot enqueue: bind, operate, unbind.  Used off the hot path (the

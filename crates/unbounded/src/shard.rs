@@ -317,6 +317,44 @@ impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
         None
     }
 
+    /// Enqueues every element of `values` (draining it) onto **one** shard
+    /// picked by a single policy decision, so the batch pays one route — one
+    /// cursor bump or one length scan — instead of one per element.  Returns
+    /// the number enqueued (always the original `values.len()`; each shard is
+    /// unbounded).
+    ///
+    /// Routing whole batches is the sharded FIFO contract at batch
+    /// granularity: a pinned producer's batches all land on its home shard in
+    /// order, while the spreading policies spread batch-by-batch rather than
+    /// element-by-element.
+    pub fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        let shard = self.route();
+        self.handles[shard].enqueue_many(values)
+    }
+
+    /// Dequeues up to `max` elements into `out`: the home shard is drained
+    /// first, and only if it yields nothing does the scan steal from the
+    /// other shards in ring order — the batch analogue of
+    /// [`ShardedWcqHandle::dequeue`]'s routing.  Returns the number appended;
+    /// `0` means every shard was observed empty once during the scan.
+    pub fn dequeue_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let n = self.handles.len();
+        for k in 0..n {
+            let shard = (self.home + k) % n;
+            let got = self.handles[shard].dequeue_many(out, max);
+            if got > 0 {
+                return got;
+            }
+        }
+        0
+    }
+
     /// Forces a hazard-pointer scan of the retired segments of every shard
     /// (used by tests to make recycling deterministic).
     pub fn flush_reclamation(&mut self) {
@@ -348,6 +386,12 @@ impl<T: Send, F: CellFamily> QueueHandle<T> for ShardedWcqHandle<'_, T, F> {
         // Unbounded: no full state to retry around.
         ShardedWcqHandle::enqueue(self, value);
     }
+    fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        ShardedWcqHandle::enqueue_many(self, values)
+    }
+    fn dequeue_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        ShardedWcqHandle::dequeue_many(self, out, max)
+    }
 }
 
 impl<T: Send, F: CellFamily> WaitFreeQueue<T> for ShardedWcq<T, F> {
@@ -374,6 +418,9 @@ impl<T: Send, F: CellFamily> WaitFreeQueue<T> for ShardedWcq<T, F> {
     }
     fn is_empty_hint(&self) -> bool {
         self.shards.iter().all(|s| s.len_hint() == 0)
+    }
+    fn has_empty_hint(&self) -> bool {
+        true
     }
 }
 
@@ -544,6 +591,83 @@ mod tests {
         let n = THREADS * PER_THREAD;
         assert_eq!(count.load(Ordering::Relaxed), n);
         assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn batch_enqueue_routes_once_per_batch() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::RoundRobin);
+        let mut h = q.handle();
+        // Four batches of 10 must land on four different shards whole, not be
+        // sprayed element-wise (which would put 10 on every shard anyway but
+        // interleave streams).
+        for b in 0..4u64 {
+            let mut batch: Vec<u64> = (b * 10..(b + 1) * 10).collect();
+            assert_eq!(h.enqueue_many(&mut batch), 10);
+        }
+        for shard in q.shards() {
+            assert_eq!(shard.len_hint(), 10, "whole batches spread round-robin");
+        }
+        // Each shard holds one contiguous FIFO batch.
+        for shard in q.shards() {
+            let mut sh = shard.register().unwrap();
+            let first = sh.dequeue().unwrap();
+            assert_eq!(first % 10, 0, "batches were not split across shards");
+            for offset in 1..10 {
+                assert_eq!(sh.dequeue(), Some(first + offset));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dequeue_drains_home_then_steals() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(2, 6, 2, ShardPolicy::Pinned);
+        let mut h = q.handle();
+        let mut batch: Vec<u64> = (0..20).collect();
+        h.enqueue_many(&mut batch);
+        // Park 5 values on the non-home shard by hand to force a steal later.
+        let other = (h.home_shard() + 1) % 2;
+        for i in 100..105 {
+            h.handles[other].enqueue(i);
+        }
+        let mut out = Vec::new();
+        let mut drained = 0;
+        while drained < 20 {
+            let got = h.dequeue_many(&mut out, 8);
+            assert!(got > 0);
+            drained += got;
+        }
+        assert_eq!(out, (0..20).collect::<Vec<_>>(), "home FIFO drained first");
+        out.clear();
+        let mut stolen = 0;
+        while stolen < 5 {
+            let got = h.dequeue_many(&mut out, 8);
+            assert!(got > 0, "steal scan must reach the other shard");
+            stolen += got;
+        }
+        assert_eq!(out, (100..105).collect::<Vec<_>>());
+        assert_eq!(h.dequeue_many(&mut out, 8), 0);
+    }
+
+    #[test]
+    fn batch_trait_impls_delegate_and_hint_is_advertised() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(2, 4, 2, ShardPolicy::RoundRobin);
+        let dynq: &dyn WaitFreeQueue<u64> = &q;
+        assert!(dynq.has_empty_hint());
+        let mut h = dynq.handle();
+        let mut batch: Vec<u64> = (0..30).collect();
+        assert_eq!(h.enqueue_many(&mut batch), 30);
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        loop {
+            out.clear();
+            if h.dequeue_into(&mut out, 7) == 0 {
+                break;
+            }
+            for v in &out {
+                assert!(seen.insert(*v));
+            }
+        }
+        assert_eq!(seen.len(), 30);
     }
 
     #[test]

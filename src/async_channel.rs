@@ -72,6 +72,25 @@ impl<T: Send + 'static> AsyncSender<T> {
         self.inner.try_send(value)
     }
 
+    /// Sends every element of `iter`, suspending (rather than spinning) while
+    /// a bounded backend is full — the async face of [`Sender::send_iter`],
+    /// with the same batch-amortized credit/closed check and the same error
+    /// contract: on close the unsent remainder comes back in order inside the
+    /// error, and everything else was enqueued pre-close and will drain.
+    pub fn send_iter<I>(&mut self, iter: I) -> SendIterFuture<'_, T>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let buf: Vec<T> = iter.into_iter().collect();
+        let total = buf.len();
+        SendIterFuture {
+            tx: self,
+            buf,
+            total,
+            parked: false,
+        }
+    }
+
     /// Closes the channel (see [`Sender::close`]); wakes every parked task.
     pub fn close(&self) -> bool {
         self.inner.close()
@@ -201,6 +220,78 @@ impl<T: Send + 'static> Drop for SendFuture<'_, T> {
     }
 }
 
+/// Future of [`AsyncSender::send_iter`].
+#[must_use = "futures do nothing unless polled"]
+pub struct SendIterFuture<'a, T: Send + 'static> {
+    tx: &'a mut AsyncSender<T>,
+    /// The elements still to be sent, drained from the front as batches land.
+    buf: Vec<T>,
+    total: usize,
+    /// Whether the last poll returned `Pending` with the waker parked — the
+    /// drop impl uses it to tell a consumed notification from a clean slot.
+    parked: bool,
+}
+
+impl<T: Send + 'static> Unpin for SendIterFuture<'_, T> {}
+
+impl<T: Send + 'static> Future for SendIterFuture<'_, T> {
+    type Output = Result<usize, SendError<Vec<T>>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut(); // SendIterFuture is Unpin
+        let mut parked_now = false;
+        loop {
+            match this.tx.inner.try_send_batch(&mut this.buf) {
+                Err(SendError(())) => {
+                    let remainder = std::mem::take(&mut this.buf);
+                    return Poll::Ready(this.complete(Err(SendError(remainder))));
+                }
+                Ok(_) if this.buf.is_empty() => {
+                    return Poll::Ready(this.complete(Ok(this.total)));
+                }
+                Ok(accepted) if accepted > 0 => continue, // partial progress
+                Ok(_) => {}
+            }
+            // Full: park once, then retry with the waker in place (same
+            // lost-wake reasoning as `SendFuture`); a second full answer in
+            // the same poll suspends.
+            if parked_now {
+                return Poll::Pending;
+            }
+            this.tx
+                .inner
+                .core
+                .send_wakers
+                .park(this.tx.waker_id, cx.waker());
+            this.parked = true;
+            parked_now = true;
+        }
+    }
+}
+
+impl<T: Send + 'static> SendIterFuture<'_, T> {
+    /// Completion bookkeeping; see [`SendFuture`]'s counterpart.
+    fn complete(
+        &mut self,
+        output: Result<usize, SendError<Vec<T>>>,
+    ) -> Result<usize, SendError<Vec<T>>> {
+        if self.parked {
+            self.parked = false;
+            self.tx.inner.core.send_wakers.unpark(self.tx.waker_id);
+        }
+        output
+    }
+}
+
+impl<T: Send + 'static> Drop for SendIterFuture<'_, T> {
+    fn drop(&mut self) {
+        // Cancellation safety: see `SendFuture`'s drop impl.
+        if self.parked && !self.tx.inner.core.send_wakers.unpark(self.tx.waker_id) {
+            self.tx.inner.core.send_wakers.notify_one();
+        }
+    }
+}
+
 // --------------------------------------------------------------------------
 // AsyncReceiver
 // --------------------------------------------------------------------------
@@ -235,6 +326,20 @@ impl<T: Send + 'static> AsyncReceiver<T> {
         self.inner.try_recv()
     }
 
+    /// Receives up to `max` values into `out`, suspending while the channel
+    /// is empty — the async face of [`Receiver::recv_many`].  Resolves with
+    /// the number appended (at least one; fewer than `max` does not mean
+    /// empty), or `Err(`[`RecvError`]`)` once the channel is closed and fully
+    /// drained.
+    pub fn recv_many<'a>(&'a mut self, out: &'a mut Vec<T>, max: usize) -> RecvManyFuture<'a, T> {
+        RecvManyFuture {
+            rx: self,
+            out,
+            max,
+            parked: false,
+        }
+    }
+
     /// Closes the channel (see [`Receiver::close`]); wakes every parked task.
     pub fn close(&self) -> bool {
         self.inner.close()
@@ -248,6 +353,13 @@ impl<T: Send + 'static> AsyncReceiver<T> {
     /// The backend's emptiness hint that gates the park decision.
     pub fn is_empty_hint(&self) -> bool {
         self.inner.is_empty_hint()
+    }
+
+    /// Whether the backend implements the emptiness hint at all (see
+    /// [`Receiver::has_empty_hint`]); without one, the receive futures park
+    /// after a single empty answer instead of hint-gated retries.
+    pub fn has_empty_hint(&self) -> bool {
+        self.inner.has_empty_hint()
     }
 
     /// Display name of the backend queue.
@@ -308,15 +420,19 @@ impl<T: Send + 'static> Future for RecvFuture<'_, T> {
                                    // Hint-gated fast path: while the backend's length hint says values
                                    // exist (they may be headed to another shard or segment), a retry is
                                    // cheaper than the park/re-check round trip.  The bound keeps one
-                                   // poll finite even if the hint stays stubbornly non-empty.
+                                   // poll finite even if the hint stays stubbornly non-empty.  A backend
+                                   // without a real hint reports a constant `false` — "no information",
+                                   // not "non-empty" — so retrying on it is never informed: park after
+                                   // the first empty answer instead of spinning the extra rounds.
+        let hinted = this.rx.inner.has_empty_hint();
         for attempt in 0..3 {
             match this.rx.inner.try_recv() {
                 Ok(value) => return Poll::Ready(this.complete(Ok(value))),
                 Err(TryRecvError::Closed) => return Poll::Ready(this.complete(Err(RecvError))),
                 Err(TryRecvError::Empty) => {}
             }
-            if attempt == 0 && this.rx.inner.is_empty_hint() {
-                break; // genuinely empty: go park
+            if !hinted || (attempt == 0 && this.rx.inner.is_empty_hint()) {
+                break; // genuinely empty (or no hint to consult): go park
             }
         }
         // Park, then re-check with the waker in place — an enqueue that raced
@@ -356,6 +472,73 @@ impl<T: Send + 'static> Drop for RecvFuture<'_, T> {
         // notify chose us between the wake and this drop — forward it, or
         // the value it announced goes unobserved by the other parked
         // receivers.
+        if self.parked && !self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id) {
+            self.rx.inner.core.recv_wakers.notify_one();
+        }
+    }
+}
+
+/// Future of [`AsyncReceiver::recv_many`].
+#[must_use = "futures do nothing unless polled"]
+pub struct RecvManyFuture<'a, T: Send + 'static> {
+    rx: &'a mut AsyncReceiver<T>,
+    out: &'a mut Vec<T>,
+    max: usize,
+    /// Whether the last poll returned `Pending` with the waker parked — the
+    /// drop impl uses it to tell a consumed notification from a clean slot.
+    parked: bool,
+}
+
+impl<T: Send + 'static> Unpin for RecvManyFuture<'_, T> {}
+
+impl<T: Send + 'static> Future for RecvManyFuture<'_, T> {
+    type Output = Result<usize, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut(); // RecvManyFuture is Unpin
+        if this.max == 0 {
+            return Poll::Ready(this.complete(Ok(0)));
+        }
+        // Hint gating: identical reasoning to `RecvFuture::poll`.
+        let hinted = this.rx.inner.has_empty_hint();
+        for attempt in 0..3 {
+            match this.rx.inner.try_recv_many(this.out, this.max) {
+                Ok(got) => return Poll::Ready(this.complete(Ok(got))),
+                Err(TryRecvError::Closed) => return Poll::Ready(this.complete(Err(RecvError))),
+                Err(TryRecvError::Empty) => {}
+            }
+            if !hinted || (attempt == 0 && this.rx.inner.is_empty_hint()) {
+                break; // genuinely empty (or no hint to consult): go park
+            }
+        }
+        this.rx
+            .inner
+            .core
+            .recv_wakers
+            .park(this.rx.waker_id, cx.waker());
+        this.parked = true;
+        match this.rx.inner.try_recv_many(this.out, this.max) {
+            Ok(got) => Poll::Ready(this.complete(Ok(got))),
+            Err(TryRecvError::Closed) => Poll::Ready(this.complete(Err(RecvError))),
+            Err(TryRecvError::Empty) => Poll::Pending,
+        }
+    }
+}
+
+impl<T: Send + 'static> RecvManyFuture<'_, T> {
+    /// Completion bookkeeping; see [`RecvFuture`]'s counterpart.
+    fn complete(&mut self, output: Result<usize, RecvError>) -> Result<usize, RecvError> {
+        if self.parked {
+            self.parked = false;
+            self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id);
+        }
+        output
+    }
+}
+
+impl<T: Send + 'static> Drop for RecvManyFuture<'_, T> {
+    fn drop(&mut self) {
+        // Cancellation safety: see `RecvFuture`'s drop impl.
         if self.parked && !self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id) {
             self.rx.inner.core.recv_wakers.notify_one();
         }

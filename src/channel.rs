@@ -276,6 +276,45 @@ impl<T: Send + 'static> ChannelCore<T> {
         }
     }
 
+    /// Batch counterpart of [`ChannelCore::try_send`]: one in-flight credit
+    /// and one closed check cover the whole batch, and the backend's
+    /// specialized [`QueueHandle::enqueue_many`] runs under that bracket.
+    /// Accepted elements are drained from the front of `values`; `Ok(0)` with
+    /// a non-empty `values` means a bounded backend is full.  `Err` means the
+    /// channel was closed before anything in this call was enqueued, so
+    /// `values` is untouched.
+    ///
+    /// The exact-drain close guarantee carries over per element: everything
+    /// accepted here was enqueued while the credit was held, so a receiver
+    /// that observed `closed` waits for the credit to clear before its final
+    /// look and cannot miss any of the batch.
+    pub(crate) fn try_send_many(
+        &self,
+        handle: &mut dyn QueueHandle<T>,
+        values: &mut Vec<T>,
+    ) -> Result<usize, SendError<()>> {
+        self.inflight.fetch_add(1, SeqCst);
+        if self.closed.load(SeqCst) {
+            self.inflight.fetch_sub(1, SeqCst);
+            self.recv_wakers.notify_all();
+            return Err(SendError(()));
+        }
+        let accepted = handle.enqueue_many(values);
+        self.inflight.fetch_sub(1, SeqCst);
+        if self.closed.load(SeqCst) {
+            // See `try_send`: parked receivers re-park on `closed &&
+            // inflight != 0`, and no later send will wake them.
+            self.recv_wakers.notify_all();
+        } else if accepted == 1 {
+            self.recv_wakers.notify_one();
+        } else if accepted > 1 {
+            // Several values landed: every parked receiver may have one to
+            // take, so a lone wake would strand the rest.
+            self.recv_wakers.notify_all();
+        }
+        Ok(accepted)
+    }
+
     /// The closed-aware non-blocking receive.
     pub(crate) fn try_recv(&self, handle: &mut dyn QueueHandle<T>) -> Result<T, TryRecvError> {
         if let Some(value) = handle.dequeue() {
@@ -296,6 +335,42 @@ impl<T: Send + 'static> ChannelCore<T> {
                     Ok(value)
                 }
                 None => Err(TryRecvError::Closed),
+            };
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Batch counterpart of [`ChannelCore::try_recv`]: pulls up to `max`
+    /// values through the backend's specialized [`QueueHandle::dequeue_into`]
+    /// with one closed/in-flight decision for the whole batch.  Returns the
+    /// number appended to `out`; the `Empty`/`Closed` distinction is exactly
+    /// the single-op one (`Closed` only after `closed && inflight == 0` and
+    /// one final empty look).
+    pub(crate) fn try_recv_many(
+        &self,
+        handle: &mut dyn QueueHandle<T>,
+        out: &mut Vec<T>,
+        max: usize,
+    ) -> Result<usize, TryRecvError> {
+        let got = handle.dequeue_into(out, max);
+        if got > 0 {
+            if got == 1 {
+                self.send_wakers.notify_one();
+            } else {
+                self.send_wakers.notify_all();
+            }
+            return Ok(got);
+        }
+        if self.closed.load(SeqCst) {
+            if self.inflight.load(SeqCst) != 0 {
+                return Err(TryRecvError::Empty);
+            }
+            return match handle.dequeue_into(out, max) {
+                0 => Err(TryRecvError::Closed),
+                got => {
+                    self.send_wakers.notify_all();
+                    Ok(got)
+                }
             };
         }
         Err(TryRecvError::Empty)
@@ -435,6 +510,52 @@ impl<T: Send + 'static> Sender<T> {
         }
     }
 
+    /// Sends every element of `iter`, paying the handle bind, in-flight
+    /// credit, and closed check **once per batch** instead of once per
+    /// element — the channel face of [`QueueHandle::enqueue_many`].
+    ///
+    /// Returns the number sent (the whole iterator on success).  When the
+    /// channel closes first, the error carries the unsent remainder in order;
+    /// everything *not* in the remainder was enqueued before the close and
+    /// will be drained by receivers (the exact-drain guarantee is per
+    /// element, not per batch).  Like [`Sender::send`], this waits (bounded
+    /// spin, then yielding) while a bounded backend is full.
+    pub fn send_iter<I>(&mut self, iter: I) -> Result<usize, SendError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut buf: Vec<T> = iter.into_iter().collect();
+        let total = buf.len();
+        if total == 0 {
+            return Ok(0);
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            let Self { slot, core } = self;
+            let handle = slot.bind(core);
+            match core.try_send_many(handle, &mut buf) {
+                Err(SendError(())) => return Err(SendError(buf)),
+                Ok(_) if buf.is_empty() => return Ok(total),
+                Ok(accepted) => {
+                    if accepted == 0 {
+                        // Bounded backend full: let receivers catch up.
+                        backoff.snooze_or_yield();
+                    } else {
+                        backoff = Backoff::new();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking batch send used by `send_iter` and the async variant: one
+    /// credit + closed check, then the backend's `enqueue_many`.
+    pub(crate) fn try_send_batch(&mut self, values: &mut Vec<T>) -> Result<usize, SendError<()>> {
+        let Self { slot, core } = self;
+        let handle = slot.bind(core);
+        core.try_send_many(handle, values)
+    }
+
     /// Closes the channel: all senders fail fast from now on, receivers drain
     /// what was sent before the close and then observe `Closed`.  Returns
     /// `true` for the call that actually closed (idempotent otherwise).
@@ -542,6 +663,31 @@ impl<T: Send + 'static> Receiver<T> {
         }
     }
 
+    /// Receives up to `max` values into `out` with one handle bind and one
+    /// closed/in-flight decision per batch — the channel face of
+    /// [`QueueHandle::dequeue_into`].
+    ///
+    /// Blocks like [`Receiver::recv`] until at least one value is available,
+    /// then returns however many the backend yielded in one batch (at most
+    /// `max`; fewer does **not** mean the channel is empty).  Fails only once
+    /// the channel is closed *and* fully drained.  `max == 0` returns `Ok(0)`
+    /// immediately.
+    pub fn recv_many(&mut self, out: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            let Self { slot, core } = self;
+            let handle = slot.bind(core);
+            match core.try_recv_many(handle, out, max) {
+                Ok(got) => return Ok(got),
+                Err(TryRecvError::Closed) => return Err(RecvError),
+                Err(TryRecvError::Empty) => backoff.snooze_or_yield(),
+            }
+        }
+    }
+
     /// Closes the channel from the consuming side (e.g. a worker pool
     /// shutting down): senders fail fast, and the remaining pre-close values
     /// stay drainable.  Returns `true` for the transitioning call.
@@ -554,11 +700,33 @@ impl<T: Send + 'static> Receiver<T> {
         self.core.is_closed()
     }
 
+    /// Non-blocking batch receive: pulls up to `max` values into `out` with
+    /// one closed/in-flight decision for the whole batch.  Returns the number
+    /// appended; [`TryRecvError::Empty`] means a later attempt can succeed,
+    /// [`TryRecvError::Closed`] is final (closed *and* drained).
+    pub fn try_recv_many(&mut self, out: &mut Vec<T>, max: usize) -> Result<usize, TryRecvError> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let Self { slot, core } = self;
+        let handle = slot.bind(core);
+        core.try_recv_many(handle, out, max)
+    }
+
     /// Cheap, racy emptiness hint of the backend queue (see
     /// [`WaitFreeQueue::is_empty_hint`]); the async receiver uses it to
     /// decide whether parking is worthwhile.
     pub fn is_empty_hint(&self) -> bool {
         self.core.queue().is_empty_hint()
+    }
+
+    /// Whether the backend actually implements the emptiness hint (see
+    /// [`WaitFreeQueue::has_empty_hint`]).  When `false`,
+    /// [`Receiver::is_empty_hint`] is a constant conservative `false` — "no
+    /// information", not "non-empty" — and the async receiver parks without
+    /// hint-gated retries.
+    pub fn has_empty_hint(&self) -> bool {
+        self.core.queue().has_empty_hint()
     }
 
     /// Display name of the backend queue (e.g. `"wLSCQ"`).
@@ -757,6 +925,65 @@ mod tests {
         }
         drop(tx);
         assert_eq!((&mut rx).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn send_iter_and_recv_many_round_trip() {
+        let (mut tx, mut rx) = unbounded_pair();
+        assert_eq!(tx.send_iter(0..10), Ok(10));
+        assert_eq!(tx.send_iter(std::iter::empty()), Ok(0));
+        let mut out = Vec::new();
+        let mut got = 0;
+        while got < 10 {
+            got += rx.recv_many(&mut out, 4).unwrap();
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>(), "batches preserve FIFO");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn send_iter_after_close_returns_the_whole_batch() {
+        let (mut tx, rx) = unbounded_pair();
+        rx.close();
+        let err = tx.send_iter(vec![1, 2, 3]).unwrap_err();
+        assert_eq!(err.0, vec![1, 2, 3], "nothing was enqueued post-close");
+    }
+
+    #[test]
+    fn recv_many_drains_pre_close_batches_exactly_once() {
+        let (mut tx, mut rx) = unbounded_pair();
+        assert_eq!(tx.send_iter(0..7), Ok(7));
+        tx.close();
+        let mut out = Vec::new();
+        while let Ok(n) = rx.recv_many(&mut out, 3) {
+            assert!(n > 0);
+        }
+        assert_eq!(out, (0..7).collect::<Vec<_>>(), "exact drain, in order");
+    }
+
+    #[test]
+    fn send_iter_waits_out_a_full_bounded_backend() {
+        let (mut tx, mut rx) = crate::builder()
+            .capacity_order(2) // capacity 4
+            .threads(2)
+            .backend(crate::ChannelBackend::Bounded)
+            .build_channel::<u64>();
+        // 12 values through a 4-slot channel: the sender must block until the
+        // consumer thread makes room, batch by batch.
+        let consumer = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while out.len() < 12 {
+                let mut batch = Vec::new();
+                match rx.recv_many(&mut batch, 5) {
+                    Ok(_) => out.extend(batch),
+                    Err(RecvError) => break,
+                }
+            }
+            out
+        });
+        assert_eq!(tx.send_iter(0..12), Ok(12));
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..12).collect::<Vec<_>>());
     }
 
     #[test]

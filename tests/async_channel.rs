@@ -329,6 +329,111 @@ fn cross_thread_pipeline_has_bounded_poll_and_wake_counts() {
 }
 
 #[test]
+fn async_batch_round_trip_works_on_every_backend() {
+    for backend in [
+        ChannelBackend::Bounded,
+        ChannelBackend::Unbounded,
+        ChannelBackend::Sharded,
+    ] {
+        let (tx, rx) = async_pair(backend);
+        let (mut tx, mut rx) = (tx, rx);
+        block_on(async {
+            // One task sends then receives, so the whole batch must fit the
+            // bounded backend's 2^6 ring — a bigger batch would park the
+            // sender with no receiver running.
+            assert_eq!(tx.send_iter(0..48).await, Ok(48), "backend {backend:?}");
+            let mut out = Vec::new();
+            while out.len() < 48 {
+                let mut batch = Vec::new();
+                let got = rx.recv_many(&mut batch, 16).await.unwrap();
+                assert!(got >= 1);
+                out.extend(batch);
+            }
+            assert_eq!(out, (0..48).collect::<Vec<_>>(), "backend {backend:?}");
+            tx.close();
+            let mut batch = Vec::new();
+            assert_eq!(
+                rx.recv_many(&mut batch, 16).await,
+                Err(RecvError),
+                "backend {backend:?}"
+            );
+        });
+    }
+}
+
+#[test]
+fn parked_recv_many_is_woken_by_a_batch_send() {
+    let (mut tx, mut rx) = async_pair(ChannelBackend::Unbounded);
+    let (count, waker) = counting_waker();
+    let mut cx = Context::from_waker(&waker);
+
+    let mut out = Vec::new();
+    let mut fut = rx.recv_many(&mut out, 8);
+    assert!(
+        matches!(Pin::new(&mut fut).poll(&mut cx), Poll::Pending),
+        "empty channel parks the batch receiver"
+    );
+    assert_eq!(count.0.load(SeqCst), 0, "parked, not spinning");
+
+    block_on(tx.send_iter(0..5)).unwrap();
+    assert!(
+        count.0.load(SeqCst) >= 1,
+        "a batch send wakes the parked batch receiver"
+    );
+    assert!(matches!(
+        Pin::new(&mut fut).poll(&mut cx),
+        Poll::Ready(Ok(5))
+    ));
+    drop(fut);
+    assert_eq!(out, vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn async_send_iter_suspends_on_a_full_bounded_backend() {
+    let (mut tx, mut rx) = wcq::builder()
+        .capacity_order(1) // capacity 2, two endpoints
+        .threads(2)
+        .backend(ChannelBackend::Bounded)
+        .build_async::<u64>();
+    let (count, waker) = counting_waker();
+    let mut cx = Context::from_waker(&waker);
+
+    // 6 values through a 2-slot channel: the future must suspend (not spin)
+    // every time the backend fills, and resume per receive.
+    let mut fut = tx.send_iter(0..6);
+    let mut received = Vec::new();
+    loop {
+        match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(res) => {
+                assert_eq!(res, Ok(6));
+                break;
+            }
+            Poll::Pending => {
+                let woken_before = count.0.load(SeqCst);
+                received.push(rx.try_recv().expect("sender parked on full"));
+                assert!(
+                    count.0.load(SeqCst) > woken_before,
+                    "a receive wakes the parked batch sender"
+                );
+            }
+        }
+    }
+    drop(fut);
+    while let Ok(v) = rx.try_recv() {
+        received.push(v);
+    }
+    assert_eq!(received, (0..6).collect::<Vec<_>>());
+}
+
+#[test]
+fn async_send_iter_after_close_returns_the_remainder() {
+    let (mut tx, rx) = async_pair(ChannelBackend::Unbounded);
+    rx.close();
+    let err = block_on(tx.send_iter(vec![1, 2, 3])).unwrap_err();
+    assert_eq!(err.0, vec![1, 2, 3], "nothing was enqueued post-close");
+}
+
+#[test]
 fn sync_and_async_endpoints_interoperate() {
     let (tx, rx) = wcq::builder().threads(4).build_channel::<u64>();
     // Upgrade the receiver to async, keep the sender sync.
