@@ -5,6 +5,7 @@ use core::cell::UnsafeCell;
 use core::marker::PhantomData;
 use core::mem::MaybeUninit;
 use core::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::collections::VecDeque;
 
 use crate::api::tid_memo;
 
@@ -202,9 +203,14 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     /// concurrent producer raced the free-slot claim).  Returns the number
     /// of elements accepted.
     ///
+    /// `values` is a `VecDeque` so the per-call front drain is O(accepted):
+    /// batching layers that feed one buffer through many calls (the
+    /// unbounded queue crossing segments) never pay a full front shift of
+    /// the remainder.
+    ///
     /// # Safety
     /// Same contract as [`WcqQueue::enqueue_at`].
-    pub unsafe fn enqueue_many_at(&self, tid: usize, values: &mut Vec<T>) -> usize {
+    pub unsafe fn enqueue_many_at(&self, tid: usize, values: &mut VecDeque<T>) -> usize {
         if values.is_empty() {
             return 0;
         }
@@ -223,8 +229,9 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     /// Dequeues up to `max` elements into `out` as the thread owning record
     /// slot `tid`, with one data-ring F&A claiming the run and one free-ring
     /// F&A recycling the slot indices.  Returns the number appended —
-    /// possibly fewer than `max` even while elements remain (see
-    /// `WcqRing::dequeue_many` for the partial-success contract).
+    /// possibly fewer than `max` even while elements remain, but a `0` is
+    /// authoritative (see `WcqRing::dequeue_many` for both halves of that
+    /// contract).
     ///
     /// # Safety
     /// Same contract as [`WcqQueue::enqueue_at`].
@@ -362,9 +369,13 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     /// `values`.  Returns the number accepted.  Batch elements are counted
     /// as fast-path operations in [`WcqQueueHandle::stats`].
     pub fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
+        // The Vec ↔ VecDeque round-trip is one buffer reuse in and at most
+        // one memmove out (when a prefix was drained).
+        let mut pending: VecDeque<T> = std::mem::take(values).into();
         // SAFETY: the handle's existence proves ownership of slot `tid` on
         // the registering thread (`!Send`).
-        let accepted = unsafe { self.queue.enqueue_many_at(self.tid, values) };
+        let accepted = unsafe { self.queue.enqueue_many_at(self.tid, &mut pending) };
+        *values = pending.into();
         self.fq_stats.fast_dequeues += accepted as u64;
         self.aq_stats.fast_enqueues += accepted as u64;
         accepted

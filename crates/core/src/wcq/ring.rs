@@ -749,6 +749,13 @@ impl<F: CellFamily> WcqRing<F> {
     /// consumer or a not-yet-visible slow-path insertion counts as a miss
     /// rather than being retried.
     ///
+    /// A return of `0` is **authoritative**: when every reserved ticket
+    /// misses (each miss is only a racy observation — elements may remain in
+    /// slots whose tickets were abandoned), the call falls back to the
+    /// standard [`WcqRing::dequeue_index`] path, so `0` carries exactly the
+    /// emptiness verdict of a single dequeue returning `None` (patience,
+    /// slow-path helping and the threshold check included).
+    ///
     /// Every reserved ticket is inspected via `try_deq_at` even after a miss;
     /// skipping one would let a straggling enqueuer deposit into a slot no
     /// dequeuer revisits (lost element).  A missed ticket pays the same
@@ -762,9 +769,26 @@ impl<F: CellFamily> WcqRing<F> {
         // run of guaranteed-empty tickets (each would cost a threshold
         // decrement and a catchup).
         let run = self.len_hint().min(max as u64);
-        if run == 0 {
-            // The tail counter lags a slow-path insertion's visibility; the
-            // standard path (patience + helping) covers that window.
+        let mut got = 0;
+        if run > 0 {
+            let base = self.head.fetch_add_cnt_n(run);
+            for k in 0..run {
+                match self.try_deq_at(tid, base + k) {
+                    FastDeq::Got(index) => {
+                        out.push(index);
+                        got += 1;
+                    }
+                    FastDeq::Empty | FastDeq::Retry(_) => {}
+                }
+            }
+        }
+        if got == 0 {
+            // Two ways to get here: the tail counter lags a slow-path
+            // insertion's visibility (`run == 0`), or every ticket in the
+            // run missed — a racy observation, since a dropped `Retry` can
+            // leave elements behind (e.g. a hole-run longer than `max`).
+            // Either way the standard path (patience + helping + threshold)
+            // delivers the authoritative verdict.
             return match self.dequeue_index(tid) {
                 (Some(index), _) => {
                     out.push(index);
@@ -772,17 +796,6 @@ impl<F: CellFamily> WcqRing<F> {
                 }
                 (None, _) => 0,
             };
-        }
-        let base = self.head.fetch_add_cnt_n(run);
-        let mut got = 0;
-        for k in 0..run {
-            match self.try_deq_at(tid, base + k) {
-                FastDeq::Got(index) => {
-                    out.push(index);
-                    got += 1;
-                }
-                FastDeq::Empty | FastDeq::Retry(_) => {}
-            }
         }
         got
     }
@@ -1098,39 +1111,39 @@ mod tests {
 
     #[test]
     fn batch_mpmc_no_loss_or_duplication() {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        let order = 6;
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        // Capacity covers every value, so each enqueued index is unique and
+        // the consumers can assert exactly-once delivery per element (a lost
+        // element can no longer be masked by a duplicated one).  The
+        // capacity discipline holds trivially: at most `total <= capacity`
+        // values are ever in circulation.
+        let order = 13;
         let r = ring::<NativeFamily>(order, 4);
-        let capacity = r.capacity();
-        let consumed = AtomicU64::new(0);
-        let inflight = AtomicU64::new(0);
         let per_producer = 4_000u64;
+        let producers = 2u64;
+        let total = producers * per_producer;
+        assert!(total <= r.capacity());
         let batch = 8u64;
+        let consumed = AtomicU64::new(0);
+        let seen: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
         std::thread::scope(|s| {
-            for _ in 0..2 {
+            for p in 0..producers {
                 let r = &r;
-                let inflight = &inflight;
                 s.spawn(move || {
                     let mut h = r.register().unwrap();
                     let mut sent = 0;
                     while sent < per_producer {
-                        if inflight.fetch_add(batch, Ordering::SeqCst) < capacity - 2 * batch {
-                            let run: Vec<u64> =
-                                (sent..sent + batch).map(|v| v % capacity).collect();
-                            h.enqueue_many(&run);
-                            sent += batch;
-                        } else {
-                            inflight.fetch_sub(batch, Ordering::SeqCst);
-                            std::thread::yield_now();
-                        }
+                        let base = p * per_producer + sent;
+                        let run: Vec<u64> = (base..base + batch).collect();
+                        h.enqueue_many(&run);
+                        sent += batch;
                     }
                 });
             }
             for _ in 0..2 {
                 let r = &r;
                 let consumed = &consumed;
-                let inflight = &inflight;
-                let total = 2 * per_producer;
+                let seen = &seen;
                 s.spawn(move || {
                     let mut h = r.register().unwrap();
                     let mut out = Vec::new();
@@ -1139,10 +1152,13 @@ mod tests {
                         let got = h.dequeue_many(&mut out, batch as usize) as u64;
                         if got > 0 {
                             for &v in &out {
-                                assert!(v < capacity);
+                                assert!(v < total, "invented value {v}");
+                                assert!(
+                                    !seen[v as usize].swap(true, Ordering::SeqCst),
+                                    "value {v} dequeued twice"
+                                );
                             }
                             consumed.fetch_add(got, Ordering::SeqCst);
-                            inflight.fetch_sub(got, Ordering::SeqCst);
                         } else {
                             std::thread::yield_now();
                         }
@@ -1150,10 +1166,13 @@ mod tests {
                 });
             }
         });
-        assert_eq!(
-            consumed.load(std::sync::atomic::Ordering::SeqCst),
-            2 * per_producer
-        );
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), total);
+        for (v, flag) in seen.iter().enumerate() {
+            assert!(
+                flag.load(std::sync::atomic::Ordering::SeqCst),
+                "value {v} was never dequeued"
+            );
+        }
         let mut h = r.register().unwrap();
         assert_eq!(h.dequeue(), None);
     }

@@ -1,5 +1,6 @@
 //! The unbounded queue: a Michael–Scott-style outer list of wCQ segments.
 
+use std::collections::VecDeque;
 use std::ptr;
 use std::sync::atomic::{
     AtomicIsize, AtomicPtr, AtomicUsize,
@@ -559,8 +560,13 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
     /// [`UnboundedWcqHandle::enqueue`] carry over unchanged.
     pub fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
         let tid = self.hp.tid();
+        // A `VecDeque` makes every front removal along the segment walk O(1)
+        // (a batch crossing many full segments would otherwise pay a front
+        // shift of the whole remainder per segment); the queue is unbounded,
+        // so the buffer always drains and nothing is moved back at the end.
+        let mut pending: VecDeque<T> = std::mem::take(values).into();
         let mut total = 0;
-        while !values.is_empty() {
+        while !pending.is_empty() {
             let tailp = self.hp.protect(0, &self.queue.tail);
             // SAFETY: protected by hazard slot 0; segments are retired only
             // after becoming unreachable and unprotected.
@@ -577,7 +583,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // the bound op runs under the binding established here.
             let accepted = unsafe {
                 self.rebind(tailp);
-                seg.try_enqueue_many_bound(tid, values)
+                seg.try_enqueue_many_bound(tid, &mut pending)
             };
             if accepted > 0 {
                 self.queue.len_hint.fetch_add(accepted as isize, Relaxed);
@@ -587,7 +593,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // Full or closed with nothing accepted: push one element through
             // the single-op path (which closes the tail and appends a fresh
             // segment), then resume batching into the new tail.
-            let value = values.remove(0);
+            let value = pending.pop_front().expect("loop guard: non-empty");
             self.enqueue(value);
             total += 1;
         }

@@ -31,6 +31,7 @@
 //! permanently empty: no credit can be granted any more, and everything that
 //! was in flight is visible.
 
+use std::collections::VecDeque;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering::SeqCst};
 use std::sync::Mutex;
@@ -134,9 +135,20 @@ impl<T, F: CellFamily> Segment<T, F> {
     /// segment capacity so an oversized batch cannot push `state` anywhere
     /// near the [`CLOSE_DELTA`] sentinel range.
     ///
+    /// The inner batch enqueue's free-slot claim is racily partial: under
+    /// contention its run of free-ring tickets can miss slots that the held
+    /// credits guarantee exist (holes in the claimed run).  The shortfall is
+    /// claimed element-by-element through [`WcqQueue::enqueue_at`], whose
+    /// free-ring dequeue is authoritative, so every granted credit is always
+    /// converted into an accepted element.
+    ///
     /// # Safety
     /// The caller must hold a live [`Segment::bind`] on `tid`.
-    pub(crate) unsafe fn try_enqueue_many_bound(&self, tid: usize, values: &mut Vec<T>) -> usize {
+    pub(crate) unsafe fn try_enqueue_many_bound(
+        &self,
+        tid: usize,
+        values: &mut VecDeque<T>,
+    ) -> usize {
         if values.is_empty() {
             return 0;
         }
@@ -151,30 +163,36 @@ impl<T, F: CellFamily> Segment<T, F> {
             self.inflight.fetch_sub(1, SeqCst);
             return 0;
         }
-        let accepted = if granted as usize == values.len() {
+        let mut accepted = if granted as usize == values.len() {
             // SAFETY: bound per the function contract.
             unsafe { self.queue.enqueue_many_at(tid, values) }
         } else {
             // Only the granted prefix may touch the inner ring: feeding the
-            // whole vec would let the inner enqueue consume free slots that
-            // belong to other credit holders.
-            let mut run: Vec<T> = values.drain(..granted as usize).collect();
+            // whole buffer would let the inner enqueue consume free slots
+            // that belong to other credit holders.
+            let mut run: VecDeque<T> = values.drain(..granted as usize).collect();
             // SAFETY: bound per the function contract.
             let accepted = unsafe { self.queue.enqueue_many_at(tid, &mut run) };
-            if !run.is_empty() {
-                run.append(values);
-                *values = run;
+            while let Some(value) = run.pop_back() {
+                values.push_front(value);
             }
             accepted
         };
-        if (accepted as i64) < granted {
-            // A credit guarantees a free inner slot, so this branch is
-            // unreachable; restore the credits if the invariant ever breaks.
-            debug_assert!(
-                false,
-                "credit-holding batch enqueue found the inner ring full"
-            );
-            self.state.fetch_add(granted - accepted as i64, SeqCst);
+        // Convert the racy batch shortfall into accepted elements one
+        // credit-guaranteed slot at a time (see the doc comment above).
+        while (accepted as i64) < granted {
+            let value = values.pop_front().expect("one element per granted credit");
+            // SAFETY: bound per the function contract.
+            match unsafe { self.queue.enqueue_at(tid, value) } {
+                Ok(()) => accepted += 1,
+                Err(value) => {
+                    // The credit invariant rules this out; restore the value
+                    // and the unused credits rather than losing either.
+                    values.push_front(value);
+                    self.state.fetch_add(granted - accepted as i64, SeqCst);
+                    break;
+                }
+            }
         }
         self.inflight.fetch_sub(1, SeqCst);
         accepted

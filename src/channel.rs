@@ -366,7 +366,22 @@ impl<T: Send + 'static> ChannelCore<T> {
                 return Err(TryRecvError::Empty);
             }
             return match handle.dequeue_into(out, max) {
-                0 => Err(TryRecvError::Closed),
+                0 => {
+                    // A batch `0` may be a racy observation on some backends
+                    // (a run of abandoned tickets can all miss while elements
+                    // remain); only the single-op `dequeue`'s `None` — the
+                    // authoritative emptiness verdict the exact-drain close
+                    // guarantee is built on — may upgrade `Empty` to
+                    // `Closed`.
+                    match handle.dequeue() {
+                        Some(value) => {
+                            out.push(value);
+                            self.send_wakers.notify_one();
+                            Ok(1)
+                        }
+                        None => Err(TryRecvError::Closed),
+                    }
+                }
                 got => {
                     self.send_wakers.notify_all();
                     Ok(got)
