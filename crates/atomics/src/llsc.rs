@@ -33,6 +33,16 @@ use std::cell::Cell;
 /// failures per 2^32 attempts (0 = never fail spuriously).
 static SPURIOUS_RATE: AtomicU32 = AtomicU32::new(0);
 
+/// Process-global tally of injected spurious SC failures (observability; the
+/// metrics layer folds this into its snapshots).  Only bumped when injection
+/// is enabled, so the rate-0 fast path stays a single load + branch.
+static SPURIOUS_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Total spurious store-conditional failures injected since process start.
+pub fn spurious_sc_failures() -> u64 {
+    SPURIOUS_FAILURES.load(Ordering::Relaxed)
+}
+
 /// Sets the probability (0.0..=1.0) that any `store_conditional` fails even
 /// though the reservation is still valid, emulating weak LL/SC.
 pub fn set_spurious_failure_rate(p: f64) {
@@ -63,7 +73,11 @@ fn spurious_failure() -> bool {
         x ^= x >> 7;
         x ^= x << 17;
         s.set(x);
-        (x as u32) < rate
+        let fail = (x as u32) < rate;
+        if fail {
+            SPURIOUS_FAILURES.fetch_add(1, Ordering::Relaxed);
+        }
+        fail
     })
 }
 

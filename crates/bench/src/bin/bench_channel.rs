@@ -19,7 +19,19 @@
 //!   `wcq_harness::exec::block_on` shim;
 //! * **raw row** — the same pipeline over bare `queue.handle()`s with a
 //!   done-flag termination protocol, i.e. what an application would hand-roll
-//!   without the channel layer.
+//!   without the channel layer;
+//! * **counting row** — the unbounded backend once more, but built with a
+//!   live [`wcq::CountingInstrument`] (series `channel/wLSCQ (counting)`).
+//!   Against the default `channel/wLSCQ` row it is the observability layer's
+//!   overhead measurement: the default `NoopInstrument` build must sit within
+//!   noise of it being absent, and the counting build shows the real cost of
+//!   the atomic counters.
+//!
+//! A second table reports per-op **latency percentiles** (p50/p90/p99/p999,
+//! in ns) of send and recv on the unbounded backend, sampled with the
+//! zero-dependency [`wcq::LatencyHistogram`].  It is written to the separate
+//! artifact `BENCH_channel_latency.json` so the committed throughput baseline
+//! keeps its PR-to-PR shape.
 //!
 //! Usage:
 //! ```text
@@ -29,13 +41,17 @@
 //!
 //! `--threads` counts producer/consumer *pairs*: `--threads 4` runs 4
 //! producers and 4 consumers.  `--quick` is the CI-smoke / committed-baseline
-//! shape shared with the other binaries.  Emits `BENCH_channel.json`.
+//! shape shared with the other binaries.  Emits `BENCH_channel.json` and
+//! `BENCH_channel_latency.json`.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::time::Instant;
 
 use wcq::channel::{Receiver, Sender};
-use wcq::{ChannelBackend, ShardPolicy, WaitFreeQueue};
+use wcq::{
+    ChannelBackend, CountingInstrument, Instrument, LatencyHistogram, ShardPolicy, WaitFreeQueue,
+};
+use wcq_bench::latency::{record_percentiles, timed};
 use wcq_bench::sweep::{print_table, write_tables_json};
 use wcq_bench::BenchOpts;
 use wcq_harness::exec::block_on;
@@ -73,8 +89,15 @@ fn channel_builder(
 }
 
 /// One timed pipeline repetition over sync channel endpoints; returns Mops/s
-/// counting both sends and receives, like the pairwise workload.
-fn run_channel_once(tx: Sender<u64>, rx: Receiver<u64>, pairs: usize, total_ops: u64) -> f64 {
+/// counting both sends and receives, like the pairwise workload.  Generic
+/// over the channel's [`Instrument`] so the default and counting rows run
+/// the exact same pipeline code.
+fn run_channel_once<I: Instrument>(
+    tx: Sender<u64, I>,
+    rx: Receiver<u64, I>,
+    pairs: usize,
+    total_ops: u64,
+) -> f64 {
     let per_producer = (total_ops / pairs as u64).max(1);
     let moved = per_producer * pairs as u64;
     let start = Instant::now();
@@ -100,9 +123,9 @@ fn run_channel_once(tx: Sender<u64>, rx: Receiver<u64>, pairs: usize, total_ops:
 /// The batched twin of [`run_channel_once`]: producers push chunks through
 /// `send_iter` and consumers drain with `recv_many`, so the closed-check and
 /// in-flight credit are paid once per batch instead of once per value.
-fn run_channel_batched_once(
-    tx: Sender<u64>,
-    rx: Receiver<u64>,
+fn run_channel_batched_once<I: Instrument>(
+    tx: Sender<u64, I>,
+    rx: Receiver<u64, I>,
     pairs: usize,
     total_ops: u64,
     batch: usize,
@@ -166,6 +189,37 @@ fn run_async_once(pairs: usize, total_ops: u64, ring_order: u32) -> f64 {
         drop(rx);
     });
     2.0 * moved as f64 / start.elapsed().as_secs_f64().max(1e-9) / 1e6
+}
+
+/// The latency twin of [`run_channel_once`]: the same pipeline, but every
+/// send and recv is timed individually into the shared histograms (the final
+/// `Closed` recv of each consumer included — that is the close-and-drain
+/// latency applications actually see).
+fn run_channel_latency_once(
+    tx: Sender<u64>,
+    rx: Receiver<u64>,
+    pairs: usize,
+    total_ops: u64,
+    send_hist: &LatencyHistogram,
+    recv_hist: &LatencyHistogram,
+) {
+    let per_producer = (total_ops / pairs as u64).max(1);
+    std::thread::scope(|s| {
+        for p in 0..pairs {
+            let mut tx = tx.clone();
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    timed(send_hist, || tx.send((p as u64) << 40 | i)).expect("receivers alive");
+                }
+            });
+        }
+        for _ in 0..pairs {
+            let mut rx = rx.clone();
+            s.spawn(move || while timed(recv_hist, || rx.recv()).is_ok() {});
+        }
+        drop(tx);
+        drop(rx);
+    });
 }
 
 /// The hand-rolled alternative the channel layer replaces: raw handles plus
@@ -262,6 +316,20 @@ fn main() {
             record(&mut table, &series, pairs, &samples);
         }
 
+        // The observability-overhead row: the same unbounded pipeline, but
+        // with live atomic counters attached.  The gap between this and the
+        // "channel/wLSCQ" row above is what instrumentation costs; the
+        // default (NoopInstrument) row is the zero-overhead contract.
+        let samples: Vec<f64> = (0..opts.repeats)
+            .map(|_| {
+                let (tx, rx) = channel_builder(ChannelBackend::Unbounded, pairs, opts.ring_order)
+                    .instrument(CountingInstrument::new())
+                    .build_channel::<u64>();
+                run_channel_once(tx, rx, pairs, opts.ops)
+            })
+            .collect();
+        record(&mut table, "channel/wLSCQ (counting)", pairs, &samples);
+
         let samples: Vec<f64> = (0..opts.repeats)
             .map(|_| run_async_once(pairs, opts.ops, opts.ring_order))
             .collect();
@@ -279,4 +347,34 @@ fn main() {
 
     print_table(&table);
     write_tables_json("BENCH_channel.json", &[table]);
+
+    // Latency percentiles go to a separate artifact so the throughput
+    // baseline above keeps its exact PR-to-PR series shape.
+    let mut latency = FigureTable::new(
+        "Channel endpoint latency: per-op send/recv, wLSCQ backend",
+        "ns",
+    );
+    for &pairs in &opts.threads {
+        let send_hist = LatencyHistogram::new();
+        let recv_hist = LatencyHistogram::new();
+        for _ in 0..opts.repeats {
+            let (tx, rx) = channel_builder(ChannelBackend::Unbounded, pairs, opts.ring_order)
+                .build_channel::<u64>();
+            run_channel_latency_once(tx, rx, pairs, opts.ops, &send_hist, &recv_hist);
+        }
+        record_percentiles(
+            &mut latency,
+            "channel/wLSCQ send",
+            pairs,
+            &send_hist.snapshot(),
+        );
+        record_percentiles(
+            &mut latency,
+            "channel/wLSCQ recv",
+            pairs,
+            &recv_hist.snapshot(),
+        );
+    }
+    print_table(&latency);
+    write_tables_json("BENCH_channel_latency.json", &[latency]);
 }

@@ -24,6 +24,14 @@
 //! shard-routing / segment-memo cost once per batch (ROADMAP item 1 tracks
 //! this against LCRQ's single-op pairwise row).
 //!
+//! When the pairwise workload runs, a second table records per-op
+//! **latency percentiles** (p50/p90/p99/p999, in ns) of raw-handle enqueue
+//! and dequeue on plain wLSCQ and the x4 pinned shards, sampled with the
+//! zero-dependency [`wcq::LatencyHistogram`] — the tail-latency view of the
+//! same hot-spot-splitting claim the throughput table makes.  It goes to the
+//! separate artifact `BENCH_sharded_latency.json` so the committed throughput
+//! baseline keeps its exact PR-to-PR shape.
+//!
 //! Usage:
 //! ```text
 //! cargo run --release -p wcq-bench --bin bench_sharded -- [empty|pairs|mixed] \
@@ -34,8 +42,9 @@
 //! 1 repeat / order 8) — the same flags the committed
 //! `bench_baselines/BENCH_sharded.json` was recorded with.
 
-use wcq::{ShardPolicy, WaitFreeQueue};
+use wcq::{LatencyHistogram, ShardPolicy, WaitFreeQueue};
 use wcq_bench::batch::{run_batched_pairs_once, PAIRWISE_BATCH};
+use wcq_bench::latency::{record_percentiles, timed};
 use wcq_bench::sweep::{print_table, write_tables_json};
 use wcq_bench::{json_artifact_name, select_workloads, BenchOpts};
 use wcq_harness::report::FigureTable;
@@ -87,6 +96,30 @@ fn sweep_cell(
         res.mops.mean,
         res.mops.cv
     );
+}
+
+/// One pairwise repetition with every raw-handle enqueue and dequeue timed
+/// individually into the shared histograms.
+fn latency_pairs_once(
+    queue: &dyn WaitFreeQueue<u64>,
+    threads: usize,
+    total_ops: u64,
+    enq_hist: &LatencyHistogram,
+    deq_hist: &LatencyHistogram,
+) {
+    let per_thread = (total_ops / threads as u64).max(1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let queue = &queue;
+            s.spawn(move || {
+                let mut h = queue.handle();
+                for i in 0..per_thread {
+                    timed(enq_hist, || h.enqueue((t as u64) << 40 | i));
+                    timed(deq_hist, || h.dequeue());
+                }
+            });
+        }
+    });
 }
 
 fn main() {
@@ -177,4 +210,48 @@ fn main() {
         &json_artifact_name("sharded", workload_arg.as_deref()),
         &tables,
     );
+
+    // Latency percentiles for the pairwise workload only (the workload whose
+    // hot-spot contention sharding targets), in a separate artifact so the
+    // throughput baseline above keeps its exact PR-to-PR shape.  A
+    // pairs-filtered run produces the same content as a full run, so both
+    // write the canonical name; an empty/mixed-only run skips it.
+    if select_workloads(workload_arg.as_deref()).contains(&Workload::Pairs) {
+        let mut latency = FigureTable::new(
+            "Sharded wLSCQ latency: per-op raw-handle enqueue/dequeue, pairwise",
+            "ns",
+        );
+        for &threads in &opts.threads {
+            for (prefix, queue) in [
+                (
+                    "wLSCQ",
+                    make_queue(QueueKind::WcqUnbounded, threads + 1, opts.ring_order),
+                ),
+                (
+                    "Sharded wLSCQ x4",
+                    sharded_queue(4, ShardPolicy::Pinned, threads, opts.ring_order),
+                ),
+            ] {
+                let enq_hist = LatencyHistogram::new();
+                let deq_hist = LatencyHistogram::new();
+                for _ in 0..opts.repeats {
+                    latency_pairs_once(queue.as_ref(), threads, opts.ops, &enq_hist, &deq_hist);
+                }
+                record_percentiles(
+                    &mut latency,
+                    &format!("{prefix} enqueue"),
+                    threads,
+                    &enq_hist.snapshot(),
+                );
+                record_percentiles(
+                    &mut latency,
+                    &format!("{prefix} dequeue"),
+                    threads,
+                    &deq_hist.snapshot(),
+                );
+            }
+        }
+        print_table(&latency);
+        write_tables_json("BENCH_sharded_latency.json", &[latency]);
+    }
 }

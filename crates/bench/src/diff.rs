@@ -7,8 +7,9 @@
 //! such artifacts — a committed baseline and a freshly emitted run — matches
 //! their tables by title and their cells by `(algorithm, threads)`, and
 //! reports every throughput cell (`Mops/s` tables) that dropped by more than
-//! a configurable threshold.  Memory tables (`KiB`/`MB`) regress in the other
-//! direction, so for those a *growth* beyond the threshold is flagged.
+//! a configurable threshold.  Memory tables (`KiB`/`MB`) and latency tables
+//! (`ns`, the `BENCH_*_latency.json` percentile artifacts) regress in the
+//! other direction, so for those a *growth* beyond the threshold is flagged.
 //!
 //! The build environment is offline, so the JSON subset the artifacts use is
 //! parsed by a ~100-line recursive-descent parser below instead of a serde
@@ -28,8 +29,10 @@ pub struct BenchTable {
 }
 
 impl BenchTable {
-    /// `true` when larger values are better (throughput tables); memory
-    /// tables regress upward instead.
+    /// `true` when larger values are better — i.e. for throughput tables
+    /// (`"Mops/s"` and friends).  Every other unit regresses *upward*:
+    /// memory tables (`"KiB"`/`"MB"`) and the latency-percentile tables
+    /// (`"ns"`), where a higher p99 is a worse tail.
     pub fn higher_is_better(&self) -> bool {
         self.unit.contains("ops") // "Mops/s"
     }
@@ -404,6 +407,36 @@ mod tests {
         let grown = [table("footprint", "KiB", &[("LCRQ", 2, 150.0)])];
         assert!(compare(&base, &shrunk, 0.10).is_empty(), "smaller is fine");
         assert_eq!(compare(&base, &grown, 0.10).len(), 1, "growth regresses");
+    }
+
+    #[test]
+    fn latency_tables_regress_upward() {
+        // The BENCH_*_latency.json artifacts report percentile rows in "ns";
+        // lower is better there, so only growth beyond the threshold flags.
+        let base = [table(
+            "channel latency",
+            "ns",
+            &[("channel/wLSCQ send p99", 8, 1000.0)],
+        )];
+        assert!(!base[0].higher_is_better());
+        let faster = [table(
+            "channel latency",
+            "ns",
+            &[("channel/wLSCQ send p99", 8, 500.0)],
+        )];
+        let slower = [table(
+            "channel latency",
+            "ns",
+            &[("channel/wLSCQ send p99", 8, 1500.0)],
+        )];
+        assert!(
+            compare(&base, &faster, 0.10).is_empty(),
+            "a lower percentile is an improvement"
+        );
+        let regs = compare(&base, &slower, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].series, "channel/wLSCQ send p99");
+        assert!(regs[0].change < -0.10, "signed so negative is worse");
     }
 
     #[test]

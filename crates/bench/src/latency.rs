@@ -1,0 +1,88 @@
+//! Latency-percentile rows for the figure binaries.
+//!
+//! The figure tables report throughput; these helpers add tail-latency
+//! visibility on top, using the zero-dependency log-bucketed
+//! [`LatencyHistogram`] from `wcq_core::metrics`
+//! (lock-free per-thread shards, ≤ 1/32 relative error, mergeable
+//! snapshots).  Latency tables are written to *separate*
+//! `BENCH_*_latency.json` artifacts with unit `"ns"` — which
+//! [`crate::diff`] treats as lower-is-better — so the committed throughput
+//! baselines stay byte-for-byte comparable across PRs.
+
+use std::time::Instant;
+
+use wcq::{HistogramSnapshot, LatencyHistogram};
+use wcq_harness::report::FigureTable;
+
+/// Times one operation and records its latency in nanoseconds.
+#[inline]
+pub fn timed<R>(hist: &LatencyHistogram, op: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = op();
+    hist.record(start.elapsed().as_nanos() as u64);
+    out
+}
+
+/// Records the four standard percentile rows (`p50`/`p90`/`p99`/`p999`) of
+/// `snap` into `table` as series `"{prefix} p50"` … at column `threads`, and
+/// echoes them to stderr like the throughput cells.
+pub fn record_percentiles(
+    table: &mut FigureTable,
+    prefix: &str,
+    threads: usize,
+    snap: &HistogramSnapshot,
+) {
+    for (name, value) in [
+        ("p50", snap.p50()),
+        ("p90", snap.p90()),
+        ("p99", snap.p99()),
+        ("p999", snap.p999()),
+    ] {
+        table.record(&format!("{prefix} {name}"), threads, value as f64);
+    }
+    eprintln!(
+        "  {prefix:<28} threads={threads:<3} p50={:>6} p90={:>6} p99={:>6} p999={:>7} ns ({} samples)",
+        snap.p50(),
+        snap.p90(),
+        snap.p99(),
+        snap.p999(),
+        snap.count()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_records_one_sample_per_call() {
+        let hist = LatencyHistogram::new();
+        for _ in 0..10 {
+            assert_eq!(timed(&hist, || 7), 7);
+        }
+        assert_eq!(hist.snapshot().count(), 10);
+    }
+
+    #[test]
+    fn percentile_rows_land_in_the_table() {
+        let hist = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut table = FigureTable::new("latency smoke", "ns");
+        record_percentiles(&mut table, "wLSCQ send", 4, &snap);
+        for series in [
+            "wLSCQ send p50",
+            "wLSCQ send p90",
+            "wLSCQ send p99",
+            "wLSCQ send p999",
+        ] {
+            assert!(table.get(series, 4).is_some(), "missing {series}");
+        }
+        // Percentiles are monotone in the quantile.
+        let p50 = table.get("wLSCQ send p50", 4).unwrap();
+        let p999 = table.get("wLSCQ send p999", 4).unwrap();
+        assert!(p50 <= p999);
+    }
+}

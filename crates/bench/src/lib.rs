@@ -36,6 +36,7 @@
 
 pub mod batch;
 pub mod diff;
+pub mod latency;
 pub mod sweep;
 
 use wcq_harness::{QueueKind, Workload};

@@ -56,12 +56,17 @@
 
 pub mod api;
 pub mod channel;
+pub mod metrics;
 pub mod pack;
 pub mod scq;
 pub mod wcq;
 
 pub use api::{QueueHandle, WaitFreeQueue};
 pub use channel::{RecvError, SendError, TryRecvError, TrySendError};
+pub use metrics::{
+    Counter, CounterSet, CountingInstrument, HistogramSnapshot, Instrument, LatencyHistogram,
+    MetricsSnapshot, NoopInstrument,
+};
 pub use pack::Layout;
 pub use scq::{ScqQueue, ScqRing};
 pub use wcq::{WcqConfig, WcqQueue, WcqRing};

@@ -6,8 +6,10 @@ use core::marker::PhantomData;
 use core::mem::MaybeUninit;
 use core::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::api::tid_memo;
+use crate::metrics::{Counter, CounterSet};
 
 use super::cells::{CellFamily, NativeFamily};
 use super::ring::{WcqConfig, WcqRing, WcqStats};
@@ -48,9 +50,21 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
 
     /// Creates a queue with an explicit wait-freedom configuration.
     pub fn with_config(order: u32, max_threads: usize, config: WcqConfig) -> Self {
+        Self::with_config_counters(order, max_threads, config, None)
+    }
+
+    /// Creates a queue with an explicit configuration and an optional shared
+    /// [`CounterSet`] receiving contention telemetry from both internal rings
+    /// plus per-handle completion/batch tallies (flushed when handles drop).
+    pub fn with_config_counters(
+        order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        counters: Option<Arc<CounterSet>>,
+    ) -> Self {
         // One extra registration slot is used transiently to pre-fill `fq`.
-        let aq = WcqRing::<F>::with_config(order, max_threads, config);
-        let fq = WcqRing::<F>::with_config(order, max_threads, config);
+        let aq = WcqRing::<F>::with_config_counters(order, max_threads, config, counters.clone());
+        let fq = WcqRing::<F>::with_config_counters(order, max_threads, config, counters);
         {
             let mut init = fq.register().expect("fresh ring always has a free slot");
             for i in 0..fq.capacity() {
@@ -83,6 +97,11 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     /// The wait-freedom configuration both internal rings run with.
     pub fn config(&self) -> &WcqConfig {
         self.aq.config()
+    }
+
+    /// The telemetry counter set shared by both internal rings, if attached.
+    pub fn counter_set(&self) -> Option<&Arc<CounterSet>> {
+        self.aq.counter_set()
     }
 
     /// Registers the calling thread with both internal rings, or `None` when
@@ -122,6 +141,7 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
             tid,
             aq_stats: WcqStats::default(),
             fq_stats: WcqStats::default(),
+            tallies: OpTallies::default(),
             _not_send: PhantomData,
         })
     }
@@ -313,8 +333,34 @@ pub struct WcqQueueHandle<'q, T, F: CellFamily = NativeFamily> {
     tid: usize,
     aq_stats: WcqStats,
     fq_stats: WcqStats,
+    tallies: OpTallies,
     /// Pins the handle to its registering thread (`!Send`/`!Sync`).
     _not_send: PhantomData<*const ()>,
+}
+
+/// Plain per-handle operation tallies, accumulated without atomics on the hot
+/// path and flushed into the queue's [`CounterSet`] (when one is attached)
+/// exactly once, on handle drop.  Keeping these handle-local means the
+/// instrumented build adds no shared-cache-line traffic per completed value —
+/// only the rare events (helping, patience exhaustion, CAS failures) are
+/// recorded immediately, inside the rings.
+#[derive(Default)]
+pub(crate) struct OpTallies {
+    pub(crate) enqueues_completed: u64,
+    pub(crate) dequeues_completed: u64,
+    pub(crate) batch_values_requested: u64,
+    pub(crate) batch_values_granted: u64,
+}
+
+impl OpTallies {
+    /// Flushes the tallies into `set` and resets them to zero.
+    pub(crate) fn flush(&mut self, set: &CounterSet) {
+        set.add(Counter::EnqueuesCompleted, self.enqueues_completed);
+        set.add(Counter::DequeuesCompleted, self.dequeues_completed);
+        set.add(Counter::BatchValuesRequested, self.batch_values_requested);
+        set.add(Counter::BatchValuesGranted, self.batch_values_granted);
+        *self = Self::default();
+    }
 }
 
 impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
@@ -338,6 +384,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         } else {
             self.aq_stats.fast_enqueues += 1;
         }
+        self.tallies.enqueues_completed += 1;
         Ok(())
     }
 
@@ -360,6 +407,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         } else {
             self.fq_stats.fast_enqueues += 1;
         }
+        self.tallies.dequeues_completed += 1;
         Some(value)
     }
 
@@ -371,6 +419,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     pub fn enqueue_many(&mut self, values: &mut Vec<T>) -> usize {
         // The Vec ↔ VecDeque round-trip is one buffer reuse in and at most
         // one memmove out (when a prefix was drained).
+        let requested = values.len() as u64;
         let mut pending: VecDeque<T> = std::mem::take(values).into();
         // SAFETY: the handle's existence proves ownership of slot `tid` on
         // the registering thread (`!Send`).
@@ -378,6 +427,9 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         *values = pending.into();
         self.fq_stats.fast_dequeues += accepted as u64;
         self.aq_stats.fast_enqueues += accepted as u64;
+        self.tallies.enqueues_completed += accepted as u64;
+        self.tallies.batch_values_requested += requested;
+        self.tallies.batch_values_granted += accepted as u64;
         accepted
     }
 
@@ -389,6 +441,9 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         let got = unsafe { self.queue.dequeue_many_at(self.tid, out, max) };
         self.aq_stats.fast_dequeues += got as u64;
         self.fq_stats.fast_enqueues += got as u64;
+        self.tallies.dequeues_completed += got as u64;
+        self.tallies.batch_values_requested += max as u64;
+        self.tallies.batch_values_granted += got as u64;
         got
     }
 
@@ -415,6 +470,9 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
 
 impl<'q, T, F: CellFamily> Drop for WcqQueueHandle<'q, T, F> {
     fn drop(&mut self) {
+        if let Some(set) = self.queue.counter_set() {
+            self.tallies.flush(set);
+        }
         // SAFETY: the handle's existence proves slot ownership; this is the
         // unique release paired with the acquisition in `register_at`.
         unsafe { self.queue.release_slot(self.tid) };

@@ -7,9 +7,11 @@
 //! documented in DESIGN.md.
 
 use core::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
 
 use wcq_atomics::CachePadded;
 
+use crate::metrics::{Counter, CounterSet};
 use crate::pack::Layout;
 
 use super::cells::{CellFamily, EntryCell, GlobalCtr, NativeFamily};
@@ -83,6 +85,7 @@ pub struct WcqRing<F: CellFamily = NativeFamily> {
     entries: Box<[F::Entry]>,
     records: Box<[CachePadded<ThreadRecord>]>,
     slots_taken: Box<[AtomicBool]>,
+    counters: Option<Arc<CounterSet>>,
 }
 
 impl<F: CellFamily> std::fmt::Debug for WcqRing<F> {
@@ -107,6 +110,20 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Creates an empty ring with an explicit configuration.
     pub fn with_config(order: u32, max_threads: usize, config: WcqConfig) -> Self {
+        Self::with_config_counters(order, max_threads, config, None)
+    }
+
+    /// Creates an empty ring with an explicit configuration and an optional
+    /// shared [`CounterSet`] into which the ring records contention telemetry
+    /// (ring ops, helping entries, patience exhaustion, CAS failures).  With
+    /// `None` — the default used by [`WcqRing::with_config`] — every recording
+    /// site is a single predictable branch on a field of the ring itself.
+    pub fn with_config_counters(
+        order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        counters: Option<Arc<CounterSet>>,
+    ) -> Self {
         let layout = Layout::with_entry_size(order, 16);
         assert!(
             max_threads >= 1,
@@ -146,7 +163,22 @@ impl<F: CellFamily> WcqRing<F> {
             entries,
             records,
             slots_taken,
+            counters,
         }
+    }
+
+    /// Records `n` into `counter` when telemetry is attached; a no-op (one
+    /// predictable branch) otherwise.
+    #[inline]
+    fn count(&self, counter: Counter, n: u64) {
+        if let Some(set) = &self.counters {
+            set.add(counter, n);
+        }
+    }
+
+    /// The attached telemetry counter set, if any.
+    pub fn counter_set(&self) -> Option<&Arc<CounterSet>> {
+        self.counters.as_ref()
     }
 
     /// The ring's geometry.
@@ -268,6 +300,7 @@ impl<F: CellFamily> WcqRing<F> {
             {
                 let new = l.pack(l.cycle(t), true, true, index);
                 if !cell.cas_value(raw, new) {
+                    self.count(Counter::CasFailures, 1);
                     continue; // Figure 3, line 25: re-read and re-evaluate.
                 }
                 if self.threshold.load(SeqCst) != l.max_threshold() {
@@ -309,6 +342,7 @@ impl<F: CellFamily> WcqRing<F> {
                 l.pack(e.cycle, false, e.enq, e.index)
             };
             if e.cycle < l.cycle(h) && !cell.cas_value(raw, new) {
+                self.count(Counter::CasFailures, 1);
                 continue;
             }
             let t = self.tail.load_cnt();
@@ -489,6 +523,7 @@ impl<F: CellFamily> WcqRing<F> {
             }
             // A fast-path F&A or another cooperative thread advanced the
             // global counter first; run the body again (paper's do-while).
+            self.count(Counter::CasFailures, 1);
         }
         // Line 33: the dequeue side pays its threshold decrement exactly once
         // per global head increment.
@@ -643,7 +678,10 @@ impl<F: CellFamily> WcqRing<F> {
     /// (`Enqueue_wCQ`).  Returns `true` if the slow path was taken.
     pub(crate) fn enqueue_index(&self, tid: usize, index: u64) -> bool {
         debug_assert!(index < self.layout.capacity());
-        self.help_threads(tid);
+        self.count(Counter::RingEnqueues, 1);
+        if self.help_threads(tid) {
+            self.count(Counter::HelpingEntries, 1);
+        }
         // Fast path.
         let mut tail = 0;
         for _ in 0..self.config.max_patience_enqueue.max(1) {
@@ -652,6 +690,7 @@ impl<F: CellFamily> WcqRing<F> {
                 Err(t) => tail = t,
             }
         }
+        self.count(Counter::PatienceExhaustedEnqueues, 1);
         // Slow path: publish the request, then run it; helpers may finish it
         // for us.
         let rec = &self.records[tid];
@@ -672,10 +711,13 @@ impl<F: CellFamily> WcqRing<F> {
     /// (`Dequeue_wCQ`).  Returns `(value, took_slow_path)`.
     pub(crate) fn dequeue_index(&self, tid: usize) -> (Option<u64>, bool) {
         let l = &self.layout;
+        self.count(Counter::RingDequeues, 1);
         if self.threshold.load(SeqCst) < 0 {
             return (None, false); // Line 30: empty.
         }
-        self.help_threads(tid);
+        if self.help_threads(tid) {
+            self.count(Counter::HelpingEntries, 1);
+        }
         // Fast path.
         let mut head = 0;
         for _ in 0..self.config.max_patience_dequeue.max(1) {
@@ -685,6 +727,7 @@ impl<F: CellFamily> WcqRing<F> {
                 FastDeq::Retry(h) => head = h,
             }
         }
+        self.count(Counter::PatienceExhaustedDequeues, 1);
         // Slow path.
         let rec = &self.records[tid];
         let seq = rec.seq1.load(SeqCst);
@@ -728,7 +771,9 @@ impl<F: CellFamily> WcqRing<F> {
         if indices.is_empty() {
             return 0;
         }
-        self.help_threads(tid);
+        if self.help_threads(tid) {
+            self.count(Counter::HelpingEntries, 1);
+        }
         let base = self.tail.fetch_add_cnt_n(indices.len() as u64);
         let mut on_ticket = 0;
         for (k, &index) in indices.iter().enumerate() {
@@ -736,9 +781,13 @@ impl<F: CellFamily> WcqRing<F> {
             if self.try_enq_at(base + k as u64, index).is_ok() {
                 on_ticket += 1;
             } else {
+                // The fallback records its own RingEnqueues (and any further
+                // helping entry), so only the on-ticket elements are counted
+                // below — no double counting.
                 self.enqueue_index(tid, index);
             }
         }
+        self.count(Counter::RingEnqueues, on_ticket as u64);
         on_ticket
     }
 
@@ -764,11 +813,14 @@ impl<F: CellFamily> WcqRing<F> {
         if max == 0 || self.threshold.load(SeqCst) < 0 {
             return 0;
         }
-        self.help_threads(tid);
+        if self.help_threads(tid) {
+            self.count(Counter::HelpingEntries, 1);
+        }
         // Clamp to the visible backlog so an oversized batch never burns a
         // run of guaranteed-empty tickets (each would cost a threshold
         // decrement and a catchup).
         let run = self.len_hint().min(max as u64);
+        self.count(Counter::RingDequeues, run);
         let mut got = 0;
         if run > 0 {
             let base = self.head.fetch_add_cnt_n(run);

@@ -9,10 +9,14 @@
 //! (whose token semantics make a wake-before-park return immediately, so no
 //! wakeup is ever lost).
 //!
-//! [`block_on_counted`] additionally reports how often the future was polled
-//! and woken — the instrument behind the "a parked receiver is woken by an
-//! enqueue, not by spinning" assertions: a receiver that busy-polls shows
-//! hundreds of polls, a properly parked one a small constant.
+//! [`block_on_instrumented`] additionally records how often the future was
+//! polled and woken — into the same [`Instrument`] counter set the queue
+//! layers report to ([`Counter::ExecPolls`] / [`Counter::ExecWakes`]).  It is
+//! the instrument behind the "a parked receiver is woken by an enqueue, not
+//! by spinning" assertions: a receiver that busy-polls shows hundreds of
+//! polls, a properly parked one a small constant.  The older
+//! [`block_on_counted`] reports the same two numbers as an ad-hoc
+//! [`PollStats`] pair and is deprecated in its favor.
 
 use std::future::Future;
 use std::pin::pin;
@@ -20,6 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::Thread;
+
+use wcq_core::metrics::{Counter, Instrument};
 
 /// Wakes the executor thread via `unpark`, counting every wake.
 struct ThreadUnparker {
@@ -39,6 +45,11 @@ impl Wake for ThreadUnparker {
 
 /// How hard the executor had to work: poll and wake counts of one
 /// [`block_on_counted`] run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `block_on_instrumented` with a `CountingInstrument` and read \
+            `Counter::ExecPolls` / `Counter::ExecWakes` from its `MetricsSnapshot`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PollStats {
     /// Times the future was polled (≥ 1).
@@ -49,12 +60,37 @@ pub struct PollStats {
 
 /// Runs `future` to completion on the current thread, parking between polls.
 pub fn block_on<F: Future>(future: F) -> F::Output {
-    block_on_counted(future).0
+    run_counting(future).0
 }
 
 /// Like [`block_on`], but also reports how many polls and wakes the run took
 /// — the bounded-wake-count oracle for the park/wake tests.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `block_on_instrumented` with a `CountingInstrument` and read \
+            `Counter::ExecPolls` / `Counter::ExecWakes` from its `MetricsSnapshot`"
+)]
+#[allow(deprecated)]
 pub fn block_on_counted<F: Future>(future: F) -> (F::Output, PollStats) {
+    let (output, polls, wakes) = run_counting(future);
+    (output, PollStats { polls, wakes })
+}
+
+/// Like [`block_on`], but records every poll and wake into `instrument`
+/// ([`Counter::ExecPolls`] / [`Counter::ExecWakes`]) — the executor's
+/// contribution to the unified `MetricsSnapshot`
+/// (`wcq_core::metrics::MetricsSnapshot`), alongside the channel layer's
+/// park/wake counters.
+pub fn block_on_instrumented<F: Future, I: Instrument>(future: F, instrument: &I) -> F::Output {
+    let (output, polls, wakes) = run_counting(future);
+    instrument.record(Counter::ExecPolls, polls);
+    instrument.record(Counter::ExecWakes, wakes);
+    output
+}
+
+/// The shared poll-park loop: drives `future` to completion and returns
+/// `(output, polls, wakes)`.
+fn run_counting<F: Future>(future: F) -> (F::Output, u64, u64) {
     let unparker = Arc::new(ThreadUnparker {
         thread: std::thread::current(),
         wakes: AtomicU64::new(0),
@@ -67,11 +103,8 @@ pub fn block_on_counted<F: Future>(future: F) -> (F::Output, PollStats) {
         polls += 1;
         match future.as_mut().poll(&mut cx) {
             Poll::Ready(output) => {
-                let stats = PollStats {
-                    polls,
-                    wakes: unparker.wakes.load(SeqCst),
-                };
-                return (output, stats);
+                let wakes = unparker.wakes.load(SeqCst);
+                return (output, polls, wakes);
             }
             // `park` returns immediately when a wake already deposited the
             // token, and may also return spuriously — both just re-poll.
@@ -82,6 +115,9 @@ pub fn block_on_counted<F: Future>(future: F) -> (F::Output, PollStats) {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated counted runner stays covered until it is removed.
+    #![allow(deprecated)]
+
     use super::*;
     use std::task::Poll;
 

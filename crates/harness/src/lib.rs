@@ -39,10 +39,12 @@ pub mod stress;
 pub mod workload;
 
 pub use channel_stress::{all_channel_backends, ChannelStressPlan, ChannelStressReport};
+pub use exec::block_on_instrumented;
+#[allow(deprecated)]
 pub use exec::{block_on, block_on_counted, PollStats};
 pub use queues::{
-    make_queue, make_queue_configured, make_queue_with_policy, QueueHandle, QueueKind, ShardPolicy,
-    WaitFreeQueue, HARNESS_SHARDS,
+    make_counting_queue, make_queue, make_queue_configured, make_queue_with_policy, QueueHandle,
+    QueueKind, ShardPolicy, WaitFreeQueue, HARNESS_SHARDS,
 };
 pub use rng::DetRng;
 pub use stress::{all_real_queues, StressPlan, StressReport};

@@ -15,6 +15,7 @@
 //! enqueues small integers / pointers).
 
 use wcq_baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
+use wcq_core::metrics::CountingInstrument;
 use wcq_core::wcq::WcqConfig;
 use wcq_core::ScqQueue;
 
@@ -240,6 +241,47 @@ pub fn make_queue_with_policy(
         QueueKind::CrTurn => Box::new(CrTurnQueue::new(max_threads)),
         QueueKind::Faa => Box::new(FaaQueue::new(ring_order)),
     }
+}
+
+/// Like [`make_queue_configured`], but attaches a live
+/// [`CountingInstrument`] to the queue so every layer — ring fast/slow paths,
+/// helping entries, CAS failures, segment lifecycle, shard routing — records
+/// into its shared counter set.  Returns `None` for the baseline kinds, which
+/// have no instrumentation hooks; only the wCQ family (bounded, unbounded,
+/// sharded, both hardware models) is observable.
+///
+/// Keep the returned instrument and call
+/// [`snapshot`](CountingInstrument::snapshot) *after* worker handles have
+/// dropped: per-handle completion tallies are flushed on handle drop.
+pub fn make_counting_queue(
+    kind: QueueKind,
+    max_threads: usize,
+    ring_order: u32,
+    wcq_config: Option<WcqConfig>,
+) -> Option<(Box<dyn WaitFreeQueue<u64>>, CountingInstrument)> {
+    let instr = CountingInstrument::new();
+    let wcq_builder = wcq::builder()
+        .capacity_order(ring_order)
+        .threads(max_threads)
+        .config(wcq_config.unwrap_or_default())
+        .instrument(instr.clone());
+    // Segment-order cap and shard geometry: same reasoning as
+    // `make_queue_with_policy`, so counting runs measure the same shapes.
+    let segmented = wcq_builder.clone().capacity_order(ring_order.min(12));
+    let sharded = segmented
+        .clone()
+        .shards(HARNESS_SHARDS)
+        .shard_policy(ShardPolicy::Pinned);
+    let queue: Box<dyn WaitFreeQueue<u64>> = match kind {
+        QueueKind::Wcq => Box::new(wcq_builder.build_bounded::<u64>()),
+        QueueKind::WcqLlsc => Box::new(wcq_builder.llsc().build_bounded::<u64>()),
+        QueueKind::WcqUnbounded => Box::new(segmented.build_unbounded::<u64>()),
+        QueueKind::WcqUnboundedLlsc => Box::new(segmented.llsc().build_unbounded::<u64>()),
+        QueueKind::WcqSharded => Box::new(sharded.build_sharded::<u64>()),
+        QueueKind::WcqShardedLlsc => Box::new(sharded.llsc().build_sharded::<u64>()),
+        _ => return None,
+    };
+    Some((queue, instr))
 }
 
 #[cfg(test)]

@@ -6,9 +6,11 @@ use std::sync::atomic::{
     AtomicIsize, AtomicPtr, AtomicUsize,
     Ordering::{Relaxed, SeqCst},
 };
+use std::sync::Arc;
 
 use wcq_atomics::{Backoff, CachePadded};
 use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
+use wcq_core::metrics::{Counter, CounterSet};
 use wcq_core::wcq::{CellFamily, LlscFamily, NativeFamily, WcqConfig};
 use wcq_reclaim::{HazardDomain, HazardHandle};
 
@@ -106,6 +108,9 @@ pub struct UnboundedWcq<T, F: CellFamily = NativeFamily> {
     /// hint; the warn-only bench differ tracks it against the pre-counter
     /// baselines.
     len_hint: CachePadded<AtomicIsize>,
+    /// Optional telemetry counter set, shared with every segment's inner
+    /// rings; segment-lifecycle events are recorded here too.
+    counters: Option<Arc<CounterSet>>,
 }
 
 // SAFETY: segments are shared through hazard-protected atomic pointers; the
@@ -136,6 +141,20 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
         config: WcqConfig,
         cache_limit: usize,
     ) -> Self {
+        Self::with_config_cache_counters(seg_order, max_threads, config, cache_limit, None)
+    }
+
+    /// Like [`UnboundedWcq::with_config_and_cache`] with an optional shared
+    /// [`CounterSet`] receiving telemetry from every segment's inner rings
+    /// plus segment-lifecycle events (allocs, cache hits/misses, reuse,
+    /// retirement) and per-handle completion tallies.
+    pub fn with_config_cache_counters(
+        seg_order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        cache_limit: usize,
+        counters: Option<Arc<CounterSet>>,
+    ) -> Self {
         assert!(max_threads >= 1, "at least one thread must register");
         assert!(
             max_threads as u64 <= (1u64 << seg_order),
@@ -148,6 +167,7 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
             max_threads,
             config,
             cache_ptr,
+            counters.clone(),
         )));
         // SAFETY: freshly allocated, exclusively owned.
         let per_segment_bytes = unsafe { (*first).footprint() };
@@ -165,7 +185,21 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
             segments_live: AtomicUsize::new(1),
             segments_allocated: AtomicUsize::new(1),
             len_hint: CachePadded::new(AtomicIsize::new(0)),
+            counters,
         }
+    }
+
+    /// Records `n` into `counter` when telemetry is attached.
+    #[inline]
+    fn count(&self, counter: Counter, n: u64) {
+        if let Some(set) = &self.counters {
+            set.add(counter, n);
+        }
+    }
+
+    /// The telemetry counter set shared with every segment, if attached.
+    pub fn counter_set(&self) -> Option<&Arc<CounterSet>> {
+        self.counters.as_ref()
     }
 
     /// Capacity of a single segment (`2^seg_order`).
@@ -195,6 +229,10 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
             hp,
             bound: ptr::null_mut(),
             rebinds: 0,
+            enqueues_completed: 0,
+            dequeues_completed: 0,
+            batch_values_requested: 0,
+            batch_values_granted: 0,
         })
     }
 
@@ -222,6 +260,12 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
     }
 
     /// Hit/miss statistics of the segment-recycling cache.
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach a `CountingInstrument` via `builder().instrument(...)` and read \
+                `MetricsSnapshot` (segment_cache_hits / segment_cache_misses / \
+                segments_reused) instead"
+    )]
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.cache.hits_total(),
@@ -271,13 +315,23 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
     fn fresh_segment_with(&self, tid: usize, value: T) -> (*mut Segment<T, F>, bool) {
         let cached = self.cache.take();
         let from_cache = cached.is_some();
+        self.count(
+            if from_cache {
+                Counter::SegmentCacheHits
+            } else {
+                Counter::SegmentCacheMisses
+            },
+            1,
+        );
         let seg = cached.unwrap_or_else(|| {
             self.segments_allocated.fetch_add(1, SeqCst);
+            self.count(Counter::SegmentAllocs, 1);
             Box::into_raw(Box::new(Segment::new(
                 self.seg_order,
                 self.max_threads,
                 self.config,
                 &*self.cache,
+                self.counters.clone(),
             )))
         });
         self.segments_live.fetch_add(1, SeqCst);
@@ -366,6 +420,13 @@ pub struct UnboundedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
     /// How many times the memo missed and the binding moved to a different
     /// segment (statistics; lets tests assert the memo actually hits).
     rebinds: u64,
+    /// Plain per-handle completion/batch tallies, flushed into the queue's
+    /// counter set (when attached) once, on drop — no shared-cache-line
+    /// traffic per completed value.
+    enqueues_completed: u64,
+    dequeues_completed: u64,
+    batch_values_requested: u64,
+    batch_values_granted: u64,
 }
 
 impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
@@ -382,6 +443,11 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
     /// Number of segment-binding switches this handle has performed.  Stays
     /// at 1 while all operations land in one segment (the memoized fast
     /// case); grows by at least one per segment the handle crosses.
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach a `CountingInstrument` via `builder().instrument(...)` and read \
+                `MetricsSnapshot` (segment_rebinds) instead"
+    )]
     pub fn segment_rebinds(&self) -> u64 {
         self.rebinds
     }
@@ -443,6 +509,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             match attempt {
                 Ok(()) => {
                     self.queue.len_hint.fetch_add(1, Relaxed);
+                    self.enqueues_completed += 1;
                     self.hp.clear_one(0);
                     return;
                 }
@@ -461,6 +528,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                     {
                         if from_cache {
                             self.queue.cache.note_reused();
+                            self.queue.count(Counter::SegmentsReused, 1);
                         }
                         let _ = self
                             .queue
@@ -469,6 +537,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                         // The pre-loaded value became reachable when the link
                         // CAS published the segment.
                         self.queue.len_hint.fetch_add(1, Relaxed);
+                        self.enqueues_completed += 1;
                         self.hp.clear_one(0);
                         return;
                     }
@@ -495,6 +564,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // SAFETY: bound just above.
             if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
                 self.queue.len_hint.fetch_sub(1, Relaxed);
+                self.dequeues_completed += 1;
                 self.hp.clear_one(0);
                 return Some(v);
             }
@@ -518,6 +588,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // SAFETY: still bound to `headp`.
             if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
                 self.queue.len_hint.fetch_sub(1, Relaxed);
+                self.dequeues_completed += 1;
                 self.hp.clear_one(0);
                 return Some(v);
             }
@@ -541,6 +612,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 // the next rebind.
                 self.unbind();
                 self.hp.clear_one(0);
+                self.queue.count(Counter::SegmentsRetired, 1);
                 // SAFETY: the CAS winner is the unique retirer of the now
                 // unreachable segment; `recycle_segment` matches `T, F`.
                 unsafe { self.hp.retire_with(headp, recycle_segment::<T, F>) };
@@ -564,6 +636,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
         // (a batch crossing many full segments would otherwise pay a front
         // shift of the whole remainder per segment); the queue is unbounded,
         // so the buffer always drains and nothing is moved back at the end.
+        self.batch_values_requested += values.len() as u64;
         let mut pending: VecDeque<T> = std::mem::take(values).into();
         let mut total = 0;
         while !pending.is_empty() {
@@ -587,6 +660,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             };
             if accepted > 0 {
                 self.queue.len_hint.fetch_add(accepted as isize, Relaxed);
+                self.enqueues_completed += accepted as u64;
                 total += accepted;
                 continue;
             }
@@ -594,10 +668,12 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // the single-op path (which closes the tail and appends a fresh
             // segment), then resume batching into the new tail.
             let value = pending.pop_front().expect("loop guard: non-empty");
+            // `enqueue` tallies its own completion.
             self.enqueue(value);
             total += 1;
         }
         self.hp.clear_one(0);
+        self.batch_values_granted += total as u64;
         total
     }
 
@@ -612,6 +688,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
         if max == 0 {
             return 0;
         }
+        self.batch_values_requested += max as u64;
         let tid = self.hp.tid();
         let mut backoff = Backoff::new();
         loop {
@@ -626,6 +703,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
             if got > 0 {
                 self.queue.len_hint.fetch_sub(got as isize, Relaxed);
+                self.dequeues_completed += got as u64;
+                self.batch_values_granted += got as u64;
                 self.hp.clear_one(0);
                 return got;
             }
@@ -642,6 +721,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
             if got > 0 {
                 self.queue.len_hint.fetch_sub(got as isize, Relaxed);
+                self.dequeues_completed += got as u64;
+                self.batch_values_granted += got as u64;
                 self.hp.clear_one(0);
                 return got;
             }
@@ -658,6 +739,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 self.queue.segments_live.fetch_sub(1, SeqCst);
                 self.unbind();
                 self.hp.clear_one(0);
+                self.queue.count(Counter::SegmentsRetired, 1);
                 // SAFETY: the CAS winner is the unique retirer of the now
                 // unreachable segment; `recycle_segment` matches `T, F`.
                 unsafe { self.hp.retire_with(headp, recycle_segment::<T, F>) };
@@ -674,6 +756,13 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
 
 impl<'q, T, F: CellFamily> Drop for UnboundedWcqHandle<'q, T, F> {
     fn drop(&mut self) {
+        if let Some(set) = self.queue.counter_set() {
+            set.add(Counter::EnqueuesCompleted, self.enqueues_completed);
+            set.add(Counter::DequeuesCompleted, self.dequeues_completed);
+            set.add(Counter::BatchValuesRequested, self.batch_values_requested);
+            set.add(Counter::BatchValuesGranted, self.batch_values_granted);
+            set.add(Counter::SegmentRebinds, self.rebinds);
+        }
         // Release the memoized binding so the segment can be recycled; the
         // hazard handle then releases the participant slot itself.
         self.unbind();
@@ -736,6 +825,8 @@ impl<T: Send, F: CellFamily> WaitFreeQueue<T> for UnboundedWcq<T, F> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated ad-hoc accessors stay covered until they are removed.
+    #![allow(deprecated)]
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;

@@ -34,9 +34,10 @@
 use std::collections::VecDeque;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering::SeqCst};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use wcq_atomics::CachePadded;
+use wcq_core::metrics::CounterSet;
 use wcq_core::wcq::{CellFamily, WcqConfig, WcqQueue};
 
 /// Subtracted from `state` when a segment closes.  Far larger than any
@@ -66,8 +67,9 @@ impl<T, F: CellFamily> Segment<T, F> {
         max_threads: usize,
         config: WcqConfig,
         cache: *const SegmentCache<T, F>,
+        counters: Option<Arc<CounterSet>>,
     ) -> Self {
-        let queue = WcqQueue::with_config(order, max_threads, config);
+        let queue = WcqQueue::with_config_counters(order, max_threads, config, counters);
         let capacity = queue.capacity() as i64;
         Self {
             queue,

@@ -29,7 +29,10 @@
 //! answered empty once, which (as for any scan of independent queues) is a
 //! racy observation, not a linearizable global-emptiness check.
 
+use std::sync::Arc;
+
 use wcq_core::api::{QueueHandle, WaitFreeQueue};
+use wcq_core::metrics::{Counter, CounterSet};
 use wcq_core::wcq::{CellFamily, LlscFamily, NativeFamily, WcqConfig};
 
 use crate::queue::{SegmentStats, UnboundedWcq, UnboundedWcqHandle, DEFAULT_SEGMENT_CACHE};
@@ -106,10 +109,40 @@ impl<T, F: CellFamily> ShardedWcq<T, F> {
         cache_limit: usize,
         policy: ShardPolicy,
     ) -> Self {
+        Self::with_config_cache_counters(
+            shards,
+            seg_order,
+            max_threads,
+            config,
+            cache_limit,
+            policy,
+            None,
+        )
+    }
+
+    /// Like [`ShardedWcq::with_config_and_cache`] with an optional shared
+    /// [`CounterSet`]: every shard records into the same set, and routing
+    /// decisions (routes vs steals) are tallied per handle and flushed on
+    /// handle drop.
+    pub fn with_config_cache_counters(
+        shards: usize,
+        seg_order: u32,
+        max_threads: usize,
+        config: WcqConfig,
+        cache_limit: usize,
+        policy: ShardPolicy,
+        counters: Option<Arc<CounterSet>>,
+    ) -> Self {
         assert!(shards >= 1, "a sharded queue needs at least one shard");
         let shards: Box<[UnboundedWcq<T, F>]> = (0..shards)
             .map(|_| {
-                UnboundedWcq::with_config_and_cache(seg_order, max_threads, config, cache_limit)
+                UnboundedWcq::with_config_cache_counters(
+                    seg_order,
+                    max_threads,
+                    config,
+                    cache_limit,
+                    counters.clone(),
+                )
             })
             .collect();
         Self {
@@ -117,6 +150,11 @@ impl<T, F: CellFamily> ShardedWcq<T, F> {
             policy,
             max_threads,
         }
+    }
+
+    /// The telemetry counter set shared by every shard, if attached.
+    pub fn counter_set(&self) -> Option<&Arc<CounterSet>> {
+        self.shards[0].counter_set()
     }
 
     /// Number of shards.
@@ -191,6 +229,8 @@ impl<T, F: CellFamily> ShardedWcq<T, F> {
             handles,
             home,
             cursor: home,
+            routes: 0,
+            steals: 0,
         })
     }
 
@@ -241,6 +281,11 @@ pub struct ShardedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
     home: usize,
     /// Rotating cursor for round-robin routing and least-loaded tie-breaks.
     cursor: usize,
+    /// Enqueue routing decisions made by this handle (plain tallies, flushed
+    /// into the shared counter set on drop).
+    routes: u64,
+    /// Dequeues satisfied by a *non-home* shard (work stealing).
+    steals: u64,
 }
 
 impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
@@ -256,17 +301,30 @@ impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
 
     /// Segment-binding switches performed on shard `shard` (see
     /// [`UnboundedWcqHandle::segment_rebinds`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach a `CountingInstrument` via `builder().instrument(...)` and read \
+                `MetricsSnapshot` (segment_rebinds) instead"
+    )]
     pub fn shard_rebinds(&self, shard: usize) -> u64 {
+        #[allow(deprecated)]
         self.handles[shard].segment_rebinds()
     }
 
     /// Total segment-binding switches across all shards.
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach a `CountingInstrument` via `builder().instrument(...)` and read \
+                `MetricsSnapshot` (segment_rebinds) instead"
+    )]
     pub fn segment_rebinds(&self) -> u64 {
+        #[allow(deprecated)]
         self.handles.iter().map(|h| h.segment_rebinds()).sum()
     }
 
     /// Picks the target shard for one enqueue under the queue's policy.
     fn route(&mut self) -> usize {
+        self.routes += 1;
         let n = self.handles.len();
         match self.queue.policy {
             ShardPolicy::Pinned => self.home,
@@ -311,6 +369,7 @@ impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
         for k in 0..n {
             let shard = (self.home + k) % n;
             if let Some(v) = self.handles[shard].dequeue() {
+                self.steals += (k > 0) as u64;
                 return Some(v);
             }
         }
@@ -349,6 +408,7 @@ impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
             let shard = (self.home + k) % n;
             let got = self.handles[shard].dequeue_many(out, max);
             if got > 0 {
+                self.steals += (k > 0) as u64;
                 return got;
             }
         }
@@ -364,12 +424,23 @@ impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
     }
 }
 
+impl<'q, T, F: CellFamily> Drop for ShardedWcqHandle<'q, T, F> {
+    fn drop(&mut self) {
+        if let Some(set) = self.queue.counter_set() {
+            set.add(Counter::ShardRoutes, self.routes);
+            set.add(Counter::ShardSteals, self.steals);
+        }
+    }
+}
+
 impl<'q, T, F: CellFamily> std::fmt::Debug for ShardedWcqHandle<'q, T, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        #[allow(deprecated)]
+        let rebinds = self.segment_rebinds();
         f.debug_struct("ShardedWcqHandle")
             .field("shards", &self.handles.len())
             .field("home", &self.home)
-            .field("rebinds", &self.segment_rebinds())
+            .field("rebinds", &rebinds)
             .finish()
     }
 }

@@ -37,6 +37,8 @@ use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll};
 
+use wcq_core::metrics::{Instrument, NoopInstrument};
+
 use crate::channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
 
 // --------------------------------------------------------------------------
@@ -51,15 +53,15 @@ use crate::channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySe
 /// backend suspends the task instead of spinning; a receive or a close wakes
 /// it.  Unbounded and sharded backends never report full, so their send
 /// futures complete on first poll.
-pub struct AsyncSender<T: Send + 'static> {
-    inner: Sender<T>,
+pub struct AsyncSender<T: Send + 'static, I: Instrument = NoopInstrument> {
+    inner: Sender<T, I>,
     waker_id: u64,
 }
 
-impl<T: Send + 'static> AsyncSender<T> {
+impl<T: Send + 'static, I: Instrument> AsyncSender<T, I> {
     /// Sends `value`, suspending while a bounded backend is full.  Resolves
     /// with the value back inside [`SendError`] if the channel closes first.
-    pub fn send(&mut self, value: T) -> SendFuture<'_, T> {
+    pub fn send(&mut self, value: T) -> SendFuture<'_, T, I> {
         SendFuture {
             tx: self,
             value: Some(value),
@@ -77,9 +79,9 @@ impl<T: Send + 'static> AsyncSender<T> {
     /// with the same batch-amortized credit/closed check and the same error
     /// contract: on close the unsent remainder comes back in order inside the
     /// error, and everything else was enqueued pre-close and will drain.
-    pub fn send_iter<I>(&mut self, iter: I) -> SendIterFuture<'_, T>
+    pub fn send_iter<It>(&mut self, iter: It) -> SendIterFuture<'_, T, I>
     where
-        I: IntoIterator<Item = T>,
+        It: IntoIterator<Item = T>,
     {
         let buf: Vec<T> = iter.into_iter().collect();
         let total = buf.len();
@@ -107,7 +109,7 @@ impl<T: Send + 'static> AsyncSender<T> {
     }
 
     /// Strips the async layer, keeping the registered endpoint.
-    pub fn into_sync(self) -> Sender<T> {
+    pub fn into_sync(self) -> Sender<T, I> {
         // Clone-then-drop keeps the sender count ≥ 1 throughout, so the
         // conversion can never be the "last drop" that closes the channel.
         let sync = self.inner.clone();
@@ -116,27 +118,27 @@ impl<T: Send + 'static> AsyncSender<T> {
     }
 }
 
-impl<T: Send + 'static> From<Sender<T>> for AsyncSender<T> {
-    fn from(inner: Sender<T>) -> Self {
+impl<T: Send + 'static, I: Instrument> From<Sender<T, I>> for AsyncSender<T, I> {
+    fn from(inner: Sender<T, I>) -> Self {
         let waker_id = inner.core.send_wakers.attach();
         Self { inner, waker_id }
     }
 }
 
-impl<T: Send + 'static> Clone for AsyncSender<T> {
+impl<T: Send + 'static, I: Instrument> Clone for AsyncSender<T, I> {
     fn clone(&self) -> Self {
         self.inner.clone().into()
     }
 }
 
-impl<T: Send + 'static> Drop for AsyncSender<T> {
+impl<T: Send + 'static, I: Instrument> Drop for AsyncSender<T, I> {
     fn drop(&mut self) {
         self.inner.core.send_wakers.detach(self.waker_id);
         // `inner` drops next; the last sender drop closes the channel.
     }
 }
 
-impl<T: Send + 'static> std::fmt::Debug for AsyncSender<T> {
+impl<T: Send + 'static, I: Instrument> std::fmt::Debug for AsyncSender<T, I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncSender")
             .field("backend", &self.backend_name())
@@ -147,8 +149,8 @@ impl<T: Send + 'static> std::fmt::Debug for AsyncSender<T> {
 
 /// Future of [`AsyncSender::send`].
 #[must_use = "futures do nothing unless polled"]
-pub struct SendFuture<'a, T: Send + 'static> {
-    tx: &'a mut AsyncSender<T>,
+pub struct SendFuture<'a, T: Send + 'static, I: Instrument = NoopInstrument> {
+    tx: &'a mut AsyncSender<T, I>,
     /// The value still to be sent; taken on completion.
     value: Option<T>,
     /// Whether the last poll returned `Pending` with the waker parked — the
@@ -158,9 +160,9 @@ pub struct SendFuture<'a, T: Send + 'static> {
 
 // No field is structurally pinned (`poll` only ever takes plain `&mut` to
 // them), so the future is `Unpin` regardless of `T`.
-impl<T: Send + 'static> Unpin for SendFuture<'_, T> {}
+impl<T: Send + 'static, I: Instrument> Unpin for SendFuture<'_, T, I> {}
 
-impl<T: Send + 'static> Future for SendFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Future for SendFuture<'_, T, I> {
     type Output = Result<(), SendError<T>>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
@@ -177,11 +179,7 @@ impl<T: Send + 'static> Future for SendFuture<'_, T> {
         // Full: park, then retry once with the waker in place — a dequeue
         // that raced between the attempt above and the park has already
         // consumed its notification, so only this re-check can see it.
-        this.tx
-            .inner
-            .core
-            .send_wakers
-            .park(this.tx.waker_id, cx.waker());
+        this.tx.inner.core.park_send(this.tx.waker_id, cx.waker());
         this.parked = true;
         match this.tx.inner.try_send(value) {
             Ok(()) => Poll::Ready(this.complete(Ok(()))),
@@ -194,7 +192,7 @@ impl<T: Send + 'static> Future for SendFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> SendFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> SendFuture<'_, T, I> {
     /// Completion bookkeeping: clear any waker still parked from an earlier
     /// `Pending` round, so no later `notify_one` burns itself on this
     /// already-finished future.
@@ -207,7 +205,7 @@ impl<T: Send + 'static> SendFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> Drop for SendFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Drop for SendFuture<'_, T, I> {
     fn drop(&mut self) {
         // Cancellation safety: never leave a stale waker behind, and never
         // swallow a notification.  If we parked and the waker is *gone*, a
@@ -215,15 +213,15 @@ impl<T: Send + 'static> Drop for SendFuture<'_, T> {
         // the queue slot it announced goes unobserved by the other parked
         // senders.
         if self.parked && !self.tx.inner.core.send_wakers.unpark(self.tx.waker_id) {
-            self.tx.inner.core.send_wakers.notify_one();
+            self.tx.inner.core.wake_send_one();
         }
     }
 }
 
 /// Future of [`AsyncSender::send_iter`].
 #[must_use = "futures do nothing unless polled"]
-pub struct SendIterFuture<'a, T: Send + 'static> {
-    tx: &'a mut AsyncSender<T>,
+pub struct SendIterFuture<'a, T: Send + 'static, I: Instrument = NoopInstrument> {
+    tx: &'a mut AsyncSender<T, I>,
     /// The elements still to be sent, drained from the front as batches land.
     buf: Vec<T>,
     total: usize,
@@ -232,9 +230,9 @@ pub struct SendIterFuture<'a, T: Send + 'static> {
     parked: bool,
 }
 
-impl<T: Send + 'static> Unpin for SendIterFuture<'_, T> {}
+impl<T: Send + 'static, I: Instrument> Unpin for SendIterFuture<'_, T, I> {}
 
-impl<T: Send + 'static> Future for SendIterFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Future for SendIterFuture<'_, T, I> {
     type Output = Result<usize, SendError<Vec<T>>>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
@@ -258,18 +256,14 @@ impl<T: Send + 'static> Future for SendIterFuture<'_, T> {
             if parked_now {
                 return Poll::Pending;
             }
-            this.tx
-                .inner
-                .core
-                .send_wakers
-                .park(this.tx.waker_id, cx.waker());
+            this.tx.inner.core.park_send(this.tx.waker_id, cx.waker());
             this.parked = true;
             parked_now = true;
         }
     }
 }
 
-impl<T: Send + 'static> SendIterFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> SendIterFuture<'_, T, I> {
     /// Completion bookkeeping; see [`SendFuture`]'s counterpart.
     fn complete(
         &mut self,
@@ -283,11 +277,11 @@ impl<T: Send + 'static> SendIterFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> Drop for SendIterFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Drop for SendIterFuture<'_, T, I> {
     fn drop(&mut self) {
         // Cancellation safety: see `SendFuture`'s drop impl.
         if self.parked && !self.tx.inner.core.send_wakers.unpark(self.tx.waker_id) {
-            self.tx.inner.core.send_wakers.notify_one();
+            self.tx.inner.core.wake_send_one();
         }
     }
 }
@@ -305,16 +299,16 @@ impl<T: Send + 'static> Drop for SendIterFuture<'_, T> {
 /// receivers).  The close-drain guarantee carries over unchanged — a receiver
 /// resolves to `Err(`[`RecvError`]`)` only after every pre-close send has
 /// been drained by someone.
-pub struct AsyncReceiver<T: Send + 'static> {
-    inner: Receiver<T>,
+pub struct AsyncReceiver<T: Send + 'static, I: Instrument = NoopInstrument> {
+    inner: Receiver<T, I>,
     waker_id: u64,
 }
 
-impl<T: Send + 'static> AsyncReceiver<T> {
+impl<T: Send + 'static, I: Instrument> AsyncReceiver<T, I> {
     /// Receives the next value, suspending while the channel is empty.
     /// Resolves with `Err(`[`RecvError`]`)` once the channel is closed and
     /// fully drained.
-    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+    pub fn recv(&mut self) -> RecvFuture<'_, T, I> {
         RecvFuture {
             rx: self,
             parked: false,
@@ -331,7 +325,11 @@ impl<T: Send + 'static> AsyncReceiver<T> {
     /// the number appended (at least one; fewer than `max` does not mean
     /// empty), or `Err(`[`RecvError`]`)` once the channel is closed and fully
     /// drained.
-    pub fn recv_many<'a>(&'a mut self, out: &'a mut Vec<T>, max: usize) -> RecvManyFuture<'a, T> {
+    pub fn recv_many<'a>(
+        &'a mut self,
+        out: &'a mut Vec<T>,
+        max: usize,
+    ) -> RecvManyFuture<'a, T, I> {
         RecvManyFuture {
             rx: self,
             out,
@@ -368,33 +366,33 @@ impl<T: Send + 'static> AsyncReceiver<T> {
     }
 
     /// Strips the async layer, keeping the registered endpoint.
-    pub fn into_sync(self) -> Receiver<T> {
+    pub fn into_sync(self) -> Receiver<T, I> {
         let sync = self.inner.clone();
         drop(self);
         sync
     }
 }
 
-impl<T: Send + 'static> From<Receiver<T>> for AsyncReceiver<T> {
-    fn from(inner: Receiver<T>) -> Self {
+impl<T: Send + 'static, I: Instrument> From<Receiver<T, I>> for AsyncReceiver<T, I> {
+    fn from(inner: Receiver<T, I>) -> Self {
         let waker_id = inner.core.recv_wakers.attach();
         Self { inner, waker_id }
     }
 }
 
-impl<T: Send + 'static> Clone for AsyncReceiver<T> {
+impl<T: Send + 'static, I: Instrument> Clone for AsyncReceiver<T, I> {
     fn clone(&self) -> Self {
         self.inner.clone().into()
     }
 }
 
-impl<T: Send + 'static> Drop for AsyncReceiver<T> {
+impl<T: Send + 'static, I: Instrument> Drop for AsyncReceiver<T, I> {
     fn drop(&mut self) {
         self.inner.core.recv_wakers.detach(self.waker_id);
     }
 }
 
-impl<T: Send + 'static> std::fmt::Debug for AsyncReceiver<T> {
+impl<T: Send + 'static, I: Instrument> std::fmt::Debug for AsyncReceiver<T, I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncReceiver")
             .field("backend", &self.backend_name())
@@ -405,14 +403,14 @@ impl<T: Send + 'static> std::fmt::Debug for AsyncReceiver<T> {
 
 /// Future of [`AsyncReceiver::recv`].
 #[must_use = "futures do nothing unless polled"]
-pub struct RecvFuture<'a, T: Send + 'static> {
-    rx: &'a mut AsyncReceiver<T>,
+pub struct RecvFuture<'a, T: Send + 'static, I: Instrument = NoopInstrument> {
+    rx: &'a mut AsyncReceiver<T, I>,
     /// Whether the last poll returned `Pending` with the waker parked — the
     /// drop impl uses it to tell a consumed notification from a clean slot.
     parked: bool,
 }
 
-impl<T: Send + 'static> Future for RecvFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Future for RecvFuture<'_, T, I> {
     type Output = Result<T, RecvError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
@@ -438,11 +436,7 @@ impl<T: Send + 'static> Future for RecvFuture<'_, T> {
         // Park, then re-check with the waker in place — an enqueue that raced
         // ahead of the park has already spent its notification on an empty
         // registry, so only this re-check can observe its value.
-        this.rx
-            .inner
-            .core
-            .recv_wakers
-            .park(this.rx.waker_id, cx.waker());
+        this.rx.inner.core.park_recv(this.rx.waker_id, cx.waker());
         this.parked = true;
         match this.rx.inner.try_recv() {
             Ok(value) => Poll::Ready(this.complete(Ok(value))),
@@ -452,7 +446,7 @@ impl<T: Send + 'static> Future for RecvFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> RecvFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> RecvFuture<'_, T, I> {
     /// Completion bookkeeping: clear any waker still parked from an earlier
     /// `Pending` round, so no later `notify_one` burns itself on this
     /// already-finished future.
@@ -465,7 +459,7 @@ impl<T: Send + 'static> RecvFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> Drop for RecvFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Drop for RecvFuture<'_, T, I> {
     fn drop(&mut self) {
         // Cancellation safety: never leave a stale waker behind, and never
         // swallow a notification.  If we parked and the waker is *gone*, a
@@ -473,15 +467,15 @@ impl<T: Send + 'static> Drop for RecvFuture<'_, T> {
         // the value it announced goes unobserved by the other parked
         // receivers.
         if self.parked && !self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id) {
-            self.rx.inner.core.recv_wakers.notify_one();
+            self.rx.inner.core.wake_recv_one();
         }
     }
 }
 
 /// Future of [`AsyncReceiver::recv_many`].
 #[must_use = "futures do nothing unless polled"]
-pub struct RecvManyFuture<'a, T: Send + 'static> {
-    rx: &'a mut AsyncReceiver<T>,
+pub struct RecvManyFuture<'a, T: Send + 'static, I: Instrument = NoopInstrument> {
+    rx: &'a mut AsyncReceiver<T, I>,
     out: &'a mut Vec<T>,
     max: usize,
     /// Whether the last poll returned `Pending` with the waker parked — the
@@ -489,9 +483,9 @@ pub struct RecvManyFuture<'a, T: Send + 'static> {
     parked: bool,
 }
 
-impl<T: Send + 'static> Unpin for RecvManyFuture<'_, T> {}
+impl<T: Send + 'static, I: Instrument> Unpin for RecvManyFuture<'_, T, I> {}
 
-impl<T: Send + 'static> Future for RecvManyFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Future for RecvManyFuture<'_, T, I> {
     type Output = Result<usize, RecvError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
@@ -511,11 +505,7 @@ impl<T: Send + 'static> Future for RecvManyFuture<'_, T> {
                 break; // genuinely empty (or no hint to consult): go park
             }
         }
-        this.rx
-            .inner
-            .core
-            .recv_wakers
-            .park(this.rx.waker_id, cx.waker());
+        this.rx.inner.core.park_recv(this.rx.waker_id, cx.waker());
         this.parked = true;
         match this.rx.inner.try_recv_many(this.out, this.max) {
             Ok(got) => Poll::Ready(this.complete(Ok(got))),
@@ -525,7 +515,7 @@ impl<T: Send + 'static> Future for RecvManyFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> RecvManyFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> RecvManyFuture<'_, T, I> {
     /// Completion bookkeeping; see [`RecvFuture`]'s counterpart.
     fn complete(&mut self, output: Result<usize, RecvError>) -> Result<usize, RecvError> {
         if self.parked {
@@ -536,11 +526,11 @@ impl<T: Send + 'static> RecvManyFuture<'_, T> {
     }
 }
 
-impl<T: Send + 'static> Drop for RecvManyFuture<'_, T> {
+impl<T: Send + 'static, I: Instrument> Drop for RecvManyFuture<'_, T, I> {
     fn drop(&mut self) {
         // Cancellation safety: see `RecvFuture`'s drop impl.
         if self.parked && !self.rx.inner.core.recv_wakers.unpark(self.rx.waker_id) {
-            self.rx.inner.core.recv_wakers.notify_one();
+            self.rx.inner.core.wake_recv_one();
         }
     }
 }

@@ -71,6 +71,7 @@ use std::thread::ThreadId;
 
 use wcq_atomics::Backoff;
 use wcq_core::api::{QueueHandle, WaitFreeQueue};
+use wcq_core::metrics::{Counter, Instrument, NoopInstrument};
 
 pub use wcq_core::channel::{RecvError, SendError, TryRecvError, TrySendError};
 
@@ -150,10 +151,10 @@ impl WakerRegistry {
         false
     }
 
-    /// Wakes one parked endpoint, if any.
-    pub(crate) fn notify_one(&self) {
+    /// Wakes one parked endpoint, if any.  Returns whether a task was woken.
+    pub(crate) fn notify_one(&self) -> bool {
         if self.parked.load(SeqCst) == 0 {
-            return;
+            return false;
         }
         let woken = {
             let mut slots = self.lock();
@@ -162,13 +163,15 @@ impl WakerRegistry {
         if let Some(waker) = woken {
             self.parked.fetch_sub(1, SeqCst);
             waker.wake();
+            return true;
         }
+        false
     }
 
-    /// Wakes every parked endpoint.
-    pub(crate) fn notify_all(&self) {
+    /// Wakes every parked endpoint.  Returns how many tasks were woken.
+    pub(crate) fn notify_all(&self) -> usize {
         if self.parked.load(SeqCst) == 0 {
-            return;
+            return 0;
         }
         let woken: Vec<Waker> = {
             let mut slots = self.lock();
@@ -178,9 +181,11 @@ impl WakerRegistry {
                 .collect()
         };
         self.parked.fetch_sub(woken.len(), SeqCst);
+        let count = woken.len();
         for waker in woken {
             waker.wake();
         }
+        count
     }
 }
 
@@ -189,8 +194,15 @@ impl WakerRegistry {
 // --------------------------------------------------------------------------
 
 /// State shared by every endpoint of one channel.
-pub(crate) struct ChannelCore<T: Send + 'static> {
+///
+/// The `I` parameter is the compile-time instrumentation strategy (see
+/// [`Instrument`]): with the default [`NoopInstrument`] every telemetry call
+/// below monomorphizes to nothing, so the uninstrumented channel pays zero
+/// cost for the park/wake/close counters.
+pub(crate) struct ChannelCore<T: Send + 'static, I: Instrument = NoopInstrument> {
     queue: Box<dyn WaitFreeQueue<T>>,
+    /// Compile-time telemetry strategy shared by every endpoint.
+    instrument: I,
     /// Set once by the first close; never cleared.
     closed: AtomicBool,
     /// Live `Sender` + `AsyncSender` endpoints; last drop closes the channel.
@@ -209,7 +221,7 @@ pub(crate) struct ChannelCore<T: Send + 'static> {
     pub(crate) send_wakers: WakerRegistry,
 }
 
-impl<T: Send + 'static> ChannelCore<T> {
+impl<T: Send + 'static, I: Instrument> ChannelCore<T, I> {
     /// The backend queue (for hints and diagnostics).
     pub(crate) fn queue(&self) -> &dyn WaitFreeQueue<T> {
         &*self.queue
@@ -219,13 +231,56 @@ impl<T: Send + 'static> ChannelCore<T> {
         self.closed.load(SeqCst)
     }
 
+    /// Parks `waker` in recv-side slot `id`, recording the park.
+    pub(crate) fn park_recv(&self, id: u64, waker: &Waker) {
+        self.instrument.record(Counter::ChannelParks, 1);
+        self.recv_wakers.park(id, waker);
+    }
+
+    /// Parks `waker` in send-side slot `id`, recording the park.
+    pub(crate) fn park_send(&self, id: u64, waker: &Waker) {
+        self.instrument.record(Counter::ChannelParks, 1);
+        self.send_wakers.park(id, waker);
+    }
+
+    /// Wakes one parked receiver, recording the wake if one was parked.
+    pub(crate) fn wake_recv_one(&self) {
+        if self.recv_wakers.notify_one() {
+            self.instrument.record(Counter::ChannelWakes, 1);
+        }
+    }
+
+    /// Wakes every parked receiver, recording how many actually woke.
+    pub(crate) fn wake_recv_all(&self) {
+        let woken = self.recv_wakers.notify_all();
+        if woken > 0 {
+            self.instrument.record(Counter::ChannelWakes, woken as u64);
+        }
+    }
+
+    /// Wakes one parked sender, recording the wake if one was parked.
+    pub(crate) fn wake_send_one(&self) {
+        if self.send_wakers.notify_one() {
+            self.instrument.record(Counter::ChannelWakes, 1);
+        }
+    }
+
+    /// Wakes every parked sender, recording how many actually woke.
+    pub(crate) fn wake_send_all(&self) {
+        let woken = self.send_wakers.notify_all();
+        if woken > 0 {
+            self.instrument.record(Counter::ChannelWakes, woken as u64);
+        }
+    }
+
     /// Sets the closed flag and wakes everyone.  Returns `true` for the call
     /// that actually performed the transition.
     pub(crate) fn close(&self) -> bool {
         let transitioned = !self.closed.swap(true, SeqCst);
         if transitioned {
-            self.recv_wakers.notify_all();
-            self.send_wakers.notify_all();
+            self.instrument.record(Counter::ChannelCloses, 1);
+            self.wake_recv_all();
+            self.wake_send_all();
         }
         transitioned
     }
@@ -246,7 +301,7 @@ impl<T: Send + 'static> ChannelCore<T> {
             self.inflight.fetch_sub(1, SeqCst);
             // A parked receiver may be waiting for exactly this credit to
             // clear before it can conclude `Closed`.
-            self.recv_wakers.notify_all();
+            self.wake_recv_all();
             return Err(TrySendError::Closed(value));
         }
         let outcome = handle.try_enqueue(value);
@@ -261,15 +316,15 @@ impl<T: Send + 'static> ChannelCore<T> {
         match outcome {
             Ok(()) => {
                 if closed_during {
-                    self.recv_wakers.notify_all();
+                    self.wake_recv_all();
                 } else {
-                    self.recv_wakers.notify_one();
+                    self.wake_recv_one();
                 }
                 Ok(())
             }
             Err(back) => {
                 if closed_during {
-                    self.recv_wakers.notify_all();
+                    self.wake_recv_all();
                 }
                 Err(TrySendError::Full(back))
             }
@@ -296,7 +351,7 @@ impl<T: Send + 'static> ChannelCore<T> {
         self.inflight.fetch_add(1, SeqCst);
         if self.closed.load(SeqCst) {
             self.inflight.fetch_sub(1, SeqCst);
-            self.recv_wakers.notify_all();
+            self.wake_recv_all();
             return Err(SendError(()));
         }
         let accepted = handle.enqueue_many(values);
@@ -304,13 +359,13 @@ impl<T: Send + 'static> ChannelCore<T> {
         if self.closed.load(SeqCst) {
             // See `try_send`: parked receivers re-park on `closed &&
             // inflight != 0`, and no later send will wake them.
-            self.recv_wakers.notify_all();
+            self.wake_recv_all();
         } else if accepted == 1 {
-            self.recv_wakers.notify_one();
+            self.wake_recv_one();
         } else if accepted > 1 {
             // Several values landed: every parked receiver may have one to
             // take, so a lone wake would strand the rest.
-            self.recv_wakers.notify_all();
+            self.wake_recv_all();
         }
         Ok(accepted)
     }
@@ -318,7 +373,7 @@ impl<T: Send + 'static> ChannelCore<T> {
     /// The closed-aware non-blocking receive.
     pub(crate) fn try_recv(&self, handle: &mut dyn QueueHandle<T>) -> Result<T, TryRecvError> {
         if let Some(value) = handle.dequeue() {
-            self.send_wakers.notify_one();
+            self.wake_send_one();
             return Ok(value);
         }
         if self.closed.load(SeqCst) {
@@ -331,7 +386,7 @@ impl<T: Send + 'static> ChannelCore<T> {
             // before the in-flight count we just read hit zero.
             return match handle.dequeue() {
                 Some(value) => {
-                    self.send_wakers.notify_one();
+                    self.wake_send_one();
                     Ok(value)
                 }
                 None => Err(TryRecvError::Closed),
@@ -355,9 +410,9 @@ impl<T: Send + 'static> ChannelCore<T> {
         let got = handle.dequeue_into(out, max);
         if got > 0 {
             if got == 1 {
-                self.send_wakers.notify_one();
+                self.wake_send_one();
             } else {
-                self.send_wakers.notify_all();
+                self.wake_send_all();
             }
             return Ok(got);
         }
@@ -376,14 +431,14 @@ impl<T: Send + 'static> ChannelCore<T> {
                     match handle.dequeue() {
                         Some(value) => {
                             out.push(value);
-                            self.send_wakers.notify_one();
+                            self.wake_send_one();
                             Ok(1)
                         }
                         None => Err(TryRecvError::Closed),
                     }
                 }
                 got => {
-                    self.send_wakers.notify_all();
+                    self.wake_send_all();
                     Ok(got)
                 }
             };
@@ -392,7 +447,7 @@ impl<T: Send + 'static> ChannelCore<T> {
     }
 }
 
-impl<T: Send + 'static> std::fmt::Debug for ChannelCore<T> {
+impl<T: Send + 'static, I: Instrument> std::fmt::Debug for ChannelCore<T, I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChannelCore")
             .field("backend", &self.queue.name())
@@ -435,9 +490,9 @@ impl<T: Send + 'static> HandleSlot<T> {
     /// Panics when every registration slot of the backend is taken (size
     /// `QueueBuilder::threads` for the peak number of live endpoints); the
     /// message names the backend queue.
-    fn bind<'s>(
+    fn bind<'s, I: Instrument>(
         &'s mut self,
-        core: &Arc<ChannelCore<T>>,
+        core: &Arc<ChannelCore<T, I>>,
     ) -> &'s mut (dyn QueueHandle<T> + 'static) {
         let me = std::thread::current().id();
         if let Some((owner, _)) = &self.bound {
@@ -480,11 +535,11 @@ impl<T: Send + 'static> HandleSlot<T> {
 /// assert_eq!(rx.recv().as_deref(), Ok("over any backend"));
 /// assert!(rx.recv().is_err(), "closed and drained");
 /// ```
-pub struct Sender<T: Send + 'static> {
+pub struct Sender<T: Send + 'static, I: Instrument = NoopInstrument> {
     // Declared before `core`: fields drop in order, so the lifetime-erased
     // handle dies before the Arc that keeps its queue alive.
     slot: HandleSlot<T>,
-    pub(crate) core: Arc<ChannelCore<T>>,
+    pub(crate) core: Arc<ChannelCore<T, I>>,
 }
 
 // SAFETY: the slot's type-erased handle only ever wraps handles of the
@@ -493,9 +548,10 @@ pub struct Sender<T: Send + 'static> {
 // shared atomics — the thread-locals involved (tid memo, LL/SC reservation)
 // are per-operation hints that tolerate migration.  `&mut self` on every
 // operation serializes use, and `bind` re-registers after a migration.
-unsafe impl<T: Send + 'static> Send for Sender<T> {}
+// The instrument is `Send + Sync` by the `Instrument` trait bound.
+unsafe impl<T: Send + 'static, I: Instrument> Send for Sender<T, I> {}
 
-impl<T: Send + 'static> Sender<T> {
+impl<T: Send + 'static, I: Instrument> Sender<T, I> {
     /// Attempts to send without waiting.
     ///
     /// Fails with [`TrySendError::Full`] when a *bounded* backend is at
@@ -535,9 +591,9 @@ impl<T: Send + 'static> Sender<T> {
     /// will be drained by receivers (the exact-drain guarantee is per
     /// element, not per batch).  Like [`Sender::send`], this waits (bounded
     /// spin, then yielding) while a bounded backend is full.
-    pub fn send_iter<I>(&mut self, iter: I) -> Result<usize, SendError<Vec<T>>>
+    pub fn send_iter<It>(&mut self, iter: It) -> Result<usize, SendError<Vec<T>>>
     where
-        I: IntoIterator<Item = T>,
+        It: IntoIterator<Item = T>,
     {
         let mut buf: Vec<T> = iter.into_iter().collect();
         let total = buf.len();
@@ -590,12 +646,12 @@ impl<T: Send + 'static> Sender<T> {
     }
 
     /// `true` when `other` is an endpoint of the same channel.
-    pub fn same_channel(&self, other: &Receiver<T>) -> bool {
+    pub fn same_channel(&self, other: &Receiver<T, I>) -> bool {
         Arc::ptr_eq(&self.core, &other.core)
     }
 }
 
-impl<T: Send + 'static> Clone for Sender<T> {
+impl<T: Send + 'static, I: Instrument> Clone for Sender<T, I> {
     fn clone(&self) -> Self {
         self.core.senders.fetch_add(1, SeqCst);
         Self {
@@ -605,7 +661,7 @@ impl<T: Send + 'static> Clone for Sender<T> {
     }
 }
 
-impl<T: Send + 'static> Drop for Sender<T> {
+impl<T: Send + 'static, I: Instrument> Drop for Sender<T, I> {
     fn drop(&mut self) {
         if self.core.senders.fetch_sub(1, SeqCst) == 1 {
             self.core.close();
@@ -613,7 +669,7 @@ impl<T: Send + 'static> Drop for Sender<T> {
     }
 }
 
-impl<T: Send + 'static> std::fmt::Debug for Sender<T> {
+impl<T: Send + 'static, I: Instrument> std::fmt::Debug for Sender<T, I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sender")
             .field("backend", &self.core.queue.name())
@@ -646,16 +702,16 @@ impl<T: Send + 'static> std::fmt::Debug for Sender<T> {
 /// // ...and only then reports the closure.
 /// assert!(rx.recv().is_err());
 /// ```
-pub struct Receiver<T: Send + 'static> {
+pub struct Receiver<T: Send + 'static, I: Instrument = NoopInstrument> {
     // Field order: see `Sender`.
     slot: HandleSlot<T>,
-    pub(crate) core: Arc<ChannelCore<T>>,
+    pub(crate) core: Arc<ChannelCore<T, I>>,
 }
 
 // SAFETY: identical argument to `Sender`'s impl.
-unsafe impl<T: Send + 'static> Send for Receiver<T> {}
+unsafe impl<T: Send + 'static, I: Instrument> Send for Receiver<T, I> {}
 
-impl<T: Send + 'static> Receiver<T> {
+impl<T: Send + 'static, I: Instrument> Receiver<T, I> {
     /// Attempts to receive without waiting.  [`TryRecvError::Empty`] means a
     /// later attempt can succeed; [`TryRecvError::Closed`] is final.
     pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
@@ -750,7 +806,7 @@ impl<T: Send + 'static> Receiver<T> {
     }
 }
 
-impl<T: Send + 'static> Clone for Receiver<T> {
+impl<T: Send + 'static, I: Instrument> Clone for Receiver<T, I> {
     fn clone(&self) -> Self {
         self.core.receivers.fetch_add(1, SeqCst);
         Self {
@@ -760,7 +816,7 @@ impl<T: Send + 'static> Clone for Receiver<T> {
     }
 }
 
-impl<T: Send + 'static> Drop for Receiver<T> {
+impl<T: Send + 'static, I: Instrument> Drop for Receiver<T, I> {
     fn drop(&mut self) {
         if self.core.receivers.fetch_sub(1, SeqCst) == 1 {
             // No receiver can ever drain the channel again: close it so
@@ -772,14 +828,14 @@ impl<T: Send + 'static> Drop for Receiver<T> {
 
 /// Receivers iterate the channel to completion: the iterator blocks like
 /// [`Receiver::recv`] and ends when the channel is closed and drained.
-impl<T: Send + 'static> Iterator for &mut Receiver<T> {
+impl<T: Send + 'static, I: Instrument> Iterator for &mut Receiver<T, I> {
     type Item = T;
     fn next(&mut self) -> Option<T> {
         self.recv().ok()
     }
 }
 
-impl<T: Send + 'static> std::fmt::Debug for Receiver<T> {
+impl<T: Send + 'static, I: Instrument> std::fmt::Debug for Receiver<T, I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Receiver")
             .field("backend", &self.core.queue.name())
@@ -797,8 +853,19 @@ impl<T: Send + 'static> std::fmt::Debug for Receiver<T> {
 pub(crate) fn channel_over<T: Send + 'static>(
     queue: Box<dyn WaitFreeQueue<T>>,
 ) -> (Sender<T>, Receiver<T>) {
+    channel_over_instrumented(queue, NoopInstrument)
+}
+
+/// [`channel_over`] with an explicit instrumentation strategy: the
+/// instrumented builder finisher calls this so the channel layer records
+/// park/wake/close events into the same counter set as the queue underneath.
+pub(crate) fn channel_over_instrumented<T: Send + 'static, I: Instrument>(
+    queue: Box<dyn WaitFreeQueue<T>>,
+    instrument: I,
+) -> (Sender<T, I>, Receiver<T, I>) {
     let core = Arc::new(ChannelCore {
         queue,
+        instrument,
         closed: AtomicBool::new(false),
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),

@@ -131,6 +131,10 @@ pub use wcq_unbounded as unbounded;
 pub use async_channel::{AsyncReceiver, AsyncSender};
 pub use channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
 pub use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
+pub use wcq_core::metrics::{
+    Counter, CounterSet, CountingInstrument, HistogramSnapshot, Instrument, LatencyHistogram,
+    MetricsSnapshot, NoopInstrument,
+};
 pub use wcq_core::scq::ScqQueue;
 pub use wcq_core::wcq::{
     CellFamily, LlscFamily, NativeFamily, WcqConfig, WcqQueue, WcqQueueHandle, WcqRing, WcqStats,
@@ -160,6 +164,7 @@ pub fn builder() -> QueueBuilder<NativeFamily> {
         shards: 1,
         shard_policy: ShardPolicy::default(),
         backend: None,
+        instr: NoopInstrument,
         _family: PhantomData,
     }
 }
@@ -196,8 +201,15 @@ pub enum ChannelBackend {
 /// The hardware model is part of the builder's type:
 /// [`llsc`](QueueBuilder::llsc) switches from the native double-width-CAS
 /// family to the emulated LL/SC construction of §4.
+///
+/// So is the observability strategy:
+/// [`instrument`](QueueBuilder::instrument) switches from the default
+/// [`NoopInstrument`] (telemetry compiled out entirely) to a live
+/// [`CountingInstrument`] whose shared [`CounterSet`] every layer built by
+/// the finishers — ring, queue, segments, shards, channel endpoints —
+/// records into.  Snapshot it with [`CountingInstrument::snapshot`].
 #[derive(Debug)]
-pub struct QueueBuilder<F: CellFamily = NativeFamily> {
+pub struct QueueBuilder<F: CellFamily = NativeFamily, I: Instrument = NoopInstrument> {
     capacity_order: u32,
     threads: usize,
     config: WcqConfig,
@@ -205,12 +217,13 @@ pub struct QueueBuilder<F: CellFamily = NativeFamily> {
     shards: usize,
     shard_policy: ShardPolicy,
     backend: Option<ChannelBackend>,
+    instr: I,
     _family: PhantomData<F>,
 }
 
 // Manual impl: `derive(Clone)` would demand `F: Clone`, but the family is a
-// pure type-level marker.
-impl<F: CellFamily> Clone for QueueBuilder<F> {
+// pure type-level marker.  (`I: Instrument` already implies `Clone`.)
+impl<F: CellFamily, I: Instrument> Clone for QueueBuilder<F, I> {
     fn clone(&self) -> Self {
         Self {
             capacity_order: self.capacity_order,
@@ -220,15 +233,16 @@ impl<F: CellFamily> Clone for QueueBuilder<F> {
             shards: self.shards,
             shard_policy: self.shard_policy,
             backend: self.backend,
+            instr: self.instr.clone(),
             _family: PhantomData,
         }
     }
 }
 
-impl QueueBuilder<NativeFamily> {
+impl<I: Instrument> QueueBuilder<NativeFamily, I> {
     /// Selects the emulated LL/SC hardware model of §4 (the "PowerPC"
     /// variant) instead of the native double-width CAS.
-    pub fn llsc(self) -> QueueBuilder<LlscFamily> {
+    pub fn llsc(self) -> QueueBuilder<LlscFamily, I> {
         QueueBuilder {
             capacity_order: self.capacity_order,
             threads: self.threads,
@@ -237,12 +251,53 @@ impl QueueBuilder<NativeFamily> {
             shards: self.shards,
             shard_policy: self.shard_policy,
             backend: self.backend,
+            instr: self.instr,
             _family: PhantomData,
         }
     }
 }
 
-impl<F: CellFamily> QueueBuilder<F> {
+impl<F: CellFamily, I: Instrument> QueueBuilder<F, I> {
+    /// Selects the observability strategy, like [`llsc`](QueueBuilder::llsc)
+    /// selects the hardware model: pass a [`CountingInstrument`] (keep a
+    /// clone!) and every queue, segment, shard and channel endpoint the
+    /// finishers build records contention telemetry — fast/slow-path ops,
+    /// helping entries, CAS failures, segment lifecycle, shard routing,
+    /// channel park/wake — into its shared [`CounterSet`].  The default
+    /// [`NoopInstrument`] compiles all of it out (see the [`Instrument`]
+    /// zero-overhead contract).
+    ///
+    /// ```
+    /// use wcq::{CountingInstrument, QueueHandle, WaitFreeQueue};
+    ///
+    /// let instr = CountingInstrument::new();
+    /// let q = wcq::builder()
+    ///     .capacity_order(6)
+    ///     .threads(2)
+    ///     .instrument(instr.clone())
+    ///     .build_bounded::<u64>();
+    /// {
+    ///     let mut h = q.handle();
+    ///     h.enqueue(7);
+    ///     h.dequeue();
+    /// } // handle drop flushes its completion tallies
+    /// let snap = instr.snapshot();
+    /// assert_eq!(snap.get(wcq::Counter::EnqueuesCompleted), 1);
+    /// assert_eq!(snap.get(wcq::Counter::DequeuesCompleted), 1);
+    /// ```
+    pub fn instrument<J: Instrument>(self, instr: J) -> QueueBuilder<F, J> {
+        QueueBuilder {
+            capacity_order: self.capacity_order,
+            threads: self.threads,
+            config: self.config,
+            segment_cache: self.segment_cache,
+            shards: self.shards,
+            shard_policy: self.shard_policy,
+            backend: self.backend,
+            instr,
+            _family: PhantomData,
+        }
+    }
     /// Capacity of the queue (bounded) or of each segment (unbounded):
     /// 2<sup>order</sup> elements.
     pub fn capacity_order(mut self, order: u32) -> Self {
@@ -355,8 +410,10 @@ impl<F: CellFamily> QueueBuilder<F> {
     /// assert_eq!(rx.recv(), Ok(1));
     /// assert!(rx.recv().is_err());
     /// ```
-    pub fn build_channel<T: Send + 'static>(&self) -> (channel::Sender<T>, channel::Receiver<T>) {
-        channel::channel_over(self.build_backend::<T>())
+    pub fn build_channel<T: Send + 'static>(
+        &self,
+    ) -> (channel::Sender<T, I>, channel::Receiver<T, I>) {
+        channel::channel_over_instrumented(self.build_backend::<T>(), self.instr.clone())
     }
 
     /// Builds an async channel: [`AsyncSender`]/[`AsyncReceiver`] endpoints
@@ -366,8 +423,8 @@ impl<F: CellFamily> QueueBuilder<F> {
     pub fn build_async<T: Send + 'static>(
         &self,
     ) -> (
-        async_channel::AsyncSender<T>,
-        async_channel::AsyncReceiver<T>,
+        async_channel::AsyncSender<T, I>,
+        async_channel::AsyncReceiver<T, I>,
     ) {
         let (tx, rx) = self.build_channel::<T>();
         (tx.into(), rx.into())
@@ -376,25 +433,36 @@ impl<F: CellFamily> QueueBuilder<F> {
     /// Builds the bounded wait-free queue of the paper (Figures 4–7): fixed
     /// capacity, fixed memory, wait-free enqueue and dequeue.
     pub fn build_bounded<T>(&self) -> WcqQueue<T, F> {
-        WcqQueue::with_config(self.capacity_order, self.threads, self.config)
+        WcqQueue::with_config_counters(
+            self.capacity_order,
+            self.threads,
+            self.config,
+            self.instr.counter_set(),
+        )
     }
 
     /// Builds the unbounded wLSCQ queue (this repo's extension of §2.3's LSCQ
     /// recipe): wait-free within each segment, segments linked and recycled
     /// through hazard pointers.
     pub fn build_unbounded<T>(&self) -> UnboundedWcq<T, F> {
-        UnboundedWcq::with_config_and_cache(
+        UnboundedWcq::with_config_cache_counters(
             self.capacity_order,
             self.threads,
             self.config,
             self.segment_cache,
+            self.instr.counter_set(),
         )
     }
 
     /// Builds a raw wait-free ring of indices `0..2^order` — the free-list /
     /// indirection building block of Figure 2 (see the `frame_pool` example).
     pub fn build_ring(&self) -> WcqRing<F> {
-        WcqRing::with_config(self.capacity_order, self.threads, self.config)
+        WcqRing::with_config_counters(
+            self.capacity_order,
+            self.threads,
+            self.config,
+            self.instr.counter_set(),
+        )
     }
 
     /// Builds the sharded unbounded queue: [`shards`](QueueBuilder::shards)
@@ -403,13 +471,14 @@ impl<F: CellFamily> QueueBuilder<F> {
     /// home-shard-first work-stealing dequeue — the high-thread-count shape
     /// that breaks the single head/tail hot spots.
     pub fn build_sharded<T>(&self) -> ShardedWcq<T, F> {
-        ShardedWcq::with_config_and_cache(
+        ShardedWcq::with_config_cache_counters(
             self.shards,
             self.capacity_order,
             self.threads,
             self.config,
             self.segment_cache,
             self.shard_policy,
+            self.instr.counter_set(),
         )
     }
 }
