@@ -57,6 +57,14 @@ impl Backoff {
     /// waiting out an in-flight peer operation).
     #[inline]
     pub fn snooze_or_yield(&mut self) {
+        // Under cooperative schedule exploration this wait MUST be a yield
+        // point: the loop blocks on another thread's progress, and that
+        // thread is parked until the token rotates.  `yield_now` releases
+        // the OS core but not the checker's token, so without a checkpoint
+        // the waiter spins forever and the run hangs without ever tripping
+        // the step bound.
+        #[cfg(feature = "checkpoint")]
+        crate::checkpoint::hit("backoff.snooze");
         if self.is_completed() {
             std::thread::yield_now();
         } else {

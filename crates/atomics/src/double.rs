@@ -28,6 +28,17 @@
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
+/// Yield point for the `wcq-check` schedule explorer (no-op unless the
+/// `checkpoint` feature is enabled and a hook is installed).  Sits at the
+/// entry of each atomic operation, before the hardware instruction runs.
+#[inline(always)]
+fn checkpoint(op: &'static str) {
+    #[cfg(feature = "checkpoint")]
+    crate::checkpoint::hit(op);
+    #[cfg(not(feature = "checkpoint"))]
+    let _ = op;
+}
+
 /// A 16-byte aligned pair of `u64` words with atomic single-word operations on
 /// each half and a double-width compare-and-exchange over the whole pair.
 ///
@@ -73,17 +84,22 @@ impl AtomicDouble {
     /// 16-byte load without AVX guarantees.
     #[inline]
     pub fn load(&self) -> (u64, u64) {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.load");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
-            // A cmpxchg16b with old == new either fails (returning the current
-            // value) or "succeeds" by rewriting the identical value; both are
-            // side-effect free and yield an atomic snapshot.
+            // SAFETY: `as_ptr()` is 16-byte aligned (`repr(C, align(16))`)
+            // and valid for the `&self` borrow.  A cmpxchg16b with old == new
+            // either fails (returning the current value) or "succeeds" by
+            // rewriting the identical value; both are side-effect free and
+            // yield an atomic snapshot.
             let (_, lo, hi) = unsafe { cmpxchg16b(self.as_ptr(), 0, 0, 0, 0) };
             (lo, hi)
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock, whose acquire/release
+            // pair publishes these accesses.
             (
                 self.lo.load(Ordering::Relaxed),
                 self.hi.load(Ordering::Relaxed),
@@ -100,8 +116,11 @@ impl AtomicDouble {
         expected: (u64, u64),
         new: (u64, u64),
     ) -> Result<(u64, u64), (u64, u64)> {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.cas2");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
+            // SAFETY: `as_ptr()` is 16-byte aligned (`repr(C, align(16))`)
+            // and valid for the `&self` borrow.
             let (ok, lo, hi) =
                 unsafe { cmpxchg16b(self.as_ptr(), expected.0, expected.1, new.0, new.1) };
             if ok {
@@ -110,14 +129,17 @@ impl AtomicDouble {
                 Err((lo, hi))
             }
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock, whose acquire/release
+            // pair publishes these accesses.
             let cur = (
                 self.lo.load(Ordering::Relaxed),
                 self.hi.load(Ordering::Relaxed),
             );
             if cur == expected {
+                // relaxed: still under the same stripe lock.
                 self.lo.store(new.0, Ordering::Relaxed);
                 self.hi.store(new.1, Ordering::Relaxed);
                 Ok(expected)
@@ -137,13 +159,15 @@ impl AtomicDouble {
     /// Atomically loads the low word.
     #[inline]
     pub fn load_lo(&self) -> u64 {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.load_lo");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             self.lo.load(Ordering::SeqCst)
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock.
             self.lo.load(Ordering::Relaxed)
         }
     }
@@ -151,13 +175,15 @@ impl AtomicDouble {
     /// Atomically loads the high word.
     #[inline]
     pub fn load_hi(&self) -> u64 {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.load_hi");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             self.hi.load(Ordering::SeqCst)
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock.
             self.hi.load(Ordering::Relaxed)
         }
     }
@@ -165,13 +191,15 @@ impl AtomicDouble {
     /// Atomically stores the low word, leaving the high word untouched.
     #[inline]
     pub fn store_lo(&self, value: u64) {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.store_lo");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             self.lo.store(value, Ordering::SeqCst);
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock.
             self.lo.store(value, Ordering::Relaxed);
         }
     }
@@ -180,13 +208,15 @@ impl AtomicDouble {
     /// component of `Head`/`Tail`), returning the previous value.
     #[inline]
     pub fn fetch_add_lo(&self, delta: u64) -> u64 {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.faa_lo");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             self.lo.fetch_add(delta, Ordering::SeqCst)
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock.
             let prev = self.lo.load(Ordering::Relaxed);
             self.lo.store(prev.wrapping_add(delta), Ordering::Relaxed);
             prev
@@ -197,13 +227,15 @@ impl AtomicDouble {
     /// returning the previous value.
     #[inline]
     pub fn fetch_or_lo(&self, bits: u64) -> u64 {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.or_lo");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             self.lo.fetch_or(bits, Ordering::SeqCst)
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock.
             let prev = self.lo.load(Ordering::Relaxed);
             self.lo.store(prev | bits, Ordering::Relaxed);
             prev
@@ -214,15 +246,17 @@ impl AtomicDouble {
     /// `Value` without touching the `Note`).
     #[inline]
     pub fn cas_lo(&self, expected: u64, new: u64) -> bool {
-        #[cfg(target_arch = "x86_64")]
+        checkpoint("double.cas_lo");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             self.lo
                 .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             let _g = fallback::lock_for(self as *const _ as usize);
+            // relaxed: serialized under the stripe lock.
             if self.lo.load(Ordering::Relaxed) == expected {
                 self.lo.store(new, Ordering::Relaxed);
                 true
@@ -246,7 +280,7 @@ impl AtomicDouble {
         self.cas2(expected, (expected.0, new_hi))
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     #[inline]
     fn as_ptr(&self) -> *mut u64 {
         self as *const Self as *mut u64
@@ -262,7 +296,7 @@ impl AtomicDouble {
 ///
 /// # Safety
 /// `ptr` must be valid for reads and writes of 16 bytes and 16-byte aligned.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline]
 unsafe fn cmpxchg16b(
     ptr: *mut u64,
@@ -279,27 +313,33 @@ unsafe fn cmpxchg16b(
     let out_lo: u64;
     let out_hi: u64;
     // SAFETY: caller guarantees alignment/validity; rbx is saved and restored
-    // around the instruction via the xchg pair.
+    // around the instruction via the xchg pair.  `ptr` and `ok` are pinned to
+    // explicit registers (rdi / r8b): LLVM may otherwise allocate a generic
+    // `reg`/`reg_byte` operand to rbx/bl, which the xchg window clobbers —
+    // the `new_lo` operand is the only one that stays correct if it lands on
+    // rbx (the xchg then degenerates to a no-op and cmpxchg16b leaves rbx
+    // unchanged).
     unsafe {
         core::arch::asm!(
             "xchg {new_lo}, rbx",
-            "lock cmpxchg16b [{ptr}]",
-            "sete {ok}",
+            "lock cmpxchg16b [rdi]",
+            "sete r8b",
             "xchg {new_lo}, rbx",
-            ptr = in(reg) ptr,
             new_lo = inout(reg) new_lo => _,
+            in("rdi") ptr,
             in("rcx") new_hi,
             inout("rax") expected_lo => out_lo,
             inout("rdx") expected_hi => out_hi,
-            ok = out(reg_byte) ok,
+            out("r8b") ok,
             options(nostack),
         );
     }
     (ok != 0, out_lo, out_hi)
 }
 
-/// Striped spin-lock fallback used on targets without `cmpxchg16b`.
-#[cfg(not(target_arch = "x86_64"))]
+/// Striped spin-lock fallback used on targets without `cmpxchg16b` (and under
+/// Miri, which cannot interpret the inline-assembly path).
+#[cfg(any(not(target_arch = "x86_64"), miri))]
 mod fallback {
     use core::sync::atomic::{AtomicBool, Ordering};
 
@@ -326,6 +366,9 @@ mod fallback {
         let lock = &LOCKS[stripe];
         while lock
             .0
+            // relaxed: failure ordering of a spin-lock acquire; the retry
+            // loop re-attempts with Acquire, so nothing is read under the
+            // failed CAS.
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {

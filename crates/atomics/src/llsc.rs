@@ -29,6 +29,18 @@
 use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::cell::Cell;
 
+/// Yield point for the `wcq-check` schedule explorer (no-op unless the
+/// `checkpoint` feature is enabled *and* a hook is installed).  Placed at the
+/// *entry* of each granule operation, never inside the version-odd window, so
+/// a suspended thread can never wedge the granule for others.
+#[inline(always)]
+fn checkpoint(op: &'static str) {
+    #[cfg(feature = "checkpoint")]
+    crate::checkpoint::hit(op);
+    #[cfg(not(feature = "checkpoint"))]
+    let _ = op;
+}
+
 /// Global spurious-failure rate for `store_conditional`, expressed as
 /// failures per 2^32 attempts (0 = never fail spuriously).
 static SPURIOUS_RATE: AtomicU32 = AtomicU32::new(0);
@@ -40,6 +52,8 @@ static SPURIOUS_FAILURES: AtomicU64 = AtomicU64::new(0);
 
 /// Total spurious store-conditional failures injected since process start.
 pub fn spurious_sc_failures() -> u64 {
+    // relaxed: monotone observability counter; readers only need an
+    // eventually-consistent tally, never ordering against other memory.
     SPURIOUS_FAILURES.load(Ordering::Relaxed)
 }
 
@@ -61,6 +75,8 @@ thread_local! {
 }
 
 fn spurious_failure() -> bool {
+    // relaxed: the rate is test-configuration state; a stale read only delays
+    // when injection kicks in and has no bearing on granule correctness.
     let rate = SPURIOUS_RATE.load(Ordering::Relaxed);
     if rate == 0 {
         return false;
@@ -75,6 +91,7 @@ fn spurious_failure() -> bool {
         s.set(x);
         let fail = (x as u32) < rate;
         if fail {
+            // relaxed: observability tally only (see spurious_sc_failures).
             SPURIOUS_FAILURES.fetch_add(1, Ordering::Relaxed);
         }
         fail
@@ -130,6 +147,7 @@ impl Granule {
     /// whole granule.
     #[inline]
     pub fn load_linked(&self, idx: usize) -> (u64, Reservation) {
+        checkpoint("granule.ll");
         loop {
             let v = self.version.load(Ordering::SeqCst);
             if v % 2 == 1 {
@@ -153,12 +171,14 @@ impl Granule {
     /// LL and SC on the other word).
     #[inline]
     pub fn load(&self, idx: usize) -> u64 {
+        checkpoint("granule.load");
         self.words[idx].load(Ordering::SeqCst)
     }
 
     /// Consistent snapshot of both words (used to model a double-width load on
     /// LL/SC architectures; only needed off the critical path).
     pub fn snapshot(&self) -> (u64, u64) {
+        checkpoint("granule.snapshot");
         loop {
             let v = self.version.load(Ordering::SeqCst);
             if v % 2 == 1 {
@@ -178,6 +198,7 @@ impl Granule {
     /// injected).  Returns `true` on success.
     #[inline]
     pub fn store_conditional(&self, idx: usize, value: u64, res: Reservation) -> bool {
+        checkpoint("granule.sc");
         if res.granule != self.id() {
             return false;
         }
@@ -207,6 +228,7 @@ impl Granule {
     /// Unconditional store (initialisation / fast-path writes); invalidates
     /// all outstanding reservations on the granule.
     pub fn store(&self, idx: usize, value: u64) {
+        checkpoint("granule.store");
         loop {
             let v = self.version.load(Ordering::SeqCst);
             if v % 2 == 1 {

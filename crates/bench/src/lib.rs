@@ -33,6 +33,7 @@
 //! `BENCH_*.json` (`{algorithm → threads → value}`) for cross-PR tracking.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod batch;
 pub mod diff;

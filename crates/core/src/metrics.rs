@@ -212,12 +212,15 @@ impl CounterSet {
     /// Adds `n` to `counter`.
     #[inline]
     pub fn add(&self, counter: Counter, n: u64) {
+        // relaxed: monotonic statistics counter; readers only ever see a
+        // (possibly slightly stale) total, never derive control flow from it.
         self.counters[counter.index()].fetch_add(n, Relaxed);
     }
 
     /// Current value of `counter`.
     #[inline]
     pub fn get(&self, counter: Counter) -> u64 {
+        // relaxed: statistics read; staleness is acceptable by contract.
         self.counters[counter.index()].load(Relaxed)
     }
 
@@ -429,6 +432,8 @@ fn my_shard() -> usize {
     MY_SHARD.with(|s| match s.get() {
         Some(i) => i,
         None => {
+            // relaxed: shard assignment only needs unique-ish round-robin
+            // ids, not ordering with any other memory.
             let i = NEXT_SHARD.fetch_add(1, Relaxed) % HIST_SHARDS;
             s.set(Some(i));
             i
@@ -507,6 +512,7 @@ impl LatencyHistogram {
     /// `u64`, so the top bucket saturates naturally).
     #[inline]
     pub fn record(&self, value: u64) {
+        // relaxed: histogram bucket bump; snapshots tolerate torn totals.
         self.shards[my_shard()][bucket_index(value)].fetch_add(1, Relaxed);
     }
 
@@ -516,6 +522,8 @@ impl LatencyHistogram {
         let mut total = 0u64;
         for shard in &self.shards {
             for (acc, bucket) in counts.iter_mut().zip(shard.iter()) {
+                // relaxed: statistics read; a snapshot is explicitly a racy
+                // sum over shards.
                 let n = bucket.load(Relaxed);
                 *acc += n;
                 total += n;

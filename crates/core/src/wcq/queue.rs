@@ -104,6 +104,26 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
         self.aq.counter_set()
     }
 
+    /// Checker/test introspection: `(aq_threshold, fq_threshold, max)` where
+    /// `max` is the §5 bound (`3n - 1`) both ring thresholds must never
+    /// exceed.  Used by the `wcq-check` invariant probes; not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn ring_thresholds(&self) -> (i64, i64, i64) {
+        (
+            self.aq.threshold(),
+            self.fq.threshold(),
+            self.aq.layout().max_threshold(),
+        )
+    }
+
+    /// Checker/debug introspection: full-state dumps of the allocated and
+    /// free rings (see [`WcqRing::debug_dump`]).  Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_ring_state(&self) -> (String, String) {
+        (self.aq.debug_dump(), self.fq.debug_dump())
+    }
+
     /// Registers the calling thread with both internal rings, or `None` when
     /// `max_threads` handles are already live.
     ///
@@ -122,10 +142,13 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
             }
         }
         let n = self.max_threads();
+        // relaxed: pure probe-start hint — a stale read just means the scan
+        // starts at a different slot and walks the same full circle.
         let start = self.reg_hint.load(Relaxed).min(n - 1);
         (0..n).find_map(|i| {
             let tid = (start + i) % n;
             let handle = self.register_at(tid)?;
+            // relaxed: hint update; ordering-free by the same argument.
             self.reg_hint.store((tid + 1) % n, Relaxed);
             tid_memo::remember(key, tid);
             Some(handle)
@@ -177,6 +200,8 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     pub unsafe fn release_slot(&self, tid: usize) {
         self.aq.release_record(tid);
         self.fq.release_record(tid);
+        // relaxed: probe-start hint only (see `register`); the record release
+        // above carries the real synchronization.
         self.reg_hint.store(tid, Relaxed);
     }
 

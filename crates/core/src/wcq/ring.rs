@@ -206,6 +206,53 @@ impl<F: CellFamily> WcqRing<F> {
         self.threshold.load(SeqCst)
     }
 
+    /// Checker/debug introspection: a multi-line snapshot of the full ring
+    /// state — head/tail tickets, threshold, every entry unpacked, and the
+    /// per-thread record flags.  Racy outside a serialized scheduler; meant
+    /// for `wcq-check` replay diagnostics, not production code.
+    #[doc(hidden)]
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let (h, hr) = self.head.load();
+        let (t, tr) = self.tail.load();
+        let _ = writeln!(
+            out,
+            "head={h} (ref {hr:#x}) tail={t} (ref {tr:#x}) threshold={} max={}",
+            self.threshold.load(SeqCst),
+            self.layout.max_threshold(),
+        );
+        for (j, cell) in self.entries.iter().enumerate() {
+            let e = self.layout.unpack(cell.load_value());
+            let _ = writeln!(
+                out,
+                "  entry[{j:2}] cycle={} safe={} enq={} index={}{}",
+                e.cycle,
+                e.is_safe,
+                e.enq,
+                e.index,
+                if self.layout.is_reserved(e.index) {
+                    " (bottom)"
+                } else {
+                    ""
+                },
+            );
+        }
+        for (tid, rec) in self.records.iter().enumerate() {
+            if rec.pending.load(SeqCst) {
+                let _ = writeln!(
+                    out,
+                    "  record[{tid}] pending enqueue={} local_tail={:#x} local_head={:#x} seq1={}",
+                    rec.enqueue.load(SeqCst),
+                    rec.local_tail.load(SeqCst),
+                    rec.local_head.load(SeqCst),
+                    rec.seq1.load(SeqCst),
+                );
+            }
+        }
+        out
+    }
+
     /// Approximate number of stored values.
     pub fn len_hint(&self) -> u64 {
         self.tail.load_cnt().saturating_sub(self.head.load_cnt())
@@ -616,9 +663,19 @@ impl<F: CellFamily> WcqRing<F> {
                 // Line 19: the slot moved to a different cycle and no
                 // cooperative thread inserted for ticket `t`; grab a new one.
                 return false;
+            } else if e.index == l.bottom() {
+                // e.cycle == cycle(t) but the slot holds `⊥`: a dequeuer burned
+                // ticket `t` (advancing the slot's cycle with the empty marker)
+                // before any cooperative thread deposited.  The element was
+                // NOT inserted — treating this as success loses it, so grab a
+                // new ticket.  Note `⊥c` (a consumed entry) must still land in
+                // the success branch below: the element *was* inserted at `t`
+                // and already dequeued.
+                return false;
             }
-            // Line 20: e.cycle == cycle(t) — some cooperative thread already
-            // inserted the element for this ticket.
+            // Line 20: e.cycle == cycle(t) and the slot holds a real index (or
+            // `⊥c`) — some cooperative thread already inserted the element for
+            // this ticket.
             return true;
         }
     }
@@ -638,7 +695,17 @@ impl<F: CellFamily> WcqRing<F> {
             // already consumed) — terminate all helpers; the owner gathers the
             // result afterwards.
             if e.cycle == l.cycle(h) && e.index != l.bottom() {
-                let _ = local_head.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                let ok = local_head.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                if ok.is_err() && local_head.load(SeqCst) & FIN == 0 {
+                    // The CAS lost not to another finalizer but to `slow_faa`
+                    // moving the request to a later ticket: the request is
+                    // still live, so reporting `true` here would let the owner
+                    // exit `dequeue_slow` and gather a stale ticket while an
+                    // in-flight helper later finalizes the live request at a
+                    // ticket nobody gathers — stranding that element forever.
+                    // Keep helping until FIN is actually set.
+                    return false;
+                }
                 return true;
             }
             let mut val = l.pack(l.cycle(h), e.is_safe, true, l.bottom());
@@ -663,7 +730,13 @@ impl<F: CellFamily> WcqRing<F> {
                 self.catchup(t, h + 1);
             }
             if self.threshold.load(SeqCst) < 0 {
-                let _ = local_head.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                let ok = local_head.compare_exchange(h, h | FIN, SeqCst, SeqCst);
+                if ok.is_err() && local_head.load(SeqCst) & FIN == 0 {
+                    // Same as the found-an-element case above: a failed FIN
+                    // CAS with no FIN bit visible means the request advanced
+                    // to a later ticket, not that it finished.
+                    return false;
+                }
                 return true;
             }
             return false;

@@ -47,6 +47,6 @@ pub use queues::{
     QueueKind, ShardPolicy, WaitFreeQueue, HARNESS_SHARDS,
 };
 pub use rng::DetRng;
-pub use stress::{all_real_queues, StressPlan, StressReport};
+pub use stress::{all_real_queues, decode, encode, verify_observations, StressPlan, StressReport};
 pub use wcq_core::wcq::WcqConfig;
 pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};

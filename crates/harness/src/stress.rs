@@ -58,14 +58,18 @@ use crate::rng::DetRng;
 const SEQ_BITS: u32 = 40;
 const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
 
+/// Encodes a `(worker id, sequence number)` pair into one tagged value —
+/// the provenance scheme every stress oracle (and the `wcq-check` explorer)
+/// decodes to verify no-loss/no-duplication/FIFO without a side channel.
 #[inline]
-pub(crate) fn encode(worker: usize, seq: u64) -> u64 {
+pub fn encode(worker: usize, seq: u64) -> u64 {
     debug_assert!(seq <= SEQ_MASK);
     ((worker as u64) << SEQ_BITS) | seq
 }
 
+/// Inverse of [`encode`].
 #[inline]
-pub(crate) fn decode(value: u64) -> (usize, u64) {
+pub fn decode(value: u64) -> (usize, u64) {
     ((value >> SEQ_BITS) as usize, value & SEQ_MASK)
 }
 
@@ -163,6 +167,15 @@ impl StressPlan {
             rng.range_inclusive(2, 16) as usize
         } else {
             1
+        };
+        // Under Miri every atomic op costs ~1000x native, so shrink the op
+        // counts ~50x after *all* fields are drawn — the PRNG stream (and
+        // hence every other derived field) is identical to a native run of
+        // the same seed, only the volume differs.
+        let (ops_per_producer, ops_per_mixer) = if cfg!(miri) {
+            (ops_per_producer / 50, ops_per_mixer / 50)
+        } else {
+            (ops_per_producer, ops_per_mixer)
         };
         Self {
             seed,
@@ -439,14 +452,15 @@ impl StressReport {
     }
 }
 
-/// The per-observation half of the oracle, shared by [`StressReport::verify`]
-/// and the channel-layer `ChannelStressReport::verify`: no invention (every
-/// value decodes to a real `(worker, seq)` enqueue), no duplication across
-/// the union of all observations, and — when `check_fifo` — strictly
-/// increasing per-producer sequence order within each observer.  The
-/// count-balance check stays with the callers, whose "loss" wording differs
-/// (queue drain vs. channel close drain).
-pub(crate) fn verify_observations(
+/// The per-observation half of the oracle, shared by [`StressReport::verify`],
+/// the channel-layer `ChannelStressReport::verify` and the `wcq-check`
+/// schedule explorer: no invention (every value decodes to a real
+/// `(worker, seq)` enqueue), no duplication across the union of all
+/// observations, and — when `check_fifo` — strictly increasing per-producer
+/// sequence order within each observer.  The count-balance check stays with
+/// the callers, whose "loss" wording differs (queue drain vs. channel close
+/// drain).
+pub fn verify_observations(
     enqueue_counts: &HashMap<usize, u64>,
     observations: &[Vec<u64>],
     check_fifo: bool,

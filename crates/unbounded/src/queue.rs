@@ -284,6 +284,8 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
     /// least-loaded routing) and freshness hints — never as an emptiness
     /// proof; only a dequeue that returns `None` is authoritative.
     pub fn len_hint(&self) -> usize {
+        // relaxed: advisory snapshot; the doc contract above says a stale
+        // or torn read is acceptable.
         self.len_hint.load(Relaxed).max(0) as usize
     }
 
@@ -508,6 +510,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             };
             match attempt {
                 Ok(()) => {
+                    // relaxed: advisory length hint — monotonicity errors only skew
+                    // load-balance/freshness decisions, never correctness (see `len_hint`).
                     self.queue.len_hint.fetch_add(1, Relaxed);
                     self.enqueues_completed += 1;
                     self.hp.clear_one(0);
@@ -536,6 +540,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                             .compare_exchange(tailp, fresh, SeqCst, SeqCst);
                         // The pre-loaded value became reachable when the link
                         // CAS published the segment.
+                        // relaxed: advisory length hint — monotonicity errors only skew
+                        // load-balance/freshness decisions, never correctness (see `len_hint`).
                         self.queue.len_hint.fetch_add(1, Relaxed);
                         self.enqueues_completed += 1;
                         self.hp.clear_one(0);
@@ -563,6 +569,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             };
             // SAFETY: bound just above.
             if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+                // relaxed: advisory length hint — monotonicity errors only skew
+                // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_sub(1, Relaxed);
                 self.dequeues_completed += 1;
                 self.hp.clear_one(0);
@@ -587,6 +595,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             }
             // SAFETY: still bound to `headp`.
             if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+                // relaxed: advisory length hint — monotonicity errors only skew
+                // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_sub(1, Relaxed);
                 self.dequeues_completed += 1;
                 self.hp.clear_one(0);
@@ -659,6 +669,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 seg.try_enqueue_many_bound(tid, &mut pending)
             };
             if accepted > 0 {
+                // relaxed: advisory length hint — monotonicity errors only skew
+                // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_add(accepted as isize, Relaxed);
                 self.enqueues_completed += accepted as u64;
                 total += accepted;
@@ -702,6 +714,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // SAFETY: bound just above.
             let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
             if got > 0 {
+                // relaxed: advisory length hint — monotonicity errors only skew
+                // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_sub(got as isize, Relaxed);
                 self.dequeues_completed += got as u64;
                 self.batch_values_granted += got as u64;
@@ -720,6 +734,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // SAFETY: still bound to `headp`.
             let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
             if got > 0 {
+                // relaxed: advisory length hint — monotonicity errors only skew
+                // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_sub(got as isize, Relaxed);
                 self.dequeues_completed += got as u64;
                 self.batch_values_granted += got as u64;

@@ -34,7 +34,7 @@
 use std::collections::VecDeque;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use wcq_atomics::CachePadded;
 use wcq_core::metrics::CounterSet;
@@ -304,13 +304,15 @@ pub(crate) unsafe fn recycle_segment<T, F: CellFamily>(p: *mut u8) {
 ///
 /// Steady-state traffic that repeatedly grows and shrinks by a few segments
 /// allocates nothing: retired segments come back through
-/// [`recycle_segment`] and are reused by the next append.  The cache is off
-/// the hot path — it is touched only on segment transitions — so a mutex-
-/// protected, pre-allocated `Vec` is the simplest correct structure (a
-/// Treiber stack would need ABA protection for no measurable gain here).
+/// [`recycle_segment`] and are reused by the next append.  The store is a
+/// fixed array of `AtomicPtr` slots (null = empty): `take` swaps slots to
+/// null, `give_back` CASes null to the segment pointer.  Each segment lives
+/// in at most one slot and every insertion/removal is one successful atomic
+/// exchange on that slot, so there is no ABA hazard to protect against —
+/// unlike a Treiber stack — and no lock, which keeps the (blocking-freedom)
+/// lint's `Mutex` ban satisfiable for the whole crate.
 pub(crate) struct SegmentCache<T, F: CellFamily> {
-    slots: Mutex<Vec<*mut Segment<T, F>>>,
-    limit: usize,
+    slots: Box<[AtomicPtr<Segment<T, F>>]>,
     /// Segments accepted back into the cache (statistics).
     recycled: AtomicUsize,
     /// Appends served from the cache instead of the allocator (statistics).
@@ -322,17 +324,21 @@ pub(crate) struct SegmentCache<T, F: CellFamily> {
     misses: AtomicUsize,
 }
 
-// SAFETY: the raw pointers are exclusively owned by the cache while stored;
-// all mutation happens under the mutex or via atomics.
+// SAFETY: the raw pointers are exclusively owned by the cache while stored
+// (a segment enters a slot through exactly one successful CAS and leaves it
+// through exactly one successful swap); all slot mutation is atomic.
 unsafe impl<T: Send, F: CellFamily> Send for SegmentCache<T, F> {}
 unsafe impl<T: Send, F: CellFamily> Sync for SegmentCache<T, F> {}
 
 impl<T, F: CellFamily> SegmentCache<T, F> {
     pub(crate) fn new(limit: usize) -> Self {
         Self {
-            // Pre-allocate so a steady-state `give_back` never allocates.
-            slots: Mutex::new(Vec::with_capacity(limit)),
-            limit,
+            // Pre-allocate every slot so a steady-state `give_back` never
+            // allocates.
+            slots: (0..limit)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             recycled: AtomicUsize::new(0),
             reused: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
@@ -348,13 +354,15 @@ impl<T, F: CellFamily> SegmentCache<T, F> {
     /// they measure how often the cache could answer at all, which is the
     /// steady-state-allocates-nothing property the memory tests assert.
     pub(crate) fn take(&self) -> Option<*mut Segment<T, F>> {
-        let taken = self.slots.lock().unwrap().pop();
-        if taken.is_some() {
-            self.hits.fetch_add(1, SeqCst);
-        } else {
-            self.misses.fetch_add(1, SeqCst);
+        for slot in self.slots.iter() {
+            let seg = slot.swap(ptr::null_mut(), SeqCst);
+            if !seg.is_null() {
+                self.hits.fetch_add(1, SeqCst);
+                return Some(seg);
+            }
         }
-        taken
+        self.misses.fetch_add(1, SeqCst);
+        None
     }
 
     /// Records that a cache-served segment was actually linked into a queue.
@@ -372,20 +380,26 @@ impl<T, F: CellFamily> SegmentCache<T, F> {
         let this = unsafe { &*cache };
         // SAFETY: exclusive ownership allows the (atomic-only) reset.
         unsafe { (*seg).reopen() };
-        let mut slots = this.slots.lock().unwrap();
-        if slots.len() < this.limit {
-            slots.push(seg);
-            drop(slots);
-            this.recycled.fetch_add(1, SeqCst);
-        } else {
-            drop(slots);
-            // SAFETY: exclusively owned and produced by `Box::into_raw`.
-            drop(unsafe { Box::from_raw(seg) });
+        for slot in this.slots.iter() {
+            if slot
+                .compare_exchange(ptr::null_mut(), seg, SeqCst, SeqCst)
+                .is_ok()
+            {
+                this.recycled.fetch_add(1, SeqCst);
+                return;
+            }
         }
+        // Every slot occupied: the cache is at its limit.
+        // SAFETY: exclusively owned and produced by `Box::into_raw`.
+        drop(unsafe { Box::from_raw(seg) });
     }
 
+    /// Number of cached segments (racy snapshot; statistics and tests only).
     pub(crate) fn len(&self) -> usize {
-        self.slots.lock().unwrap().len()
+        self.slots
+            .iter()
+            .filter(|slot| !slot.load(SeqCst).is_null())
+            .count()
     }
 
     pub(crate) fn recycled_total(&self) -> usize {
@@ -407,9 +421,12 @@ impl<T, F: CellFamily> SegmentCache<T, F> {
 
 impl<T, F: CellFamily> Drop for SegmentCache<T, F> {
     fn drop(&mut self) {
-        for seg in self.slots.get_mut().unwrap().drain(..) {
-            // SAFETY: cached segments are exclusively owned by the cache.
-            drop(unsafe { Box::from_raw(seg) });
+        for slot in self.slots.iter_mut() {
+            let seg = *slot.get_mut();
+            if !seg.is_null() {
+                // SAFETY: cached segments are exclusively owned by the cache.
+                drop(unsafe { Box::from_raw(seg) });
+            }
         }
     }
 }

@@ -231,6 +231,12 @@ impl<T: Send + 'static, I: Instrument> ChannelCore<T, I> {
         self.closed.load(SeqCst)
     }
 
+    /// Number of sends currently holding a pre-close in-flight credit (see
+    /// [`ChannelCore::try_send`]).  Checker introspection only.
+    pub(crate) fn inflight_credits(&self) -> usize {
+        self.inflight.load(SeqCst)
+    }
+
     /// Parks `waker` in recv-side slot `id`, recording the park.
     pub(crate) fn park_recv(&self, id: u64, waker: &Waker) {
         self.instrument.record(Counter::ChannelParks, 1);
@@ -803,6 +809,16 @@ impl<T: Send + 'static, I: Instrument> Receiver<T, I> {
     /// Display name of the backend queue (e.g. `"wLSCQ"`).
     pub fn backend_name(&self) -> &'static str {
         self.core.queue().name()
+    }
+
+    /// Checker/test introspection: the number of sends currently holding a
+    /// pre-close in-flight credit.  The close protocol's balance invariant
+    /// says this must be zero once every send call has returned — the
+    /// `wcq-check` explorer asserts it after quiescence.  Not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn debug_inflight_credits(&self) -> usize {
+        self.core.inflight_credits()
     }
 }
 

@@ -118,6 +118,7 @@
 //! exclusively through the builder.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod async_channel;
 pub mod channel;

@@ -106,7 +106,7 @@ fn wcq_footprint_is_a_function_of_geometry_only() {
     assert!(big.memory_footprint() > a.memory_footprint());
 
     let mut h = a.register().unwrap();
-    for i in 0..10_000u64 {
+    for i in 0..if cfg!(miri) { 200 } else { 10_000u64 } {
         while h.enqueue(i).is_err() {
             let _ = h.dequeue();
         }

@@ -45,7 +45,7 @@ fn hazard_domain_stress_under_seeded_plans() {
     for seed in [0x00DD_5EED_u64, 0xFEED_F00D] {
         let mut rng = DetRng::new(seed);
         let threads = rng.range_inclusive(3, 4) as usize;
-        let ops = rng.range_inclusive(1_500, 3_000);
+        let ops = rng.range_inclusive(1_500, 3_000) / if cfg!(miri) { 50 } else { 1 };
         let cells = rng.range_inclusive(2, 4) as usize;
 
         let live = Arc::new(AtomicUsize::new(0));

@@ -7,6 +7,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use wcq_core::wcq::{LlscFamily, NativeFamily, WcqConfig, WcqQueue};
 
+/// Volume divisor: Miri interprets every atomic, so native-scale op counts
+/// take hours there.  Shrinking volume (not threads or configs) preserves
+/// what these tests check — the slow-path/helping machinery still engages on
+/// every operation under `paranoid_config`.
+const SHRINK: u64 = if cfg!(miri) { 50 } else { 1 };
+
 /// A configuration that pushes every operation through the slow path and
 /// helps on every operation, maximizing coverage of Figures 5–7.
 fn paranoid_config() -> WcqConfig {
@@ -21,7 +27,7 @@ fn paranoid_config() -> WcqConfig {
 #[test]
 fn forced_slow_path_mpmc_preserves_every_element() {
     const THREADS: u64 = 4;
-    const PER_THREAD: u64 = 3_000;
+    const PER_THREAD: u64 = 3_000 / SHRINK;
     let q: WcqQueue<u64> = wcq::builder()
         .capacity_order(6)
         .threads(THREADS as usize)
@@ -65,7 +71,7 @@ fn llsc_model_with_spurious_failures_is_still_correct() {
     // and still never lose or duplicate an element.
     wcq_atomics::llsc::set_spurious_failure_rate(0.2);
     const THREADS: u64 = 2;
-    const PER_THREAD: u64 = 2_000;
+    const PER_THREAD: u64 = 2_000 / SHRINK;
     let q: WcqQueue<u64, LlscFamily> = WcqQueue::new(6, THREADS as usize);
     let count = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -109,7 +115,7 @@ fn many_registered_threads_round_robin_helping() {
             let total = &total;
             s.spawn(move || {
                 let mut h = q.register().unwrap();
-                for i in 0..1_500u64 {
+                for i in 0..1_500u64 / SHRINK {
                     let mut v = t * 10_000 + i;
                     while let Err(back) = h.enqueue(v) {
                         v = back;
@@ -125,7 +131,7 @@ fn many_registered_threads_round_robin_helping() {
             });
         }
     });
-    assert_eq!(total.load(Ordering::Relaxed), THREADS as u64 * 1_500);
+    assert_eq!(total.load(Ordering::Relaxed), THREADS as u64 * (1_500 / SHRINK));
 }
 
 #[test]
@@ -140,7 +146,7 @@ fn memory_footprint_is_bounded_and_constant() {
             let q = &q;
             s.spawn(move || {
                 let mut h = q.register().unwrap();
-                for i in 0..50_000u64 {
+                for i in 0..50_000u64 / SHRINK {
                     while h.enqueue(i).is_err() {
                         let _ = h.dequeue();
                     }
