@@ -12,7 +12,10 @@
 //! so contention falls with the shard count).  The spreading policies
 //! (round-robin, least-loaded) deliberately trade that locality for uniform
 //! load distribution; they appear as x4 comparison series so the cost of the
-//! trade is visible in the same table.
+//! trade is visible in the same table.  The adaptive series routes to a
+//! self-sizing active prefix: at low thread counts it should track the x1
+//! single-shard fast path (beating round-robin's spread tax), and at 8
+//! threads it should widen to the full set and match pinned x4.
 //!
 //! The empty-dequeue workload is the honest worst case for sharding: a
 //! dequeue on an empty queue must observe *every* shard empty before
@@ -151,6 +154,7 @@ fn main() {
             for (policy, series) in [
                 (ShardPolicy::RoundRobin, "Sharded wLSCQ x4 (round-robin)"),
                 (ShardPolicy::LeastLoaded, "Sharded wLSCQ x4 (least-loaded)"),
+                (ShardPolicy::Adaptive, "Sharded wLSCQ x4 (adaptive)"),
             ] {
                 let queue = sharded_queue(4, policy, threads, opts.ring_order);
                 sweep_cell(&mut table, series, queue.as_ref(), workload, threads, &opts);

@@ -12,7 +12,7 @@
 //! unbounded wLSCQ, or the channel close protocol — under one
 //! [`Schedule`], then feeds the observations to the shared
 //! no-loss/no-duplication/per-producer-FIFO oracle
-//! ([`verify_observations`](wcq_harness::verify_observations)) plus the
+//! ([`verify_observations`]) plus the
 //! invariant probes the big stress suite cannot sample deterministically:
 //!
 //! * **threshold monotonicity bound** — both ring thresholds never exceed
@@ -34,10 +34,11 @@ use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
 use wcq::{builder, ChannelBackend, TryRecvError, TrySendError};
+use wcq_core::adaptive::AdaptivePatience;
 use wcq_core::wcq::cells::CellFamily;
 use wcq_core::wcq::{LlscFamily, WcqConfig, WcqQueue};
 use wcq_harness::{decode, encode, verify_observations, DetRng};
-use wcq_unbounded::{UnboundedWcq, DEFAULT_SEGMENT_CACHE};
+use wcq_unbounded::{ShardPolicy, ShardedWcq, UnboundedWcq, DEFAULT_SEGMENT_CACHE};
 
 use crate::family::CheckedFamily;
 use crate::sched::{maybe_yield, Schedule, Scheduler};
@@ -60,16 +61,23 @@ pub enum Target {
     /// The channel close protocol over an LL/SC bounded backend, plus the
     /// in-flight close-credit probe.
     Channel,
+    /// Two-shard adaptive [`ShardedWcq`] over [`CheckedFamily`] segments,
+    /// with adaptive patience enabled and a *forced* active-prefix shrink
+    /// placed mid-run, racing the consumers' drain — proving the full-set
+    /// dequeue scan recovers every element a shrink leaves behind the
+    /// prefix, at every explored interleaving.
+    ShardedAdaptive,
 }
 
 impl Target {
     /// Every target, in the order the explorer sweeps them.
-    pub fn all() -> [Target; 4] {
+    pub fn all() -> [Target; 5] {
         [
             Target::Bounded,
             Target::BoundedLlsc,
             Target::Unbounded,
             Target::Channel,
+            Target::ShardedAdaptive,
         ]
     }
 
@@ -80,6 +88,7 @@ impl Target {
             Target::BoundedLlsc => "bounded-llsc",
             Target::Unbounded => "unbounded",
             Target::Channel => "channel",
+            Target::ShardedAdaptive => "sharded-adaptive",
         }
     }
 
@@ -151,9 +160,26 @@ impl CheckPlan {
                 max_patience_dequeue: 1,
                 help_delay: 1,
                 catchup_bound: 8,
+                ..WcqConfig::default()
             }
         } else {
             WcqConfig::default()
+        }
+    }
+
+    /// The sharded-adaptive target's config: the plan's patience shape with
+    /// the runtime controller switched on, so schedule exploration also
+    /// drives the EWMA bookkeeping.  A forced-slow plan clamps the adaptive
+    /// range to `[1, 1]`, preserving the slow-path forcing.
+    fn adaptive_config(&self) -> WcqConfig {
+        let max = if self.force_slow_path { 1 } else { 64 };
+        WcqConfig {
+            adaptive_patience: Some(AdaptivePatience {
+                min: 1,
+                max,
+                sample_every: 8,
+            }),
+            ..self.config()
         }
     }
 }
@@ -206,6 +232,7 @@ pub fn run_one(plan: &CheckPlan, target: Target, schedule: Schedule) -> Result<u
         Target::BoundedLlsc => run_bounded::<LlscFamily>(plan, schedule),
         Target::Unbounded => run_unbounded(plan, schedule),
         Target::Channel => run_channel(plan, schedule),
+        Target::ShardedAdaptive => run_sharded_adaptive(plan, schedule),
     }));
     let violation = |message: String| Violation {
         plan_seed: plan.seed,
@@ -298,7 +325,11 @@ pub fn explore(plan_seeds: &[u64], depths: &[u32], sched_seeds_per: u64) -> Expl
     let mut out = ExploreOutcome::default();
     for slot in results {
         out.runs += 1;
-        match slot.into_inner().unwrap().expect("worker pool ran every job") {
+        match slot
+            .into_inner()
+            .unwrap()
+            .expect("worker pool ran every job")
+        {
             Ok(steps) => out.steps += steps,
             Err(v) => out.violations.push(v),
         }
@@ -495,6 +526,108 @@ fn run_unbounded(plan: &CheckPlan, schedule: Schedule) -> Result<u64, String> {
         return Err(format!(
             "segment residency bound violated after drain: {resident} resident \
              (live {live} + cached {cached} + retired {retired}) > {bound}",
+            resident = stats.resident(),
+            live = stats.live,
+            cached = stats.cached,
+            retired = stats.retired_pending,
+        ));
+    }
+    drop(ManuallyDrop::into_inner(queue));
+    Ok(sched.steps())
+}
+
+fn run_sharded_adaptive(plan: &CheckPlan, schedule: Schedule) -> Result<u64, String> {
+    const SHARDS: usize = 2;
+    let threads = plan.producers + plan.consumers;
+    let sched = Scheduler::new(threads, schedule);
+    // Leaked on non-clean exit for the same double-panic reason as
+    // `run_bounded`.
+    let queue: ManuallyDrop<ShardedWcq<u64, CheckedFamily>> =
+        ManuallyDrop::new(ShardedWcq::with_config_and_cache(
+            SHARDS,
+            plan.ring_order,
+            threads,
+            plan.adaptive_config(),
+            DEFAULT_SEGMENT_CACHE,
+            ShardPolicy::Adaptive,
+        ));
+    let expected = plan.producers as u64 * plan.ops_per_producer;
+    let consumed = AtomicU64::new(0);
+
+    let observations = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for wid in 0..plan.producers {
+            let sched = Arc::clone(&sched);
+            let queue = &queue;
+            let ops = plan.ops_per_producer;
+            handles.push(s.spawn(move || {
+                let _reg = sched.register(wid);
+                let mut h = queue.register().expect("producer slot");
+                // First half with the prefix forced wide, so both shards
+                // hold elements; then shrink it back to one shard *while
+                // the consumers are mid-drain* and keep enqueueing.  The
+                // transitions land at whatever points the schedule chooses.
+                h.debug_set_active(SHARDS);
+                for seq in 1..=ops {
+                    if seq == ops / 2 + 1 {
+                        h.debug_set_active(1);
+                    }
+                    maybe_yield("driver.enqueue");
+                    h.enqueue(encode(wid, seq));
+                }
+                h.flush_reclamation();
+                Ok(Vec::new())
+            }));
+        }
+        for c in 0..plan.consumers {
+            let sched = Arc::clone(&sched);
+            let queue = &queue;
+            let consumed = &consumed;
+            handles.push(s.spawn(move || -> Result<Vec<u64>, String> {
+                let _reg = sched.register(plan.producers + c);
+                let mut h = queue.register().expect("consumer slot");
+                let mut local = Vec::new();
+                while consumed.load(SeqCst) < expected {
+                    maybe_yield("driver.poll");
+                    if let Some(v) = h.dequeue() {
+                        local.push(v);
+                        consumed.fetch_add(1, SeqCst);
+                    }
+                }
+                h.flush_reclamation();
+                Ok(local)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+
+    let enqueue_counts: HashMap<usize, u64> = (0..plan.producers)
+        .map(|wid| (wid, plan.ops_per_producer))
+        .collect();
+    // Count balance (a shrink that strands an element behind the prefix
+    // shows up here as loss), no invention, no duplication.  Per-producer
+    // FIFO is *not* asserted: adaptive routing deliberately spreads one
+    // producer across shards, whose streams may interleave.
+    let got: u64 = observations.iter().map(|o| o.len() as u64).sum();
+    if got != expected {
+        return Err(format!(
+            "shrink-vs-drain loss or over-consumption: {expected} values              enqueued but {got} dequeued"
+        ));
+    }
+    verify_observations(&enqueue_counts, &observations, false)?;
+
+    // Per-shard residency probe, composed over the shard set.
+    let stats = queue.segment_stats();
+    let bound = SHARDS * (1 + DEFAULT_SEGMENT_CACHE + threads);
+    if stats.resident() > bound {
+        return Err(format!(
+            "sharded segment residency bound violated after drain: {resident}              resident (live {live} + cached {cached} + retired {retired}) > {bound}",
             resident = stats.resident(),
             live = stats.live,
             cached = stats.cached,

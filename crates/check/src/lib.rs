@@ -4,7 +4,7 @@
 //! token **scheduler** ([`sched`]) that serializes threads and explores
 //! interleavings PCT-style from a `(seed, depth)` pair, a third hardware
 //! model ([`family::CheckedFamily`]) whose every cell operation is a
-//! preemption point, an **explorer** ([`explore`]) that runs shrunken
+//! preemption point, an **explorer** ([`explore()`]) that runs shrunken
 //! stress plans under thousands of schedules against the no-loss/no-dup/FIFO
 //! oracle plus invariant probes (threshold bound, close-credit balance,
 //! segment residency), and a hand-rolled source **lint** ([`lint`]) enforcing

@@ -68,7 +68,8 @@ fn has_token(haystack: &str, needle: &str) -> bool {
         let at = start + pos;
         let before_ok = at == 0 || !haystack[..at].chars().next_back().is_some_and(ident);
         let after = at + needle.len();
-        let after_ok = after >= haystack.len() || !haystack[after..].chars().next().is_some_and(ident);
+        let after_ok =
+            after >= haystack.len() || !haystack[after..].chars().next().is_some_and(ident);
         if before_ok && after_ok {
             return true;
         }
@@ -241,8 +242,7 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
         let mut files = Vec::new();
         collect_rs_files(&dir, &mut files).map_err(|e| format!("walking {rel}: {e}"))?;
         for file in files {
-            let source =
-                fs::read_to_string(&file).map_err(|e| format!("reading {file:?}: {e}"))?;
+            let source = fs::read_to_string(&file).map_err(|e| format!("reading {file:?}: {e}"))?;
             let label = file
                 .strip_prefix(root)
                 .unwrap_or(&file)
@@ -354,7 +354,8 @@ let y = unsafe { &*p };
 
     #[test]
     fn multi_line_use_statements_are_skipped() {
-        let src = "use std::sync::atomic::{\n    AtomicUsize,\n    Ordering::{Relaxed, SeqCst},\n};";
+        let src =
+            "use std::sync::atomic::{\n    AtomicUsize,\n    Ordering::{Relaxed, SeqCst},\n};";
         assert!(rules(src).is_empty());
     }
 

@@ -17,7 +17,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use wcq_check::{explore, lint, smoke, replay, CheckPlan, Schedule, Target};
+use wcq_check::{explore, lint, replay, smoke, CheckPlan, Schedule, Target};
 use wcq_harness::memtrack;
 
 #[global_allocator]
@@ -29,7 +29,7 @@ fn usage() -> ExitCode {
          \x20      wcq-check --smoke\n\
          \x20      wcq-check --explore [plan_count] [sched_seeds_per]\n\
          \x20      wcq-check --replay <plan_seed> <target> <sched_seed> <depth>\n\
-         targets: bounded bounded-llsc unbounded channel"
+         targets: bounded bounded-llsc unbounded channel sharded-adaptive"
     );
     ExitCode::from(2)
 }

@@ -158,7 +158,7 @@ fn pick_next(st: &mut State, exclude: Option<usize>) -> Option<usize> {
 impl Scheduler {
     /// Creates a scheduler expecting exactly `threads` registrations.
     pub fn new(threads: usize, schedule: Schedule) -> Arc<Self> {
-        assert!(threads >= 1 && threads <= 64, "1..=64 worker threads");
+        assert!((1..=64).contains(&threads), "1..=64 worker threads");
         Arc::new(Self {
             state: Mutex::new(State {
                 rng: DetRng::new(schedule.seed ^ 0x5CED_0123_4567_89AB),
@@ -199,7 +199,7 @@ impl Scheduler {
             st.current = pick_next(&mut st, None);
             self.cv.notify_all();
         }
-        while !st.aborted && !(st.started && st.current == Some(id)) {
+        while !(st.aborted || st.started && st.current == Some(id)) {
             st = self.cv.wait(st).unwrap();
         }
         let aborted = st.aborted;
@@ -220,7 +220,11 @@ impl Scheduler {
             drop(st);
             panic!("schedule aborted (step bound hit elsewhere) at {op}");
         }
-        debug_assert_eq!(st.current, Some(id), "yield from a thread without the token");
+        debug_assert_eq!(
+            st.current,
+            Some(id),
+            "yield from a thread without the token"
+        );
         st.steps += 1;
         self.steps_mirror.store(st.steps, SeqCst);
         if st.steps > st.max_steps {

@@ -72,7 +72,10 @@ fn run_one_is_deterministic() {
     let plan = CheckPlan::from_seed(3);
     for target in Target::all() {
         for depth in [1, 4] {
-            let schedule = Schedule { seed: 0xDE7_E12, depth };
+            let schedule = Schedule {
+                seed: 0xDE7_E12,
+                depth,
+            };
             let a = run_one(&plan, target, schedule);
             let b = run_one(&plan, target, schedule);
             match (a, b) {

@@ -76,13 +76,31 @@ pub trait QueueHandle<T> {
     /// the CPU).  This is the blocking-ish convenience the workloads use;
     /// latency-sensitive callers should prefer [`QueueHandle::try_enqueue`]
     /// and their own backpressure policy.
+    ///
+    /// The spin phase is bounded by [`QueueHandle::spin_cap_hint`], so
+    /// contention-aware handles reach the yield phase sooner when long spin
+    /// bursts would only steal cycles from the consumers draining the queue.
+    /// Each retry still passes through `Backoff::snooze_or_yield`'s
+    /// `wcq-check` checkpoint seam regardless of the cap — the scheduler sees
+    /// every wait iteration, capped or not, so schedule exploration is
+    /// unaffected by the adaptive signal.
     fn enqueue(&mut self, value: T) {
         let mut item = value;
-        let mut backoff = wcq_atomics::Backoff::new();
+        let mut backoff = wcq_atomics::Backoff::with_max_shift(self.spin_cap_hint());
         while let Err(back) = self.try_enqueue(item) {
             item = back;
             backoff.snooze_or_yield();
         }
+    }
+
+    /// The spin-phase cap (a [`wcq_atomics::Backoff`] max shift) the blocking
+    /// [`QueueHandle::enqueue`] retry loop should run with.  The default is
+    /// the full [`wcq_atomics::Backoff::MAX_SHIFT`] (the historical
+    /// behaviour); handles with a handle-local contention estimate override
+    /// it to yield sooner under pressure.  Hint only — any value is safe, the
+    /// backoff clamps it.
+    fn spin_cap_hint(&self) -> u32 {
+        wcq_atomics::Backoff::MAX_SHIFT
     }
 
     /// Enqueues a batch: accepts a prefix of `values` (removed from the
@@ -320,6 +338,9 @@ impl<T: Send, F: CellFamily> QueueHandle<T> for WcqQueueHandle<'_, T, F> {
     }
     fn dequeue_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         WcqQueueHandle::dequeue_many(self, out, max)
+    }
+    fn spin_cap_hint(&self) -> u32 {
+        self.pace().spin_cap()
     }
 }
 

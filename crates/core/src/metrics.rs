@@ -55,7 +55,7 @@ use wcq_atomics::CachePadded;
 // --------------------------------------------------------------------------
 
 /// Number of distinct counters in the registry.
-pub const COUNTER_COUNT: usize = 24;
+pub const COUNTER_COUNT: usize = 28;
 
 /// Every event class the observability layer records, across all layers.
 ///
@@ -118,6 +118,14 @@ pub enum Counter {
     ExecPolls,
     /// Executor wakes (unpark calls) observed by the harness executor.
     ExecWakes,
+    /// Adaptive patience controller widened a handle's patience bound.
+    PatienceRaised,
+    /// Adaptive patience controller shrank a handle's patience bound.
+    PatienceLowered,
+    /// Adaptive shard routing widened a handle's active shard prefix.
+    ShardSetGrown,
+    /// Adaptive shard routing shrank a handle's active shard prefix.
+    ShardSetShrunk,
 }
 
 impl Counter {
@@ -147,6 +155,10 @@ impl Counter {
         Counter::ChannelCloses,
         Counter::ExecPolls,
         Counter::ExecWakes,
+        Counter::PatienceRaised,
+        Counter::PatienceLowered,
+        Counter::ShardSetGrown,
+        Counter::ShardSetShrunk,
     ];
 
     /// Stable snake_case name, used as the JSON series key.
@@ -176,6 +188,10 @@ impl Counter {
             Counter::ChannelCloses => "channel_closes",
             Counter::ExecPolls => "exec_polls",
             Counter::ExecWakes => "exec_wakes",
+            Counter::PatienceRaised => "patience_raised",
+            Counter::PatienceLowered => "patience_lowered",
+            Counter::ShardSetGrown => "shard_set_grown",
+            Counter::ShardSetShrunk => "shard_set_shrunk",
         }
     }
 

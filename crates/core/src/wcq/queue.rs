@@ -8,6 +8,7 @@ use core::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crate::adaptive::PatienceCell;
 use crate::api::tid_memo;
 use crate::metrics::{Counter, CounterSet};
 
@@ -165,6 +166,7 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
             aq_stats: WcqStats::default(),
             fq_stats: WcqStats::default(),
             tallies: OpTallies::default(),
+            pace: PatienceCell::from_config(self.config()),
             _not_send: PhantomData,
         })
     }
@@ -208,18 +210,22 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     /// Attempts to enqueue `value` as the thread owning record slot `tid`;
     /// returns it back inside `Err` when the queue is full.
     ///
+    /// `pace` is the caller's [`PatienceCell`] (see [`crate::adaptive`]);
+    /// handle-based callers pass their own, raw callers keep one per slot
+    /// binding (or a fresh fixed cell when off the hot path).
+    ///
     /// # Safety
     /// The caller must own slot `tid` via [`WcqQueue::try_acquire_slot`] and
     /// no other thread may operate under the same `tid` concurrently.
-    pub unsafe fn enqueue_at(&self, tid: usize, value: T) -> Result<(), T> {
-        let (index, _slow) = self.fq.dequeue_index(tid);
+    pub unsafe fn enqueue_at(&self, tid: usize, value: T, pace: &PatienceCell) -> Result<(), T> {
+        let (index, _slow) = self.fq.dequeue_index(tid, pace);
         let Some(index) = index else {
             return Err(value);
         };
         // SAFETY: the free index came from `fq`; we own the slot until we
         // publish the index through `aq`.
         unsafe { (*self.data[index as usize].get()).write(value) };
-        self.aq.enqueue_index(tid, index);
+        self.aq.enqueue_index(tid, index, pace);
         Ok(())
     }
 
@@ -228,14 +234,14 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     ///
     /// # Safety
     /// Same contract as [`WcqQueue::enqueue_at`].
-    pub unsafe fn dequeue_at(&self, tid: usize) -> Option<T> {
-        let (index, _slow) = self.aq.dequeue_index(tid);
+    pub unsafe fn dequeue_at(&self, tid: usize, pace: &PatienceCell) -> Option<T> {
+        let (index, _slow) = self.aq.dequeue_index(tid, pace);
         let index = index?;
         // SAFETY: the index came from `aq`; the matching enqueue fully
         // initialized the slot and nobody else touches it until we hand the
         // index back to `fq`.
         let value = unsafe { (*self.data[index as usize].get()).assume_init_read() };
-        self.fq.enqueue_index(tid, index);
+        self.fq.enqueue_index(tid, index, pace);
         Some(value)
     }
 
@@ -255,19 +261,24 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     ///
     /// # Safety
     /// Same contract as [`WcqQueue::enqueue_at`].
-    pub unsafe fn enqueue_many_at(&self, tid: usize, values: &mut VecDeque<T>) -> usize {
+    pub unsafe fn enqueue_many_at(
+        &self,
+        tid: usize,
+        values: &mut VecDeque<T>,
+        pace: &PatienceCell,
+    ) -> usize {
         if values.is_empty() {
             return 0;
         }
         let mut free = Vec::with_capacity(values.len().min(self.capacity()));
-        self.fq.dequeue_many(tid, &mut free, values.len());
+        self.fq.dequeue_many(tid, &mut free, values.len(), pace);
         let accepted = free.len();
         for (&index, value) in free.iter().zip(values.drain(..accepted)) {
             // SAFETY: each free index came from `fq`; we own its slot until
             // the run is published through `aq`.
             unsafe { (*self.data[index as usize].get()).write(value) };
         }
-        self.aq.enqueue_many(tid, &free);
+        self.aq.enqueue_many(tid, &free, pace);
         accepted
     }
 
@@ -280,19 +291,25 @@ impl<T, F: CellFamily> WcqQueue<T, F> {
     ///
     /// # Safety
     /// Same contract as [`WcqQueue::enqueue_at`].
-    pub unsafe fn dequeue_many_at(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
+    pub unsafe fn dequeue_many_at(
+        &self,
+        tid: usize,
+        out: &mut Vec<T>,
+        max: usize,
+        pace: &PatienceCell,
+    ) -> usize {
         if max == 0 {
             return 0;
         }
         let mut indices = Vec::with_capacity(max.min(self.capacity()));
-        let got = self.aq.dequeue_many(tid, &mut indices, max);
+        let got = self.aq.dequeue_many(tid, &mut indices, max, pace);
         for &index in &indices {
             // SAFETY: each index came from `aq`; the matching enqueue fully
             // initialized the slot and nobody else touches it until the run
             // is handed back to `fq`.
             out.push(unsafe { (*self.data[index as usize].get()).assume_init_read() });
         }
-        self.fq.enqueue_many(tid, &indices);
+        self.fq.enqueue_many(tid, &indices, pace);
         got
     }
 
@@ -359,6 +376,10 @@ pub struct WcqQueueHandle<'q, T, F: CellFamily = NativeFamily> {
     aq_stats: WcqStats,
     fq_stats: WcqStats,
     tallies: OpTallies,
+    /// Handle-local patience controller shared by both rings: ring enqueues
+    /// feed its enqueue direction, ring dequeues its dequeue direction (a
+    /// queue-level enqueue exercises both, via `fq` then `aq`).
+    pace: PatienceCell,
     /// Pins the handle to its registering thread (`!Send`/`!Sync`).
     _not_send: PhantomData<*const ()>,
 }
@@ -392,7 +413,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     /// Attempts to enqueue `value`; returns it back inside `Err` when the
     /// queue is full (`Enqueue_Ptr`, Figure 2).
     pub fn enqueue(&mut self, value: T) -> Result<(), T> {
-        let (index, slow) = self.queue.fq.dequeue_index(self.tid);
+        let (index, slow) = self.queue.fq.dequeue_index(self.tid, &self.pace);
         if slow {
             self.fq_stats.slow_dequeues += 1;
         } else {
@@ -404,7 +425,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         // SAFETY: the free index came from `fq`; we own the slot until we
         // publish the index through `aq`.
         unsafe { (*self.queue.data[index as usize].get()).write(value) };
-        if self.queue.aq.enqueue_index(self.tid, index) {
+        if self.queue.aq.enqueue_index(self.tid, index, &self.pace) {
             self.aq_stats.slow_enqueues += 1;
         } else {
             self.aq_stats.fast_enqueues += 1;
@@ -416,7 +437,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     /// Attempts to dequeue an element; returns `None` when the queue is empty
     /// (`Dequeue_Ptr`, Figure 2).
     pub fn dequeue(&mut self) -> Option<T> {
-        let (index, slow) = self.queue.aq.dequeue_index(self.tid);
+        let (index, slow) = self.queue.aq.dequeue_index(self.tid, &self.pace);
         if slow {
             self.aq_stats.slow_dequeues += 1;
         } else {
@@ -427,7 +448,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         // initialized the slot and nobody else touches it until we hand the
         // index back to `fq`.
         let value = unsafe { (*self.queue.data[index as usize].get()).assume_init_read() };
-        if self.queue.fq.enqueue_index(self.tid, index) {
+        if self.queue.fq.enqueue_index(self.tid, index, &self.pace) {
             self.fq_stats.slow_enqueues += 1;
         } else {
             self.fq_stats.fast_enqueues += 1;
@@ -448,7 +469,10 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
         let mut pending: VecDeque<T> = std::mem::take(values).into();
         // SAFETY: the handle's existence proves ownership of slot `tid` on
         // the registering thread (`!Send`).
-        let accepted = unsafe { self.queue.enqueue_many_at(self.tid, &mut pending) };
+        let accepted = unsafe {
+            self.queue
+                .enqueue_many_at(self.tid, &mut pending, &self.pace)
+        };
         *values = pending.into();
         self.fq_stats.fast_dequeues += accepted as u64;
         self.aq_stats.fast_enqueues += accepted as u64;
@@ -463,7 +487,7 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     /// [`WcqQueue::dequeue_many_at`] for the partial-success contract).
     pub fn dequeue_many(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         // SAFETY: as in `enqueue_many`.
-        let got = unsafe { self.queue.dequeue_many_at(self.tid, out, max) };
+        let got = unsafe { self.queue.dequeue_many_at(self.tid, out, max, &self.pace) };
         self.aq_stats.fast_dequeues += got as u64;
         self.fq_stats.fast_enqueues += got as u64;
         self.tallies.dequeues_completed += got as u64;
@@ -490,6 +514,11 @@ impl<'q, T, F: CellFamily> WcqQueueHandle<'q, T, F> {
     /// operations, matching the pre-split per-ring handle statistics.
     pub fn stats(&self) -> (WcqStats, WcqStats) {
         (self.aq_stats, self.fq_stats)
+    }
+
+    /// The handle's patience cell (current bounds + contention estimate).
+    pub fn pace(&self) -> &PatienceCell {
+        &self.pace
     }
 }
 
@@ -614,13 +643,14 @@ mod tests {
         let q: WcqQueue<u64> = WcqQueue::new(3, 2);
         assert!(q.try_acquire_slot(0));
         assert!(!q.try_acquire_slot(0), "double acquisition must fail");
+        let pace = PatienceCell::from_config(q.config());
         // SAFETY: slot 0 acquired above; single-threaded use.
         unsafe {
-            assert_eq!(q.enqueue_at(0, 41), Ok(()));
-            assert_eq!(q.enqueue_at(0, 42), Ok(()));
-            assert_eq!(q.dequeue_at(0), Some(41));
-            assert_eq!(q.dequeue_at(0), Some(42));
-            assert_eq!(q.dequeue_at(0), None);
+            assert_eq!(q.enqueue_at(0, 41, &pace), Ok(()));
+            assert_eq!(q.enqueue_at(0, 42, &pace), Ok(()));
+            assert_eq!(q.dequeue_at(0, &pace), Some(41));
+            assert_eq!(q.dequeue_at(0, &pace), Some(42));
+            assert_eq!(q.dequeue_at(0, &pace), None);
             q.release_slot(0);
         }
         assert!(q.try_acquire_slot(0), "release frees the slot");
@@ -691,6 +721,7 @@ mod tests {
             max_patience_dequeue: 1,
             help_delay: 1,
             catchup_bound: 8,
+            ..WcqConfig::default()
         };
         let q: WcqQueue<u64> = WcqQueue::with_config(4, 2, cfg);
         let mut h = q.register().unwrap();
@@ -800,6 +831,7 @@ mod tests {
             max_patience_dequeue: 1,
             help_delay: 1,
             catchup_bound: 8,
+            ..WcqConfig::default()
         };
         let q: WcqQueue<(u64, u64)> = WcqQueue::with_config(5, 3, cfg);
 

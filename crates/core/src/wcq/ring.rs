@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use wcq_atomics::CachePadded;
 
+use crate::adaptive::{AdaptivePatience, Adjustment, PatienceCell};
 use crate::metrics::{Counter, CounterSet};
 use crate::pack::Layout;
 
@@ -32,6 +33,12 @@ pub struct WcqConfig {
     pub help_delay: u64,
     /// Iteration bound of `catchup` (§3.2 "Bounding catchup").
     pub catchup_bound: u32,
+    /// When `Some`, each handle self-tunes its patience bound within the
+    /// given clamps from handle-local contention feedback, and
+    /// `max_patience_enqueue` / `max_patience_dequeue` are ignored (see
+    /// [`crate::adaptive`]).  `None` — the default — keeps the paper's static
+    /// bounds.
+    pub adaptive_patience: Option<AdaptivePatience>,
 }
 
 impl Default for WcqConfig {
@@ -41,6 +48,7 @@ impl Default for WcqConfig {
             max_patience_dequeue: 64,
             help_delay: 16,
             catchup_bound: 64,
+            adaptive_patience: None,
         }
     }
 }
@@ -176,6 +184,18 @@ impl<F: CellFamily> WcqRing<F> {
         }
     }
 
+    /// Records a patience adjustment reported by a handle's controller.
+    /// Adjustments are rare (at most one per sampling window), so this stays
+    /// off the hot path even with telemetry attached.
+    #[inline]
+    fn note_pace(&self, adjustment: Option<Adjustment>) {
+        match adjustment {
+            Some(Adjustment::Raised) => self.count(Counter::PatienceRaised, 1),
+            Some(Adjustment::Lowered) => self.count(Counter::PatienceLowered, 1),
+            None => {}
+        }
+    }
+
     /// The attached telemetry counter set, if any.
     pub fn counter_set(&self) -> Option<&Arc<CounterSet>> {
         self.counters.as_ref()
@@ -287,6 +307,7 @@ impl<F: CellFamily> WcqRing<F> {
             ring: self,
             tid,
             stats: WcqStats::default(),
+            pace: PatienceCell::from_config(&self.config),
         })
     }
 
@@ -326,15 +347,22 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Fast-path enqueue attempt (`try_enq`).  On failure returns the tail
     /// ticket, which seeds the slow path.
-    fn try_enq_fast(&self, index: u64) -> Result<(), u64> {
+    fn try_enq_fast(&self, index: u64, spin: &mut u32) -> Result<(), u64> {
         let t = self.tail.fetch_add_cnt();
-        self.try_enq_at(t, index)
+        self.try_enq_at(t, index, spin)
     }
 
     /// One insertion attempt at an already-reserved tail ticket `t` — the
     /// body of `try_enq` after the F&A.  Batch enqueues reserve a run of
     /// tickets with a single F&A and drive each through this.
-    fn try_enq_at(&self, t: u64, index: u64) -> Result<(), u64> {
+    ///
+    /// `spin` tallies the internal CAS re-read iterations.  They never leave
+    /// this loop (the ticket is already reserved, so re-evaluating in place
+    /// is the only correct move), which makes them invisible to the outer
+    /// patience loop — yet on LL/SC hardware spurious store-conditional
+    /// failures land exactly here.  Surfacing the tally lets the adaptive
+    /// controller count them as the extra fast-path work they are.
+    fn try_enq_at(&self, t: u64, index: u64, spin: &mut u32) -> Result<(), u64> {
         let l = &self.layout;
         let j = l.slot(t);
         let cell = &self.entries[j];
@@ -348,6 +376,7 @@ impl<F: CellFamily> WcqRing<F> {
                 let new = l.pack(l.cycle(t), true, true, index);
                 if !cell.cas_value(raw, new) {
                     self.count(Counter::CasFailures, 1);
+                    *spin = spin.saturating_add(1);
                     continue; // Figure 3, line 25: re-read and re-evaluate.
                 }
                 if self.threshold.load(SeqCst) != l.max_threshold() {
@@ -360,9 +389,9 @@ impl<F: CellFamily> WcqRing<F> {
     }
 
     /// Fast-path dequeue attempt (`try_deq`).
-    fn try_deq_fast(&self, my_tid: usize) -> FastDeq {
+    fn try_deq_fast(&self, my_tid: usize, spin: &mut u32) -> FastDeq {
         let h = self.head.fetch_add_cnt();
-        self.try_deq_at(my_tid, h)
+        self.try_deq_at(my_tid, h, spin)
     }
 
     /// One consume attempt at an already-reserved head ticket `h` — the body
@@ -370,7 +399,10 @@ impl<F: CellFamily> WcqRing<F> {
     /// here: a missed ticket still advances the slot's cycle so a straggling
     /// enqueuer with an older ticket cannot deposit into a slot no dequeuer
     /// will ever visit again.
-    fn try_deq_at(&self, my_tid: usize, h: u64) -> FastDeq {
+    ///
+    /// `spin` plays the same role as in [`WcqRing::try_enq_at`]: it surfaces
+    /// the internal CAS re-read iterations to the adaptive controller.
+    fn try_deq_at(&self, my_tid: usize, h: u64, spin: &mut u32) -> FastDeq {
         let l = &self.layout;
         let j = l.slot(h);
         let cell = &self.entries[j];
@@ -390,6 +422,7 @@ impl<F: CellFamily> WcqRing<F> {
             };
             if e.cycle < l.cycle(h) && !cell.cas_value(raw, new) {
                 self.count(Counter::CasFailures, 1);
+                *spin = spin.saturating_add(1);
                 continue;
             }
             let t = self.tail.load_cnt();
@@ -749,21 +782,35 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Full enqueue operation for the thread owning record `tid`
     /// (`Enqueue_wCQ`).  Returns `true` if the slow path was taken.
-    pub(crate) fn enqueue_index(&self, tid: usize, index: u64) -> bool {
+    ///
+    /// `pace` is the calling handle's patience cell: it supplies the
+    /// fast-path attempt bound for this operation and absorbs the attempt
+    /// tally as contention feedback.  Wait-freedom is untouched — the bound
+    /// is always finite (clamped to `>= 1`) and the slow path below remains
+    /// reachable regardless of what the controller does.
+    pub(crate) fn enqueue_index(&self, tid: usize, index: u64, pace: &PatienceCell) -> bool {
         debug_assert!(index < self.layout.capacity());
         self.count(Counter::RingEnqueues, 1);
         if self.help_threads(tid) {
             self.count(Counter::HelpingEntries, 1);
         }
-        // Fast path.
+        // Fast path.  `spin` accumulates the in-slot CAS retries across the
+        // attempts: on LL/SC hardware spurious SC failures show up there, not
+        // as abandoned tickets, and the controller must see both.
         let mut tail = 0;
-        for _ in 0..self.config.max_patience_enqueue.max(1) {
-            match self.try_enq_fast(index) {
-                Ok(()) => return false,
+        let mut spin = 0;
+        let patience = pace.enqueue_patience().max(1);
+        for attempt in 0..patience {
+            match self.try_enq_fast(index, &mut spin) {
+                Ok(()) => {
+                    self.note_pace(pace.observe_enqueue(attempt.saturating_add(spin), false));
+                    return false;
+                }
                 Err(t) => tail = t,
             }
         }
         self.count(Counter::PatienceExhaustedEnqueues, 1);
+        self.note_pace(pace.observe_enqueue(patience.saturating_add(spin), true));
         // Slow path: publish the request, then run it; helpers may finish it
         // for us.
         let rec = &self.records[tid];
@@ -782,25 +829,39 @@ impl<F: CellFamily> WcqRing<F> {
 
     /// Full dequeue operation for the thread owning record `tid`
     /// (`Dequeue_wCQ`).  Returns `(value, took_slow_path)`.
-    pub(crate) fn dequeue_index(&self, tid: usize) -> (Option<u64>, bool) {
+    ///
+    /// `pace` plays the same role as in [`WcqRing::enqueue_index`].  The
+    /// empty early-exit still reports a zero-attempt observation so a handle
+    /// polling an empty ring pulls its patience back down.
+    pub(crate) fn dequeue_index(&self, tid: usize, pace: &PatienceCell) -> (Option<u64>, bool) {
         let l = &self.layout;
         self.count(Counter::RingDequeues, 1);
         if self.threshold.load(SeqCst) < 0 {
+            self.note_pace(pace.observe_dequeue(0, false));
             return (None, false); // Line 30: empty.
         }
         if self.help_threads(tid) {
             self.count(Counter::HelpingEntries, 1);
         }
-        // Fast path.
+        // Fast path.  `spin` plays the same role as in `enqueue_index`.
         let mut head = 0;
-        for _ in 0..self.config.max_patience_dequeue.max(1) {
-            match self.try_deq_fast(tid) {
-                FastDeq::Got(idx) => return (Some(idx), false),
-                FastDeq::Empty => return (None, false),
+        let mut spin = 0;
+        let patience = pace.dequeue_patience().max(1);
+        for attempt in 0..patience {
+            match self.try_deq_fast(tid, &mut spin) {
+                FastDeq::Got(idx) => {
+                    self.note_pace(pace.observe_dequeue(attempt.saturating_add(spin), false));
+                    return (Some(idx), false);
+                }
+                FastDeq::Empty => {
+                    self.note_pace(pace.observe_dequeue(attempt.saturating_add(spin), false));
+                    return (None, false);
+                }
                 FastDeq::Retry(h) => head = h,
             }
         }
         self.count(Counter::PatienceExhaustedDequeues, 1);
+        self.note_pace(pace.observe_dequeue(patience.saturating_add(spin), true));
         // Slow path.
         let rec = &self.records[tid];
         let seq = rec.seq1.load(SeqCst);
@@ -840,7 +901,7 @@ impl<F: CellFamily> WcqRing<F> {
     /// [`WcqRing::enqueue_index`] path, patience bound and slow-path helping
     /// included, so the wait-freedom argument is unchanged.  Returns the
     /// number of elements that used their batch ticket (statistics).
-    pub(crate) fn enqueue_many(&self, tid: usize, indices: &[u64]) -> usize {
+    pub(crate) fn enqueue_many(&self, tid: usize, indices: &[u64], pace: &PatienceCell) -> usize {
         if indices.is_empty() {
             return 0;
         }
@@ -849,15 +910,22 @@ impl<F: CellFamily> WcqRing<F> {
         }
         let base = self.tail.fetch_add_cnt_n(indices.len() as u64);
         let mut on_ticket = 0;
+        // Batch tickets feed `pace` only through the fallback below (an
+        // on-ticket element is one clean attempt); the in-slot retry tally is
+        // dropped here to keep the batch loop observation-free.
+        let mut spin = 0;
         for (k, &index) in indices.iter().enumerate() {
             debug_assert!(index < self.layout.capacity());
-            if self.try_enq_at(base + k as u64, index).is_ok() {
+            if self.try_enq_at(base + k as u64, index, &mut spin).is_ok() {
                 on_ticket += 1;
             } else {
                 // The fallback records its own RingEnqueues (and any further
                 // helping entry), so only the on-ticket elements are counted
-                // below — no double counting.
-                self.enqueue_index(tid, index);
+                // below — no double counting.  It also feeds `pace`: an
+                // abandoned batch ticket is exactly a failed fast-path
+                // attempt, so batch-heavy workloads still drive the
+                // controller.
+                self.enqueue_index(tid, index, pace);
             }
         }
         self.count(Counter::RingEnqueues, on_ticket as u64);
@@ -882,7 +950,13 @@ impl<F: CellFamily> WcqRing<F> {
     /// skipping one would let a straggling enqueuer deposit into a slot no
     /// dequeuer revisits (lost element).  A missed ticket pays the same
     /// threshold decrement an individual failed dequeue would (Lemma 5.6).
-    pub(crate) fn dequeue_many(&self, tid: usize, out: &mut Vec<u64>, max: usize) -> usize {
+    pub(crate) fn dequeue_many(
+        &self,
+        tid: usize,
+        out: &mut Vec<u64>,
+        max: usize,
+        pace: &PatienceCell,
+    ) -> usize {
         if max == 0 || self.threshold.load(SeqCst) < 0 {
             return 0;
         }
@@ -897,8 +971,10 @@ impl<F: CellFamily> WcqRing<F> {
         let mut got = 0;
         if run > 0 {
             let base = self.head.fetch_add_cnt_n(run);
+            // As in `enqueue_many`: the retry tally is not observed here.
+            let mut spin = 0;
             for k in 0..run {
-                match self.try_deq_at(tid, base + k) {
+                match self.try_deq_at(tid, base + k, &mut spin) {
                     FastDeq::Got(index) => {
                         out.push(index);
                         got += 1;
@@ -914,7 +990,7 @@ impl<F: CellFamily> WcqRing<F> {
             // leave elements behind (e.g. a hole-run longer than `max`).
             // Either way the standard path (patience + helping + threshold)
             // delivers the authoritative verdict.
-            return match self.dequeue_index(tid) {
+            return match self.dequeue_index(tid, pace) {
                 (Some(index), _) => {
                     out.push(index);
                     1
@@ -939,6 +1015,7 @@ pub struct WcqHandle<'q, F: CellFamily = NativeFamily> {
     ring: &'q WcqRing<F>,
     tid: usize,
     stats: WcqStats,
+    pace: PatienceCell,
 }
 
 impl<'q, F: CellFamily> WcqHandle<'q, F> {
@@ -957,10 +1034,15 @@ impl<'q, F: CellFamily> WcqHandle<'q, F> {
         self.stats
     }
 
+    /// The handle's patience cell (current bounds + contention estimate).
+    pub fn pace(&self) -> &PatienceCell {
+        &self.pace
+    }
+
     /// Enqueues `index` (must be `< capacity`).  Always succeeds provided the
     /// capacity discipline is respected (at most `capacity` values circulate).
     pub fn enqueue(&mut self, index: u64) {
-        if self.ring.enqueue_index(self.tid, index) {
+        if self.ring.enqueue_index(self.tid, index, &self.pace) {
             self.stats.slow_enqueues += 1;
         } else {
             self.stats.fast_enqueues += 1;
@@ -969,7 +1051,7 @@ impl<'q, F: CellFamily> WcqHandle<'q, F> {
 
     /// Dequeues an index; `None` means the ring was empty.
     pub fn dequeue(&mut self) -> Option<u64> {
-        let (value, slow) = self.ring.dequeue_index(self.tid);
+        let (value, slow) = self.ring.dequeue_index(self.tid, &self.pace);
         if slow {
             self.stats.slow_dequeues += 1;
         } else {
@@ -983,7 +1065,7 @@ impl<'q, F: CellFamily> WcqHandle<'q, F> {
     /// batch ticket fell back to the standard path and are counted as slow
     /// enqueues.
     pub fn enqueue_many(&mut self, indices: &[u64]) {
-        let on_ticket = self.ring.enqueue_many(self.tid, indices) as u64;
+        let on_ticket = self.ring.enqueue_many(self.tid, indices, &self.pace) as u64;
         self.stats.fast_enqueues += on_ticket;
         self.stats.slow_enqueues += indices.len() as u64 - on_ticket;
     }
@@ -992,7 +1074,7 @@ impl<'q, F: CellFamily> WcqHandle<'q, F> {
     /// whole run; returns the number appended (see
     /// `WcqRing::dequeue_many` for the partial-success contract).
     pub fn dequeue_many(&mut self, out: &mut Vec<u64>, max: usize) -> usize {
-        let got = self.ring.dequeue_many(self.tid, out, max);
+        let got = self.ring.dequeue_many(self.tid, out, max, &self.pace);
         self.stats.fast_dequeues += got as u64;
         got
     }
@@ -1078,6 +1160,7 @@ mod tests {
             max_patience_dequeue: 1,
             help_delay: 1,
             catchup_bound: 8,
+            ..WcqConfig::default()
         };
         let r = WcqRing::<NativeFamily>::with_config(4, 2, cfg);
         let mut h = r.register().unwrap();
@@ -1086,6 +1169,28 @@ mod tests {
         }
         for i in 0..r.capacity() {
             assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn adaptive_patience_stays_clamped_and_fifo() {
+        let cfg = WcqConfig {
+            adaptive_patience: Some(AdaptivePatience {
+                min: 1,
+                max: 8,
+                sample_every: 4,
+            }),
+            ..WcqConfig::default()
+        };
+        let r = WcqRing::<NativeFamily>::with_config(4, 2, cfg);
+        let mut h = r.register().unwrap();
+        for round in 0..300u64 {
+            h.enqueue(round % r.capacity());
+            assert_eq!(h.dequeue(), Some(round % r.capacity()));
+            let p = h.pace();
+            assert!((1..=8).contains(&p.enqueue_patience()));
+            assert!((1..=8).contains(&p.dequeue_patience()));
         }
         assert_eq!(h.dequeue(), None);
     }
@@ -1316,6 +1421,7 @@ mod tests {
             max_patience_dequeue: 1,
             help_delay: 1,
             catchup_bound: 8,
+            ..WcqConfig::default()
         };
         let r = WcqRing::<NativeFamily>::with_config(5, 4, cfg);
         let capacity = r.capacity();

@@ -48,5 +48,6 @@ pub use queues::{
 };
 pub use rng::DetRng;
 pub use stress::{all_real_queues, decode, encode, verify_observations, StressPlan, StressReport};
+pub use wcq_core::adaptive::AdaptivePatience;
 pub use wcq_core::wcq::WcqConfig;
 pub use workload::{run_workload, RunResult, Workload, WorkloadConfig};

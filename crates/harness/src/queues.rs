@@ -57,10 +57,16 @@ pub enum QueueKind {
     WcqSharded,
     /// Sharded wLSCQ over the emulated LL/SC construction.
     WcqShardedLlsc,
+    /// Sharded wLSCQ under [`ShardPolicy::Adaptive`] routing: the active
+    /// shard prefix grows and shrinks with contention, so plans cross the
+    /// single-shard fast path, the widening transitions and the shrink-vs-
+    /// drain races.  The kind carries the policy (the explicit policy
+    /// argument of [`make_queue_with_policy`] is ignored for it).
+    WcqShardedAdaptive,
 }
 
 impl QueueKind {
-    /// Every kind the harness knows (all 13), in a stable order.
+    /// Every kind the harness knows (all 14), in a stable order.
     pub fn all() -> Vec<QueueKind> {
         vec![
             QueueKind::Wcq,
@@ -76,6 +82,7 @@ impl QueueKind {
             QueueKind::WcqUnboundedLlsc,
             QueueKind::WcqSharded,
             QueueKind::WcqShardedLlsc,
+            QueueKind::WcqShardedAdaptive,
         ]
     }
 
@@ -131,7 +138,10 @@ impl QueueKind {
     /// per-producer FIFO order is preserved (only pinned routing keeps each
     /// producer's values in one per-shard FIFO stream).
     pub fn is_sharded(&self) -> bool {
-        matches!(self, QueueKind::WcqSharded | QueueKind::WcqShardedLlsc)
+        matches!(
+            self,
+            QueueKind::WcqSharded | QueueKind::WcqShardedLlsc | QueueKind::WcqShardedAdaptive
+        )
     }
 
     /// `true` for the kinds that maintain an approximate length counter, i.e.
@@ -144,6 +154,7 @@ impl QueueKind {
                 | QueueKind::WcqUnboundedLlsc
                 | QueueKind::WcqSharded
                 | QueueKind::WcqShardedLlsc
+                | QueueKind::WcqShardedAdaptive
         )
     }
 
@@ -163,6 +174,7 @@ impl QueueKind {
             QueueKind::WcqUnboundedLlsc => "wLSCQ (LL/SC)",
             QueueKind::WcqSharded => "Sharded wLSCQ",
             QueueKind::WcqShardedLlsc => "Sharded wLSCQ (LL/SC)",
+            QueueKind::WcqShardedAdaptive => "Sharded wLSCQ (adaptive)",
         }
     }
 }
@@ -233,6 +245,12 @@ pub fn make_queue_with_policy(
         QueueKind::WcqUnboundedLlsc => Box::new(segmented.llsc().build_unbounded::<u64>()),
         QueueKind::WcqSharded => Box::new(sharded.build_sharded::<u64>()),
         QueueKind::WcqShardedLlsc => Box::new(sharded.llsc().build_sharded::<u64>()),
+        QueueKind::WcqShardedAdaptive => Box::new(
+            segmented
+                .shards(HARNESS_SHARDS)
+                .shard_policy(ShardPolicy::Adaptive)
+                .build_sharded::<u64>(),
+        ),
         QueueKind::Scq => Box::new(ScqQueue::new(ring_order)),
         QueueKind::MsQueue => Box::new(MsQueue::new(max_threads)),
         QueueKind::Lcrq => Box::new(Lcrq::new(ring_order.min(12), max_threads)),
@@ -279,6 +297,12 @@ pub fn make_counting_queue(
         QueueKind::WcqUnboundedLlsc => Box::new(segmented.llsc().build_unbounded::<u64>()),
         QueueKind::WcqSharded => Box::new(sharded.build_sharded::<u64>()),
         QueueKind::WcqShardedLlsc => Box::new(sharded.llsc().build_sharded::<u64>()),
+        QueueKind::WcqShardedAdaptive => Box::new(
+            segmented
+                .shards(HARNESS_SHARDS)
+                .shard_policy(ShardPolicy::Adaptive)
+                .build_sharded::<u64>(),
+        ),
         _ => return None,
     };
     Some((queue, instr))
@@ -290,7 +314,7 @@ mod tests {
 
     #[test]
     fn every_kind_constructs_and_round_trips_through_the_facade() {
-        // All 13 QueueKinds flow through the public WaitFreeQueue trait.
+        // All 14 QueueKinds flow through the public WaitFreeQueue trait.
         for kind in QueueKind::all() {
             let q = make_queue(kind, 2, 8);
             let mut h = q.handle();
@@ -357,7 +381,7 @@ mod tests {
             "LCRQ needs CAS2 and is absent on PowerPC"
         );
         assert!(ppc.contains(&"wCQ (LL/SC)"));
-        assert_eq!(QueueKind::all().len(), 13);
+        assert_eq!(QueueKind::all().len(), 14);
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Mutex;
 
+use wcq_core::adaptive::AdaptivePatience;
 use wcq_core::wcq::WcqConfig;
 
 use crate::queues::{make_queue_with_policy, QueueKind, ShardPolicy};
@@ -154,6 +155,7 @@ impl StressPlan {
                 max_patience_dequeue: 1,
                 help_delay: 1,
                 catchup_bound: 8,
+                ..WcqConfig::default()
             }
         };
         let spurious_rate = if kind.is_llsc() && rng.chance(0.5) {
@@ -167,6 +169,31 @@ impl StressPlan {
             rng.range_inclusive(2, 16) as usize
         } else {
             1
+        };
+        // Half the plans additionally self-tune patience at runtime (drawn
+        // after `batch` so the older fields' derivations are unchanged for a
+        // given seed).  When the plan forces the slow path, the adaptive
+        // clamps collapse to [1, 1], preserving that forcing while still
+        // exercising the controller's bookkeeping.
+        let wcq_config = {
+            let mut cfg = wcq_config;
+            if rng.chance(0.5) {
+                let forced_slow = cfg.max_patience_enqueue == 1;
+                cfg.adaptive_patience = Some(if forced_slow {
+                    AdaptivePatience {
+                        min: 1,
+                        max: 1,
+                        sample_every: 32,
+                    }
+                } else {
+                    AdaptivePatience {
+                        min: 1,
+                        max: 256,
+                        sample_every: 32,
+                    }
+                });
+            }
+            cfg
         };
         // Under Miri every atomic op costs ~1000x native, so shrink the op
         // counts ~50x after *all* fields are drawn — the PRNG stream (and
@@ -189,7 +216,10 @@ impl StressPlan {
             ring_order,
             wcq_config,
             spurious_rate,
-            pin_producers: kind.is_sharded(),
+            // Adaptive-routed plans run unpinned by construction: the
+            // active-prefix router deliberately spreads a producer, so the
+            // oracle's per-producer FIFO clause does not apply to them.
+            pin_producers: matches!(kind, QueueKind::WcqSharded | QueueKind::WcqShardedLlsc),
             batch,
         }
     }
@@ -520,6 +550,7 @@ pub fn all_real_queues() -> Vec<QueueKind> {
         QueueKind::WcqUnboundedLlsc,
         QueueKind::WcqSharded,
         QueueKind::WcqShardedLlsc,
+        QueueKind::WcqShardedAdaptive,
     ]
 }
 

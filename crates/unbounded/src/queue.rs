@@ -9,6 +9,7 @@ use std::sync::atomic::{
 use std::sync::Arc;
 
 use wcq_atomics::{Backoff, CachePadded};
+use wcq_core::adaptive::PatienceCell;
 use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
 use wcq_core::metrics::{Counter, CounterSet};
 use wcq_core::wcq::{CellFamily, LlscFamily, NativeFamily, WcqConfig};
@@ -228,6 +229,7 @@ impl<T, F: CellFamily> UnboundedWcq<T, F> {
             queue: self,
             hp,
             bound: ptr::null_mut(),
+            pace: PatienceCell::from_config(&self.config),
             rebinds: 0,
             enqueues_completed: 0,
             dequeues_completed: 0,
@@ -419,6 +421,10 @@ pub struct UnboundedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
     /// The memoized segment this handle is currently bound to (null when
     /// unbound).  Kept alive by hazard slot 1 for as long as it is set.
     bound: *mut Segment<T, F>,
+    /// Handle-local patience controller, carried *across* segments: the
+    /// contention a handle sees is a property of the workload, not of which
+    /// segment currently holds the backlog, so rebinding must not reset it.
+    pace: PatienceCell,
     /// How many times the memo missed and the binding moved to a different
     /// segment (statistics; lets tests assert the memo actually hits).
     rebinds: u64,
@@ -506,7 +512,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // the bound op runs under the binding established here.
             let attempt = unsafe {
                 self.rebind(tailp);
-                seg.try_enqueue_bound(tid, value)
+                seg.try_enqueue_bound(tid, value, &self.pace)
             };
             match attempt {
                 Ok(()) => {
@@ -558,7 +564,9 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
     /// Dequeues an element; `None` when the whole queue was observed empty.
     pub fn dequeue(&mut self) -> Option<T> {
         let tid = self.hp.tid();
-        let mut backoff = Backoff::new();
+        // Contention-capped: under pressure the straggling enqueuer we may
+        // wait on below needs the CPU more than we need a long spin phase.
+        let mut backoff = Backoff::with_max_shift(self.pace.spin_cap());
         loop {
             let headp = self.hp.protect(0, &self.queue.head);
             // SAFETY: protected by hazard slot 0; the bound ops below run
@@ -568,7 +576,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 &*headp
             };
             // SAFETY: bound just above.
-            if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+            if let Some(v) = unsafe { seg.try_dequeue_bound(tid, &self.pace) } {
                 // relaxed: advisory length hint — monotonicity errors only skew
                 // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_sub(1, Relaxed);
@@ -594,7 +602,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 continue;
             }
             // SAFETY: still bound to `headp`.
-            if let Some(v) = unsafe { seg.try_dequeue_bound(tid) } {
+            if let Some(v) = unsafe { seg.try_dequeue_bound(tid, &self.pace) } {
                 // relaxed: advisory length hint — monotonicity errors only skew
                 // load-balance/freshness decisions, never correctness (see `len_hint`).
                 self.queue.len_hint.fetch_sub(1, Relaxed);
@@ -666,7 +674,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
             // the bound op runs under the binding established here.
             let accepted = unsafe {
                 self.rebind(tailp);
-                seg.try_enqueue_many_bound(tid, &mut pending)
+                seg.try_enqueue_many_bound(tid, &mut pending, &self.pace)
             };
             if accepted > 0 {
                 // relaxed: advisory length hint — monotonicity errors only skew
@@ -702,7 +710,8 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
         }
         self.batch_values_requested += max as u64;
         let tid = self.hp.tid();
-        let mut backoff = Backoff::new();
+        // Contention-capped, as in `dequeue`.
+        let mut backoff = Backoff::with_max_shift(self.pace.spin_cap());
         loop {
             let headp = self.hp.protect(0, &self.queue.head);
             // SAFETY: protected by hazard slot 0; the bound ops below run
@@ -712,7 +721,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 &*headp
             };
             // SAFETY: bound just above.
-            let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
+            let got = unsafe { seg.try_dequeue_many_bound(tid, out, max, &self.pace) };
             if got > 0 {
                 // relaxed: advisory length hint — monotonicity errors only skew
                 // load-balance/freshness decisions, never correctness (see `len_hint`).
@@ -732,7 +741,7 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
                 continue;
             }
             // SAFETY: still bound to `headp`.
-            let got = unsafe { seg.try_dequeue_many_bound(tid, out, max) };
+            let got = unsafe { seg.try_dequeue_many_bound(tid, out, max, &self.pace) };
             if got > 0 {
                 // relaxed: advisory length hint — monotonicity errors only skew
                 // load-balance/freshness decisions, never correctness (see `len_hint`).
@@ -767,6 +776,19 @@ impl<'q, T, F: CellFamily> UnboundedWcqHandle<'q, T, F> {
     /// now (used by tests to make recycling deterministic).
     pub fn flush_reclamation(&mut self) {
         self.hp.flush();
+    }
+
+    /// The handle's patience cell (current bounds + contention estimate).
+    pub fn pace(&self) -> &PatienceCell {
+        &self.pace
+    }
+
+    /// The handle's current contention estimate (fixed point,
+    /// `wcq_core::adaptive::EWMA_ONE` = one extra fast-path attempt per ring
+    /// operation).  Handle-local — reading it touches no shared memory.  The
+    /// sharded front-end's adaptive router feeds on this.
+    pub fn contention_level(&self) -> u32 {
+        self.pace.contention_level()
     }
 }
 
@@ -811,6 +833,9 @@ impl<T: Send, F: CellFamily> QueueHandle<T> for UnboundedWcqHandle<'_, T, F> {
     }
     fn dequeue_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         UnboundedWcqHandle::dequeue_many(self, out, max)
+    }
+    fn spin_cap_hint(&self) -> u32 {
+        self.pace.spin_cap()
     }
 }
 

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicUsize, Ordering:
 use std::sync::Arc;
 
 use wcq_atomics::CachePadded;
+use wcq_core::adaptive::PatienceCell;
 use wcq_core::metrics::CounterSet;
 use wcq_core::wcq::{CellFamily, WcqConfig, WcqQueue};
 
@@ -103,9 +104,17 @@ impl<T, F: CellFamily> Segment<T, F> {
     /// caller is already bound to this segment.  `Err` means the segment is
     /// full or closed and will never accept this value.
     ///
+    /// `pace` is the calling handle's patience cell, forwarded to the inner
+    /// ring operations (see `wcq_core::adaptive`).
+    ///
     /// # Safety
     /// The caller must hold a live [`Segment::bind`] on `tid`.
-    pub(crate) unsafe fn try_enqueue_bound(&self, tid: usize, value: T) -> Result<(), T> {
+    pub(crate) unsafe fn try_enqueue_bound(
+        &self,
+        tid: usize,
+        value: T,
+        pace: &PatienceCell,
+    ) -> Result<(), T> {
         self.inflight.fetch_add(1, SeqCst);
         let credit = self.state.fetch_sub(1, SeqCst);
         if credit <= 0 {
@@ -114,7 +123,7 @@ impl<T, F: CellFamily> Segment<T, F> {
             return Err(value);
         }
         // SAFETY: bound per the function contract.
-        let res = unsafe { self.queue.enqueue_at(tid, value) };
+        let res = unsafe { self.queue.enqueue_at(tid, value, pace) };
         if res.is_err() {
             // A credit guarantees a free inner slot, so this branch is
             // unreachable; restore the credit if the invariant ever breaks.
@@ -150,6 +159,7 @@ impl<T, F: CellFamily> Segment<T, F> {
         &self,
         tid: usize,
         values: &mut VecDeque<T>,
+        pace: &PatienceCell,
     ) -> usize {
         if values.is_empty() {
             return 0;
@@ -167,14 +177,14 @@ impl<T, F: CellFamily> Segment<T, F> {
         }
         let mut accepted = if granted as usize == values.len() {
             // SAFETY: bound per the function contract.
-            unsafe { self.queue.enqueue_many_at(tid, values) }
+            unsafe { self.queue.enqueue_many_at(tid, values, pace) }
         } else {
             // Only the granted prefix may touch the inner ring: feeding the
             // whole buffer would let the inner enqueue consume free slots
             // that belong to other credit holders.
             let mut run: VecDeque<T> = values.drain(..granted as usize).collect();
             // SAFETY: bound per the function contract.
-            let accepted = unsafe { self.queue.enqueue_many_at(tid, &mut run) };
+            let accepted = unsafe { self.queue.enqueue_many_at(tid, &mut run, pace) };
             while let Some(value) = run.pop_back() {
                 values.push_front(value);
             }
@@ -185,7 +195,7 @@ impl<T, F: CellFamily> Segment<T, F> {
         while (accepted as i64) < granted {
             let value = values.pop_front().expect("one element per granted credit");
             // SAFETY: bound per the function contract.
-            match unsafe { self.queue.enqueue_at(tid, value) } {
+            match unsafe { self.queue.enqueue_at(tid, value, pace) } {
                 Ok(()) => accepted += 1,
                 Err(value) => {
                     // The credit invariant rules this out; restore the value
@@ -205,9 +215,9 @@ impl<T, F: CellFamily> Segment<T, F> {
     ///
     /// # Safety
     /// The caller must hold a live [`Segment::bind`] on `tid`.
-    pub(crate) unsafe fn try_dequeue_bound(&self, tid: usize) -> Option<T> {
+    pub(crate) unsafe fn try_dequeue_bound(&self, tid: usize, pace: &PatienceCell) -> Option<T> {
         // SAFETY: bound per the function contract.
-        let v = unsafe { self.queue.dequeue_at(tid) };
+        let v = unsafe { self.queue.dequeue_at(tid, pace) };
         if v.is_some() {
             self.state.fetch_add(1, SeqCst);
         }
@@ -225,9 +235,10 @@ impl<T, F: CellFamily> Segment<T, F> {
         tid: usize,
         out: &mut Vec<T>,
         max: usize,
+        pace: &PatienceCell,
     ) -> usize {
         // SAFETY: bound per the function contract.
-        let got = unsafe { self.queue.dequeue_many_at(tid, out, max) };
+        let got = unsafe { self.queue.dequeue_many_at(tid, out, max, pace) };
         if got > 0 {
             self.state.fetch_add(got as i64, SeqCst);
         }
@@ -235,11 +246,13 @@ impl<T, F: CellFamily> Segment<T, F> {
     }
 
     /// One-shot enqueue: bind, operate, unbind.  Used off the hot path (the
-    /// fresh-segment preload), where binding churn does not matter.
+    /// fresh-segment preload), where binding churn does not matter — a fresh
+    /// fixed patience cell per call is fine for the same reason.
     pub(crate) fn try_enqueue(&self, tid: usize, value: T) -> Result<(), T> {
         assert!(self.bind(tid), "outer tid is exclusive to one operation");
+        let pace = PatienceCell::from_config(self.queue.config());
         // SAFETY: bound above; unbound immediately after.
-        let res = unsafe { self.try_enqueue_bound(tid, value) };
+        let res = unsafe { self.try_enqueue_bound(tid, value, &pace) };
         unsafe { self.unbind(tid) };
         res
     }
@@ -248,8 +261,9 @@ impl<T, F: CellFamily> Segment<T, F> {
     /// lost link race takes the pre-loaded value back out).
     pub(crate) fn try_dequeue(&self, tid: usize) -> Option<T> {
         assert!(self.bind(tid), "outer tid is exclusive to one operation");
+        let pace = PatienceCell::from_config(self.queue.config());
         // SAFETY: bound above; unbound immediately after.
-        let v = unsafe { self.try_dequeue_bound(tid) };
+        let v = unsafe { self.try_dequeue_bound(tid, &pace) };
         unsafe { self.unbind(tid) };
         v
     }

@@ -7,7 +7,9 @@
 //!
 //! * **enqueue** goes to the shard a [`ShardPolicy`] picks — round-robin
 //!   (spread blindly), least-loaded (spread by the shards' approximate
-//!   length counters) or pinned (always the handle's home shard);
+//!   length counters, sampled two at a time), pinned (always the handle's
+//!   home shard) or adaptive (a handle-local *active prefix* of the shard
+//!   set that grows under contention and shrinks when load is light);
 //! * **dequeue** drains the handle's *home shard* first and falls back to
 //!   scanning the other shards (work stealing), so consumers stay on their
 //!   local shard — and its memoized segment binding — until it runs dry.
@@ -31,6 +33,7 @@
 
 use std::sync::Arc;
 
+use wcq_core::adaptive::{LOWER_LEVEL, RAISE_LEVEL};
 use wcq_core::api::{QueueHandle, WaitFreeQueue};
 use wcq_core::metrics::{Counter, CounterSet};
 use wcq_core::wcq::{CellFamily, LlscFamily, NativeFamily, WcqConfig};
@@ -48,9 +51,12 @@ pub enum ShardPolicy {
     /// construction, no shared state, no counter reads — the default.
     #[default]
     RoundRobin,
-    /// Each enqueue goes to the shard with the smallest approximate length
-    /// ([`UnboundedWcq::len_hint`]), ties broken by a rotating cursor.  Adapts
-    /// to skewed consumers at the cost of scanning `N` counters per enqueue.
+    /// Each enqueue samples **two** shards (power-of-two-choices, from a
+    /// handle-local seeded generator) and goes to the one with the smaller
+    /// approximate length ([`UnboundedWcq::len_hint`]).  Two-choice sampling
+    /// keeps the classic load-balance guarantee while paying two counter
+    /// reads per enqueue instead of a full `N`-shard scan; with two shards
+    /// it degenerates to comparing both, i.e. the exact least-loaded pick.
     LeastLoaded,
     /// Every enqueue goes to the handle's home shard.  Keeps each handle's
     /// values in one FIFO stream, so per-producer order is preserved for the
@@ -58,6 +64,17 @@ pub enum ShardPolicy {
     /// may land on a different home shard), at the cost of no load spreading
     /// from a single producer.
     Pinned,
+    /// Handle-local adaptive routing: enqueues round-robin over an *active
+    /// prefix* of the shard set that starts at one shard, doubles when the
+    /// prefix shows ring contention or backlog, and halves when both are
+    /// low — so a lightly loaded queue gets the single-shard fast path and
+    /// a contended one spreads like [`ShardPolicy::RoundRobin`].  Once every
+    /// shard is active, routing switches to the home shard (the
+    /// [`ShardPolicy::Pinned`] cache pattern) because spreading can no
+    /// longer help.  Dequeues still scan the **full** shard set home-first,
+    /// so a shrink of the active prefix never strands elements on a
+    /// deactivated shard.
+    Adaptive,
 }
 
 impl ShardPolicy {
@@ -67,6 +84,7 @@ impl ShardPolicy {
             ShardPolicy::RoundRobin => "round-robin",
             ShardPolicy::LeastLoaded => "least-loaded",
             ShardPolicy::Pinned => "pinned",
+            ShardPolicy::Adaptive => "adaptive",
         }
     }
 }
@@ -224,13 +242,21 @@ impl<T, F: CellFamily> ShardedWcq<T, F> {
         // tid memo hands the same slot back — but the memo is best-effort,
         // so pinned-order guarantees are scoped to one handle's lifetime.
         let home = handles[0].tid() % self.shards.len();
+        let tid = handles[0].tid() as u64;
         Some(ShardedWcqHandle {
             queue: self,
             handles,
             home,
             cursor: home,
+            active: 1,
+            window: 0,
+            // Seeded from the tid so two-choice sampling is deterministic
+            // under the harness's pinned-tid stress plans.
+            rng: (tid + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             routes: 0,
             steals: 0,
+            grown: 0,
+            shrunk: 0,
         })
     }
 
@@ -281,12 +307,36 @@ pub struct ShardedWcqHandle<'q, T, F: CellFamily = NativeFamily> {
     home: usize,
     /// Rotating cursor for round-robin routing and least-loaded tie-breaks.
     cursor: usize,
+    /// Size of this handle's active shard prefix under
+    /// [`ShardPolicy::Adaptive`] (`1..=shards`); unused by the other
+    /// policies.  Handle-local on purpose: no shared routing state to
+    /// contend on, at the cost of each handle learning the load level
+    /// independently.
+    active: usize,
+    /// Routes since the last adaptive retune.
+    window: u32,
+    /// Handle-local xorshift state for two-choice sampling.
+    rng: u64,
     /// Enqueue routing decisions made by this handle (plain tallies, flushed
     /// into the shared counter set on drop).
     routes: u64,
     /// Dequeues satisfied by a *non-home* shard (work stealing).
     steals: u64,
+    /// Adaptive active-prefix growth events (flushed on drop).
+    grown: u64,
+    /// Adaptive active-prefix shrink events (flushed on drop).
+    shrunk: u64,
 }
+
+/// Routes between adaptive retunes: small enough to react within one stress
+/// round, large enough that the per-retune length-hint reads amortize to
+/// noise on the enqueue path.
+const ADAPT_WINDOW: u32 = 32;
+
+/// Per-active-shard backlog (length hint) above which the adaptive prefix
+/// widens even without ring contention: a deep backlog means consumers are
+/// behind, and spreading gives them independent shards to drain.
+const GROW_BACKLOG: usize = 64;
 
 impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
     /// The queue this handle operates on.
@@ -334,23 +384,104 @@ impl<'q, T, F: CellFamily> ShardedWcqHandle<'q, T, F> {
                 pick
             }
             ShardPolicy::LeastLoaded => {
-                // Scan from the rotating cursor so equal-length shards share
-                // the load instead of all traffic piling onto shard 0.
-                let start = self.cursor % n;
-                self.cursor = self.cursor.wrapping_add(1);
-                let mut best = start;
-                let mut best_len = self.queue.shards[start].len_hint();
-                for k in 1..n {
-                    let i = (start + k) % n;
-                    let len = self.queue.shards[i].len_hint();
-                    if len < best_len {
-                        best = i;
-                        best_len = len;
-                    }
+                if n == 1 {
+                    return 0;
                 }
-                best
+                // Power-of-two-choices: sample two distinct shards and take
+                // the shorter, rather than scanning all `n` length counters.
+                // With n == 2 the "sample" is both shards, so the pick is
+                // exactly least-loaded; ties go to `a`, which rotates with
+                // the cursor so tied shards still share the load.
+                let (a, b) = if n == 2 {
+                    let start = self.cursor % 2;
+                    self.cursor = self.cursor.wrapping_add(1);
+                    (start, 1 - start)
+                } else {
+                    let a = self.next_rand() % n;
+                    let b = (a + 1 + self.next_rand() % (n - 1)) % n;
+                    (a, b)
+                };
+                if self.queue.shards[b].len_hint() < self.queue.shards[a].len_hint() {
+                    b
+                } else {
+                    a
+                }
+            }
+            ShardPolicy::Adaptive => {
+                self.window += 1;
+                if self.window >= ADAPT_WINDOW {
+                    self.window = 0;
+                    self.retune();
+                }
+                if self.active >= n {
+                    // Every shard is active: spreading cannot reduce
+                    // contention further, so take the pinned cache pattern.
+                    self.home
+                } else {
+                    let pick = self.cursor % self.active;
+                    self.cursor = self.cursor.wrapping_add(1);
+                    pick
+                }
             }
         }
+    }
+
+    /// Handle-local xorshift64 step (two-choice sampling).
+    #[inline]
+    fn next_rand(&mut self) -> usize {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x as usize
+    }
+
+    /// Re-sizes the adaptive active prefix from what this handle can see:
+    /// its own per-shard contention EWMAs (handle-local, free to read) and
+    /// the active shards' length hints (one relaxed atomic read per active
+    /// shard, paid once per [`ADAPT_WINDOW`] routes — never per enqueue).
+    fn retune(&mut self) {
+        let n = self.handles.len();
+        let contention = self.handles[..self.active]
+            .iter()
+            .map(|h| h.contention_level())
+            .max()
+            .unwrap_or(0);
+        let backlog: usize = self.queue.shards[..self.active]
+            .iter()
+            .map(|s| s.len_hint())
+            .sum();
+        if self.active < n && (contention >= RAISE_LEVEL || backlog > self.active * GROW_BACKLOG) {
+            self.active = (self.active * 2).min(n);
+            self.grown += 1;
+        } else if self.active > 1
+            && contention < LOWER_LEVEL
+            && backlog <= self.active.div_ceil(2) * (GROW_BACKLOG / 2)
+        {
+            // Only shrink when the remaining backlog comfortably fits the
+            // halved prefix, so the shrink itself cannot create a hot spot.
+            self.active = self.active.div_ceil(2);
+            self.shrunk += 1;
+        }
+    }
+
+    /// Current size of the adaptive active prefix (always `1` until the
+    /// first retune; equal to the shard count once fully widened).  Only
+    /// meaningful under [`ShardPolicy::Adaptive`].
+    pub fn active_shards(&self) -> usize {
+        self.active
+    }
+
+    /// Checker seam: pins the adaptive active prefix to `n` shards (clamped
+    /// to `1..=shards`) and restarts the retune window.  The schedule
+    /// explorer uses this to place a prefix shrink at an exact point in an
+    /// interleaving — shrink safety must hold wherever the retune lands, so
+    /// forcing the transition is sound.  Not meant for applications.
+    #[doc(hidden)]
+    pub fn debug_set_active(&mut self, n: usize) {
+        self.active = n.clamp(1, self.handles.len());
+        self.window = 0;
     }
 
     /// Enqueues `value` on the shard the policy picks.  Never fails: each
@@ -429,6 +560,8 @@ impl<'q, T, F: CellFamily> Drop for ShardedWcqHandle<'q, T, F> {
         if let Some(set) = self.queue.counter_set() {
             set.add(Counter::ShardRoutes, self.routes);
             set.add(Counter::ShardSteals, self.steals);
+            set.add(Counter::ShardSetGrown, self.grown);
+            set.add(Counter::ShardSetShrunk, self.shrunk);
         }
     }
 }
@@ -467,10 +600,11 @@ impl<T: Send, F: CellFamily> QueueHandle<T> for ShardedWcqHandle<'_, T, F> {
 
 impl<T: Send, F: CellFamily> WaitFreeQueue<T> for ShardedWcq<T, F> {
     fn name(&self) -> &'static str {
-        if F::NAME == LlscFamily::NAME {
-            "Sharded wLSCQ (LL/SC)"
-        } else {
-            "Sharded wLSCQ"
+        match (F::NAME == LlscFamily::NAME, self.policy) {
+            (false, ShardPolicy::Adaptive) => "Sharded wLSCQ (adaptive)",
+            (true, ShardPolicy::Adaptive) => "Sharded wLSCQ (LL/SC, adaptive)",
+            (true, _) => "Sharded wLSCQ (LL/SC)",
+            (false, _) => "Sharded wLSCQ",
         }
     }
     fn try_handle(&self) -> Option<Box<dyn QueueHandle<T> + '_>> {
@@ -739,6 +873,131 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 30);
+    }
+
+    #[test]
+    fn least_loaded_p2c_avoids_a_heavily_preloaded_shard() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::LeastLoaded);
+        let mut h = q.handle();
+        // 100 values parked on shard 0 by hand.  Every two-choice sample
+        // that includes shard 0 pairs it with a strictly shorter shard (the
+        // others never exceed 200/3 < 100), so shard 0 must receive none of
+        // the 200 routed enqueues.
+        for i in 0..100 {
+            h.handles[0].enqueue(10_000 + i);
+        }
+        for i in 0..200 {
+            h.enqueue(i);
+        }
+        assert_eq!(
+            q.shards()[0].len_hint(),
+            100,
+            "two-choice sampling kept routing away from the loaded shard"
+        );
+        assert_eq!(q.len_hint(), 300);
+        // And nothing is stranded: one consumer recovers everything.
+        let mut seen = HashSet::new();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 300);
+    }
+
+    #[test]
+    fn adaptive_starts_on_a_single_shard() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::Adaptive);
+        let mut h = q.handle();
+        assert_eq!(h.active_shards(), 1);
+        // Below both the contention and backlog thresholds the prefix stays
+        // at one shard, i.e. the single-shard fast path: everything lands on
+        // shard 0 and per-producer FIFO is preserved end to end.
+        for i in 0..30 {
+            h.enqueue(i);
+        }
+        assert_eq!(h.active_shards(), 1);
+        assert_eq!(q.shards()[0].len_hint(), 30);
+        for i in 0..30 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn adaptive_widens_under_backlog_then_shrinks_when_drained() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::Adaptive);
+        let mut h = q.handle();
+        // An undrained producer builds backlog past GROW_BACKLOG per active
+        // shard; successive retunes must widen the prefix to the full set.
+        for i in 0..2_000u64 {
+            h.enqueue(i);
+        }
+        assert_eq!(h.active_shards(), 4, "backlog must widen the prefix");
+        // Drain everything; with an empty queue and an idle ring the next
+        // retunes must walk the prefix back down to one shard.
+        let mut seen = HashSet::new();
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 2_000, "widening and shrinking lose nothing");
+        for i in 0..200 {
+            h.enqueue(i);
+            assert!(h.dequeue().is_some());
+        }
+        assert_eq!(h.active_shards(), 1, "drained queue shrinks back");
+    }
+
+    #[test]
+    fn adaptive_shrink_strands_nothing_behind_the_prefix() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(4, 6, 2, ShardPolicy::Adaptive);
+        let mut h = q.handle();
+        // Force the prefix wide (once it covers the full set, routing goes
+        // home, so widening alone leaves the tail shards empty)...
+        for i in 0..1_000u64 {
+            h.enqueue(i);
+        }
+        assert_eq!(h.active_shards(), 4);
+        // ...and park values on *every* shard directly, so that when the
+        // prefix shrinks there is data sitting behind it.
+        for shard in 0..4u64 {
+            for j in 0..50 {
+                h.handles[shard as usize].enqueue(10_000 + shard * 50 + j);
+            }
+        }
+        // Drain with light interleaved traffic: the prefix shrinks while
+        // elements still sit on deactivated shards, and the full-set
+        // home-first dequeue scan must recover every value anyway.
+        let mut seen = HashSet::new();
+        let mut next = 20_000u64;
+        while let Some(v) = h.dequeue() {
+            assert!(seen.insert(v), "duplicated {v}");
+            if next < 20_400 {
+                h.enqueue(next);
+                next += 1;
+            }
+        }
+        assert_eq!(
+            seen.len() as u64,
+            1_000 + 200 + (next - 20_000),
+            "shrink must not strand elements"
+        );
+        assert_eq!(q.len_hint(), 0);
+        // A calm phase (retunes only run on routes, and the drain tail above
+        // is dequeue-only) walks the prefix back down.
+        for i in 0..200 {
+            h.enqueue(i);
+            assert!(h.dequeue().is_some());
+        }
+        assert_eq!(h.active_shards(), 1, "drained queue shrinks the prefix");
+    }
+
+    #[test]
+    fn adaptive_name_is_policy_aware() {
+        let q: ShardedWcq<u64> = ShardedWcq::new(2, 4, 1, ShardPolicy::Adaptive);
+        assert_eq!(WaitFreeQueue::<u64>::name(&q), "Sharded wLSCQ (adaptive)");
+        let q: ShardedWcq<u64, LlscFamily> = ShardedWcq::new(2, 4, 1, ShardPolicy::Adaptive);
+        assert_eq!(
+            WaitFreeQueue::<u64>::name(&q),
+            "Sharded wLSCQ (LL/SC, adaptive)"
+        );
     }
 
     #[test]

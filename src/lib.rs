@@ -111,6 +111,7 @@
 //! | hand-rolled closed-flag channel over `WcqQueue` | `…().backend(ChannelBackend::Bounded).build_channel()` |
 //! | `h.try_enqueue(v) == Err(v)` / `h.dequeue() == None` | `TrySendError::{Full, Closed}` / `TryRecvError::{Empty, Closed}` |
 //! | spin-wait for consumers (`Backoff` loops) | `build_async()` + `AsyncReceiver::recv().await` (park/wake) |
+//! | hand-tuned `patience(e, d)` per workload | `patience_mode(PatienceMode::Adaptive(AdaptivePatience::default()))` (self-tuning) |
 //!
 //! The per-crate constructors remain available inside `wcq-core` /
 //! `wcq-unbounded` for the algorithm-level tests, but application code —
@@ -131,6 +132,7 @@ pub use wcq_unbounded as unbounded;
 
 pub use async_channel::{AsyncReceiver, AsyncSender};
 pub use channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+pub use wcq_core::adaptive::{AdaptivePatience, PatienceMode};
 pub use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
 pub use wcq_core::metrics::{
     Counter, CounterSet, CountingInstrument, HistogramSnapshot, Instrument, LatencyHistogram,
@@ -329,6 +331,42 @@ impl<F: CellFamily, I: Instrument> QueueBuilder<F, I> {
         self
     }
 
+    /// Selects how patience is chosen at runtime:
+    /// [`PatienceMode::Fixed`]`(n)` pins both bounds to `n` (equivalent to
+    /// [`patience`](QueueBuilder::patience)`(n, n)`), while
+    /// [`PatienceMode::Adaptive`] installs a handle-local controller that
+    /// widens patience under CAS contention and shrinks it toward the
+    /// configured minimum when the fast path is succeeding — each handle
+    /// self-tunes from its own operation tallies, never from shared counters,
+    /// so the hot path stays coordination-free and wait-freedom is untouched
+    /// (patience is always clamped to the configured `[min, max]`).
+    ///
+    /// ```
+    /// use wcq::{AdaptivePatience, PatienceMode, QueueHandle, WaitFreeQueue};
+    ///
+    /// let q = wcq::builder()
+    ///     .capacity_order(6)
+    ///     .threads(4)
+    ///     .patience_mode(PatienceMode::Adaptive(AdaptivePatience::default()))
+    ///     .build_bounded::<u64>();
+    /// let mut h = q.handle();
+    /// h.enqueue(7);
+    /// assert_eq!(h.dequeue(), Some(7));
+    /// ```
+    pub fn patience_mode(mut self, mode: PatienceMode) -> Self {
+        match mode {
+            PatienceMode::Fixed(bound) => {
+                self.config.max_patience_enqueue = bound;
+                self.config.max_patience_dequeue = bound;
+                self.config.adaptive_patience = None;
+            }
+            PatienceMode::Adaptive(cfg) => {
+                self.config.adaptive_patience = Some(cfg);
+            }
+        }
+        self
+    }
+
     /// How many drained segments an unbounded queue keeps for reuse instead
     /// of freeing (ignored by [`build_bounded`](QueueBuilder::build_bounded)).
     pub fn segment_cache(mut self, segments: usize) -> Self {
@@ -348,9 +386,11 @@ impl<F: CellFamily, I: Instrument> QueueBuilder<F, I> {
 
     /// Enqueue-routing policy for
     /// [`build_sharded`](QueueBuilder::build_sharded): round-robin (default),
-    /// least-loaded or pinned.  Pinned keeps each producer's values on its
-    /// home shard, which is the only policy that preserves per-producer FIFO
-    /// order across the whole queue.
+    /// least-loaded (two-choice sampled), pinned or adaptive (a handle-local
+    /// active prefix that grows under contention and shrinks when load is
+    /// light).  Pinned keeps each producer's values on its home shard, which
+    /// is the only policy that preserves per-producer FIFO order across the
+    /// whole queue.
     pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
         self.shard_policy = policy;
         self
@@ -528,6 +568,7 @@ mod tests {
             max_patience_dequeue: 1,
             help_delay: 1,
             catchup_bound: 8,
+            ..WcqConfig::default()
         };
         let q = builder()
             .capacity_order(4)
@@ -590,6 +631,54 @@ mod tests {
             .build_sharded::<u64>();
         assert_eq!(q.shard_count(), 1);
         assert_eq!(q.policy(), ShardPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn builder_patience_mode_fixed_and_adaptive_reach_the_config() {
+        let q = builder()
+            .patience_mode(PatienceMode::Fixed(5))
+            .build_bounded::<u64>();
+        assert_eq!(q.config().max_patience_enqueue, 5);
+        assert_eq!(q.config().max_patience_dequeue, 5);
+        assert!(q.config().adaptive_patience.is_none());
+
+        let ap = AdaptivePatience {
+            min: 2,
+            max: 32,
+            sample_every: 16,
+        };
+        let q = builder()
+            .capacity_order(5)
+            .threads(2)
+            .patience_mode(PatienceMode::Adaptive(ap))
+            .build_bounded::<u64>();
+        assert_eq!(q.config().adaptive_patience, Some(ap));
+        let mut h = q.handle();
+        for i in 0..200 {
+            h.enqueue(i);
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn builder_builds_adaptive_sharded() {
+        let q = builder()
+            .capacity_order(4)
+            .threads(2)
+            .shards(4)
+            .shard_policy(ShardPolicy::Adaptive)
+            .patience_mode(PatienceMode::Adaptive(AdaptivePatience::default()))
+            .build_sharded::<u64>();
+        assert_eq!(WaitFreeQueue::<u64>::name(&q), "Sharded wLSCQ (adaptive)");
+        let mut h = q.handle();
+        for i in 0..500 {
+            h.enqueue(i);
+        }
+        let mut got = 0;
+        while h.dequeue().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 500);
     }
 
     #[test]

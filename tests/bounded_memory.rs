@@ -29,6 +29,7 @@ fn forced_slow_path() -> WcqConfig {
         max_patience_dequeue: 1,
         help_delay: 1,
         catchup_bound: 8,
+        ..WcqConfig::default()
     }
 }
 

@@ -18,15 +18,39 @@ const CORPUS: &[(u64, Target, u64, u32, &str)] = &[
     // ticket as "already inserted" and lost the element (missing
     // `Index != ⊥` guard on try_enq_slow's cycle-match branch).  Three
     // targets caught the same bug independently.
-    (3, Target::Bounded, 0x7, 4, "slow-path enqueue lost element on burned ticket"),
-    (5, Target::BoundedLlsc, 0x7, 4, "slow-path enqueue lost element (LL/SC model)"),
-    (3, Target::Unbounded, 0x7, 4, "slow-path enqueue lost element (segmented queue)"),
+    (
+        3,
+        Target::Bounded,
+        0x7,
+        4,
+        "slow-path enqueue lost element on burned ticket",
+    ),
+    (
+        5,
+        Target::BoundedLlsc,
+        0x7,
+        4,
+        "slow-path enqueue lost element (LL/SC model)",
+    ),
+    (
+        3,
+        Target::Unbounded,
+        0x7,
+        4,
+        "slow-path enqueue lost element (segmented queue)",
+    ),
     // Register-allocation hazard in the cmpxchg16b inline asm: LLVM could
     // place the pointer operand in rbx, which the rbx save/restore xchg
     // clobbers — a null-write segfault in release builds only.  The checker
     // surfaced it by generating enough register pressure; the operands are
     // now pinned (rdi / r8b).
-    (2, Target::Bounded, 0x3C6E_F372_FE94_F82C, 1, "cmpxchg16b asm operand clobbered by rbx save/restore"),
+    (
+        2,
+        Target::Bounded,
+        0x3C6E_F372_FE94_F82C,
+        1,
+        "cmpxchg16b asm operand clobbered by rbx save/restore",
+    ),
     // `try_deq_slow` reported a slow dequeue request finished when its FIN
     // CAS *failed* because `slow_faa` had moved the request to a later
     // ticket.  The owner then exited `dequeue_slow`, gathered a stale
@@ -35,16 +59,59 @@ const CORPUS: &[(u64, Target, u64, u32, &str)] = &[
     // stranding that element forever (19/20 consumed, one value wedged in
     // the ring at an old cycle).  A failed FIN CAS with no FIN bit visible
     // now returns "keep helping".
-    (2, Target::BoundedLlsc, 0x3C6E_F372_FE94_F836, 4, "owner abandoned live dequeue request on failed FIN CAS"),
-    (2, Target::BoundedLlsc, 0x3C6E_F372_FE94_F83E, 16, "owner abandoned live dequeue request (secondary schedule)"),
-    (1, Target::Channel, 0x9E37_79B9_7F4A_7C1B, 16, "stranded element surfaced as channel recv livelock"),
-    (4, Target::Channel, 0x78DD_E6E5_FD29_F06F, 4, "stranded element surfaced as channel recv livelock (2 producers)"),
+    (
+        2,
+        Target::BoundedLlsc,
+        0x3C6E_F372_FE94_F836,
+        4,
+        "owner abandoned live dequeue request on failed FIN CAS",
+    ),
+    (
+        2,
+        Target::BoundedLlsc,
+        0x3C6E_F372_FE94_F83E,
+        16,
+        "owner abandoned live dequeue request (secondary schedule)",
+    ),
+    (
+        1,
+        Target::Channel,
+        0x9E37_79B9_7F4A_7C1B,
+        16,
+        "stranded element surfaced as channel recv livelock",
+    ),
+    (
+        4,
+        Target::Channel,
+        0x78DD_E6E5_FD29_F06F,
+        4,
+        "stranded element surfaced as channel recv livelock (2 producers)",
+    ),
     // `Backoff::snooze_or_yield` was not a checkpoint: the segmented queue's
     // dequeue spin-waits on a peer's in-flight enqueue credit, and under the
     // token scheduler the waiter span forever without ever yielding — a hang
     // the step bound could not even see.  The backoff now passes through the
     // checkpoint seam.
-    (6, Target::Unbounded, 0xB54C_DA58_FBBE_E880, 16, "uninstrumented backoff spin-wait hung the token scheduler"),
+    (
+        6,
+        Target::Unbounded,
+        0xB54C_DA58_FBBE_E880,
+        16,
+        "uninstrumented backoff spin-wait hung the token scheduler",
+    ),
+    // Pins the adaptive shard router's shrink-vs-drain guarantee rather than
+    // a fixed bug: the run forces the active prefix from two shards back to
+    // one while consumers are mid-drain, and the oracle proves the full-set
+    // dequeue scan recovers every element left behind the prefix under this
+    // exact interleaving.  If routing ever consults the active prefix on the
+    // dequeue side, this replay is the first to lose elements.
+    (
+        3,
+        Target::ShardedAdaptive,
+        0xDAA6_6D2C_7DDF_7443,
+        16,
+        "shard-set shrink racing a dequeue drain must lose nothing",
+    ),
 ];
 
 #[test]

@@ -75,9 +75,9 @@ fn facade_handles_are_raii_for_every_registration_limited_kind() {
 }
 
 #[test]
-fn all_thirteen_kinds_hand_out_working_trait_handles() {
+fn all_fourteen_kinds_hand_out_working_trait_handles() {
     let kinds = QueueKind::all();
-    assert_eq!(kinds.len(), 13);
+    assert_eq!(kinds.len(), 14);
     for kind in kinds {
         let q = make_queue(kind, 2, 8);
         let mut h = q.handle();

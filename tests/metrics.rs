@@ -19,7 +19,9 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Mutex;
 
-use wcq::{ChannelBackend, Counter, CountingInstrument, MetricsSnapshot, WcqConfig};
+use wcq::{
+    AdaptivePatience, ChannelBackend, Counter, CountingInstrument, MetricsSnapshot, WcqConfig,
+};
 use wcq_harness::{block_on_instrumented, make_counting_queue, QueueKind};
 
 /// The queue kinds `make_counting_queue` can instrument — the whole wCQ
@@ -31,6 +33,7 @@ const COUNTING_KINDS: &[QueueKind] = &[
     QueueKind::WcqUnboundedLlsc,
     QueueKind::WcqSharded,
     QueueKind::WcqShardedLlsc,
+    QueueKind::WcqShardedAdaptive,
 ];
 
 const PRODUCERS: usize = 2;
@@ -46,15 +49,25 @@ fn forced_slow() -> WcqConfig {
         max_patience_dequeue: 1,
         help_delay: 1,
         catchup_bound: 8,
+        ..WcqConfig::default()
     }
 }
+
+/// The LL/SC spurious-failure rate is process-global (it models the
+/// hardware), so the tests that set it serialize behind this lock.
+static LLSC_RATE_LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs a produce/consume pipeline to a *verified* full drain (no loss, no
 /// duplication) and returns the instrument's snapshot.  Worker handles drop
 /// inside the scope, so their handle-local op tallies are flushed before the
 /// snapshot is taken.
 fn verified_drain(kind: QueueKind) -> MetricsSnapshot {
-    let (queue, instr) = make_counting_queue(kind, PRODUCERS + CONSUMERS, 7, Some(forced_slow()))
+    verified_drain_with(kind, forced_slow())
+}
+
+/// [`verified_drain`] with an explicit wait-freedom configuration.
+fn verified_drain_with(kind: QueueKind, config: WcqConfig) -> MetricsSnapshot {
+    let (queue, instr) = make_counting_queue(kind, PRODUCERS + CONSUMERS, 7, Some(config))
         .unwrap_or_else(|| panic!("{kind:?} must support counting construction"));
     let producers_done = AtomicUsize::new(0);
     let consumed = AtomicU64::new(0);
@@ -153,6 +166,9 @@ fn llsc_spurious_injection_shows_up_in_contention_telemetry() {
     // one contention source a single-core box produces deterministically:
     // at a 20% failure rate over thousands of ops, both the process-global
     // spurious tally and the per-queue CAS-failure counter must move.
+    let _rate = LLSC_RATE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     wcq_atomics::llsc::set_spurious_failure_rate(0.2);
     let snap = verified_drain(QueueKind::WcqLlsc);
     wcq_atomics::llsc::set_spurious_failure_rate(0.0);
@@ -185,6 +201,66 @@ fn sharded_kinds_report_routing() {
     assert!(
         snap.get(Counter::ShardRoutes) > 0,
         "no shard routes recorded"
+    );
+}
+
+#[test]
+fn adaptive_patience_raises_show_up_in_telemetry() {
+    // Spurious store-conditional failures surface as in-slot CAS retries,
+    // which the ring reports to the adaptive controller as extra fast-path
+    // attempts.  At a 50% rate every CAS burns one expected retry, so the
+    // EWMA converges toward `EWMA_ONE` — past `RAISE_LEVEL` within a few
+    // sampling windows, deterministically.
+    let _rate = LLSC_RATE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    wcq_atomics::llsc::set_spurious_failure_rate(0.5);
+    let cfg = WcqConfig {
+        adaptive_patience: Some(AdaptivePatience {
+            min: 1,
+            max: 256,
+            sample_every: 16,
+        }),
+        ..WcqConfig::default()
+    };
+    let snap = verified_drain_with(QueueKind::WcqLlsc, cfg);
+    wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+    assert!(
+        snap.get(Counter::PatienceRaised) >= 1,
+        "spurious-failure exhaustion under adaptive patience must record a raise"
+    );
+    // The structural invariant the counter-balance test checks holds under
+    // the adaptive controller too.
+    let exhausted =
+        snap.get(Counter::PatienceExhaustedEnqueues) + snap.get(Counter::PatienceExhaustedDequeues);
+    assert_eq!(snap.fast_ring_ops() + exhausted, snap.total_ring_ops());
+}
+
+#[test]
+fn adaptive_shard_set_transitions_show_up_in_telemetry() {
+    let (queue, instr) = make_counting_queue(QueueKind::WcqShardedAdaptive, 1, 6, None)
+        .expect("adaptive sharded counts");
+    {
+        let mut h = queue.handle();
+        // Undrained backlog widens the active prefix (grown events)...
+        for i in 0..3_000u64 {
+            h.enqueue(i);
+        }
+        // ...then a drain plus calm traffic walks it back down (shrunk).
+        while h.dequeue().is_some() {}
+        for i in 0..300 {
+            h.enqueue(i);
+            assert!(h.dequeue().is_some());
+        }
+    }
+    let snap = instr.snapshot();
+    assert!(
+        snap.get(Counter::ShardSetGrown) >= 1,
+        "backlog must grow the active shard set"
+    );
+    assert!(
+        snap.get(Counter::ShardSetShrunk) >= 1,
+        "a drained queue must shrink the active shard set"
     );
 }
 

@@ -170,6 +170,21 @@ fn stress_oracle_holds_for_sharded_kinds_under_forced_growth() {
 }
 
 #[test]
+fn stress_oracle_holds_for_adaptive_routing_under_forced_growth() {
+    // The adaptive kind runs unpinned by construction (the active-prefix
+    // router deliberately spreads producers), so the oracle checks
+    // loss/duplication/invention while the prefix grows and shrinks across
+    // tiny 16-slot segments.
+    let mut plan = StressPlan::from_seed(QueueKind::WcqShardedAdaptive, 0x5AAD_ED03);
+    plan.ring_order = 4;
+    assert!(
+        !plan.pin_producers,
+        "adaptive plans are unpinned by construction"
+    );
+    plan.assert_holds();
+}
+
+#[test]
 fn stress_oracle_relaxed_variant_spreads_producers() {
     // The unpinned plan variant: round-robin routing spreads each producer
     // across shards; loss/duplication/invention still hold (FIFO is

@@ -21,6 +21,7 @@ fn paranoid_config() -> WcqConfig {
         max_patience_dequeue: 1,
         help_delay: 1,
         catchup_bound: 4,
+        ..WcqConfig::default()
     }
 }
 
@@ -131,7 +132,10 @@ fn many_registered_threads_round_robin_helping() {
             });
         }
     });
-    assert_eq!(total.load(Ordering::Relaxed), THREADS as u64 * (1_500 / SHRINK));
+    assert_eq!(
+        total.load(Ordering::Relaxed),
+        THREADS as u64 * (1_500 / SHRINK)
+    );
 }
 
 #[test]
