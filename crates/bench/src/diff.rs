@@ -498,6 +498,66 @@ mod tests {
     }
 
     #[test]
+    fn scenario_latency_artifact_shape_round_trips_and_regresses_upward() {
+        // The BENCH_scenario_latency.json shape: one "ns" table whose series
+        // are "{pattern}/{backend} {stage} {percentile}" rows — steady and
+        // bursty arrivals, two backends, queue-wait and e2e stages — keyed by
+        // worker count.  Exactly what bench_scenario emits.
+        let mut t = FigureTable::new(
+            "Open-loop scenario latency from intended start: steady vs bursty arrivals",
+            "ns",
+        );
+        for pattern in ["steady", "bursty"] {
+            for backend in ["wLSCQ", "Sharded wLSCQ x4"] {
+                for stage in ["queue-wait", "e2e"] {
+                    for (p, v) in [
+                        ("p50", 800.0),
+                        ("p90", 2_000.0),
+                        ("p99", 9_000.0),
+                        ("p999", 40_000.0),
+                    ] {
+                        t.record(&format!("{pattern}/{backend} {stage} {p}"), 4, v);
+                    }
+                }
+            }
+        }
+        let json = format!("[\n{}\n]\n", t.render_json().trim_end());
+        let parsed = parse_bench_json(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let table = &parsed[0];
+        assert_eq!(table.unit, "ns");
+        assert!(
+            !table.higher_is_better(),
+            "latency percentiles regress upward"
+        );
+        assert_eq!(table.series.len(), 32, "{:?}", table.series.keys());
+        assert_eq!(
+            table.series["bursty/Sharded wLSCQ x4 e2e p999"][&4],
+            40_000.0
+        );
+
+        // A grown p99 tail is a regression pinned to that exact row; a
+        // shrunken one is an improvement and stays silent.
+        let mut slower = parsed.clone();
+        slower[0]
+            .series
+            .get_mut("bursty/wLSCQ queue-wait p99")
+            .unwrap()
+            .insert(4, 12_000.0);
+        let regs = compare(&parsed, &slower, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].series, "bursty/wLSCQ queue-wait p99");
+        assert!(regs[0].change < -0.10, "signed so negative is worse");
+        let mut faster = parsed.clone();
+        faster[0]
+            .series
+            .get_mut("bursty/wLSCQ queue-wait p99")
+            .unwrap()
+            .insert(4, 2_000.0);
+        assert!(compare(&parsed, &faster, 0.10).is_empty());
+    }
+
+    #[test]
     fn worst_regression_sorts_first() {
         let base = [table("t", "Mops/s", &[("a", 1, 10.0), ("b", 1, 10.0)])];
         let cur = [table("t", "Mops/s", &[("a", 1, 8.0), ("b", 1, 2.0)])];

@@ -185,7 +185,29 @@ impl PatienceController {
     /// adjustment when the bound actually moved.
     #[inline]
     pub fn observe(&mut self, extra_attempts: u32, exhausted: bool) -> Option<Adjustment> {
-        self.ops += 1;
+        self.observe_batch(1, extra_attempts, exhausted)
+    }
+
+    /// Records `ops` completed ring operations at once — the batch entry
+    /// points reserve a run of tickets with a single F&A, so the whole run is
+    /// one observation: `extra_attempts` is the run's pooled retry tally and
+    /// `exhausted` reports whether the run's fallback entered the slow path.
+    ///
+    /// Folding the run in one call keeps the decision sequence a pure
+    /// function of the observation sequence (the window may overshoot
+    /// `sample_every` by at most one run; the average divides by the true op
+    /// count, so a long run cannot skew the EWMA).  `ops == 0` is a no-op.
+    #[inline]
+    pub fn observe_batch(
+        &mut self,
+        ops: u32,
+        extra_attempts: u32,
+        exhausted: bool,
+    ) -> Option<Adjustment> {
+        if ops == 0 {
+            return None;
+        }
+        self.ops = self.ops.saturating_add(ops);
         self.extra += u64::from(extra_attempts);
         self.exhausted += u32::from(exhausted);
         if self.ops < self.cfg.sample_every {
@@ -277,6 +299,36 @@ impl PatienceCell {
     pub fn observe_dequeue(&self, extra_attempts: u32, exhausted: bool) -> Option<Adjustment> {
         let mut c = self.deq.get();
         let adj = c.observe(extra_attempts, exhausted);
+        self.deq.set(c);
+        adj
+    }
+
+    /// Reports a batch-reserved run of `ops` ring enqueues (pooled retry
+    /// tally) to the enqueue-side controller.
+    #[inline]
+    pub fn observe_enqueue_batch(
+        &self,
+        ops: u32,
+        extra_attempts: u32,
+        exhausted: bool,
+    ) -> Option<Adjustment> {
+        let mut c = self.enq.get();
+        let adj = c.observe_batch(ops, extra_attempts, exhausted);
+        self.enq.set(c);
+        adj
+    }
+
+    /// Reports a batch-reserved run of `ops` ring dequeues (pooled retry
+    /// tally) to the dequeue-side controller.
+    #[inline]
+    pub fn observe_dequeue_batch(
+        &self,
+        ops: u32,
+        extra_attempts: u32,
+        exhausted: bool,
+    ) -> Option<Adjustment> {
+        let mut c = self.deq.get();
+        let adj = c.observe_batch(ops, extra_attempts, exhausted);
         self.deq.set(c);
         adj
     }
@@ -481,6 +533,85 @@ mod tests {
         }
         assert!(busy.spin_cap() <= quiet.spin_cap());
         assert!(busy.spin_cap() < wcq_atomics::Backoff::MAX_SHIFT);
+    }
+
+    #[test]
+    fn batch_observation_matches_singles_with_the_same_totals() {
+        let cfg = AdaptivePatience {
+            min: 1,
+            max: 32,
+            sample_every: 8,
+        };
+        let mut singles = PatienceController::new(cfg);
+        let mut batched = PatienceController::new(cfg);
+        // A window delivered as 8 single ops of 1 extra attempt vs one run of
+        // 8 ops pooling 8 extra attempts: same totals, same decision, same
+        // EWMA afterwards.
+        let mut last = None;
+        for _ in 0..8 {
+            last = singles.observe(1, false);
+        }
+        let batch = batched.observe_batch(8, 8, false);
+        assert_eq!(batch, last);
+        assert_eq!(batched.ewma(), singles.ewma());
+        assert_eq!(batched.patience(), singles.patience());
+    }
+
+    #[test]
+    fn oversized_batch_decides_once_and_divides_by_true_ops() {
+        let cfg = AdaptivePatience {
+            min: 1,
+            max: 32,
+            sample_every: 4,
+        };
+        let mut c = PatienceController::new(cfg);
+        // One run of 16 ops with 32 pooled extras overshoots the 4-op window
+        // but folds as avg = 32*256/16 = 512 — the per-op rate, not the
+        // pooled total — so the EWMA lands exactly at RAISE_LEVEL.
+        assert_eq!(c.observe_batch(16, 32, false), Some(Adjustment::Raised));
+        assert_eq!(c.ewma(), 512 / 4);
+        assert_eq!(c.patience(), 2);
+        // The window reset: the overshoot does not leak into the next one.
+        assert_eq!(c.observe(0, false), None);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let cfg = AdaptivePatience {
+            min: 1,
+            max: 32,
+            sample_every: 1,
+        };
+        let mut c = PatienceController::new(cfg);
+        // sample_every = 1 means any real op decides immediately; ops == 0
+        // must not (there is nothing to average over).
+        assert_eq!(c.observe_batch(0, 0, false), None);
+        assert_eq!(c.ewma(), 0);
+        assert_eq!(c.observe_batch(0, 5, true), None, "tallies need an op");
+        assert_eq!(c.ewma(), 0);
+    }
+
+    #[test]
+    fn cell_batch_wrappers_route_directions_independently() {
+        let cell = PatienceCell::from_config(&WcqConfig {
+            adaptive_patience: Some(AdaptivePatience {
+                min: 1,
+                max: 32,
+                sample_every: 4,
+            }),
+            ..WcqConfig::default()
+        });
+        assert_eq!(
+            cell.observe_enqueue_batch(4, 8, false),
+            Some(Adjustment::Raised)
+        );
+        assert!(cell.enqueue_patience() > 1);
+        assert_eq!(cell.dequeue_patience(), 1);
+        assert_eq!(
+            cell.observe_dequeue_batch(4, 8, false),
+            Some(Adjustment::Raised)
+        );
+        assert!(cell.dequeue_patience() > 1);
     }
 
     #[test]

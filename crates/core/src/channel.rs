@@ -142,6 +142,88 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error of a deadline-bounded receive (`Receiver::recv_timeout` and the
+/// multi-channel `select::recv_any_timeout`).
+///
+/// `Timeout` is the retryable outcome: the deadline passed while the channel
+/// stayed empty, and crucially *no element was consumed* — a timed-out
+/// receive never dequeues and drops a value, so the exact-drain close
+/// guarantee is unaffected by however many timeouts raced the traffic.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no value available.  Senders may still
+    /// exist; a later receive can succeed.
+    Timeout,
+    /// The channel is closed *and* fully drained; no receive will ever
+    /// succeed again.  Pending pre-close values are always handed out before
+    /// this is reported, deadline or not.
+    Closed,
+}
+
+impl RecvTimeoutError {
+    /// `true` when the channel is closed and drained (retrying is pointless).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, RecvTimeoutError::Closed)
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fmt_display_as!(
+        RecvTimeoutError::Timeout => "receive timed out on an empty channel",
+        RecvTimeoutError::Closed => "receiving on a closed and drained channel"
+    );
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error of a deadline-bounded send (`Sender::send_timeout`).
+///
+/// Both variants hand the value back, like [`TrySendError`]: a timed-out
+/// send has *not* enqueued the value (there is no "accepted but also
+/// returned" state), so the caller may retry, reroute or drop it without any
+/// risk of duplication.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum SendTimeoutError<T> {
+    /// The deadline passed while the bounded queue stayed full.
+    Timeout(T),
+    /// The channel was closed; no send will ever succeed again.
+    Closed(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Consumes the error and hands back the value that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Closed(v) => v,
+        }
+    }
+
+    /// `true` when the send failed because the channel is closed (retrying is
+    /// pointless), `false` when the deadline merely expired.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, SendTimeoutError::Closed(_))
+    }
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The value may not be Debug; the variant is the information.
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+            SendTimeoutError::Closed(_) => f.write_str("Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fmt_display_as!(
+        SendTimeoutError::Timeout(_) => "send timed out on a full channel",
+        SendTimeoutError::Closed(_) => "sending on a closed channel"
+    );
+}
+
+impl<T> std::error::Error for SendTimeoutError<T> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +233,29 @@ mod tests {
         assert_eq!(TrySendError::Full(7).into_inner(), 7);
         assert_eq!(TrySendError::Closed("x").into_inner(), "x");
         assert_eq!(SendError(vec![1, 2]).into_inner(), vec![1, 2]);
+        assert_eq!(SendTimeoutError::Timeout(7).into_inner(), 7);
+        assert_eq!(SendTimeoutError::Closed("x").into_inner(), "x");
+    }
+
+    #[test]
+    fn timeout_errors_distinguish_retryable_from_terminal() {
+        assert!(!RecvTimeoutError::Timeout.is_closed());
+        assert!(RecvTimeoutError::Closed.is_closed());
+        assert!(!SendTimeoutError::Timeout(0).is_closed());
+        assert!(SendTimeoutError::Closed(0).is_closed());
+        struct NotDebug;
+        assert_eq!(
+            RecvTimeoutError::Timeout.to_string(),
+            "receive timed out on an empty channel"
+        );
+        assert_eq!(
+            SendTimeoutError::Timeout(NotDebug).to_string(),
+            "send timed out on a full channel"
+        );
+        assert_eq!(
+            format!("{:?}", SendTimeoutError::Timeout(NotDebug)),
+            "Timeout(..)"
+        );
     }
 
     #[test]

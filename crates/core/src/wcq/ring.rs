@@ -910,25 +910,31 @@ impl<F: CellFamily> WcqRing<F> {
         }
         let base = self.tail.fetch_add_cnt_n(indices.len() as u64);
         let mut on_ticket = 0;
-        // Batch tickets feed `pace` only through the fallback below (an
-        // on-ticket element is one clean attempt); the in-slot retry tally is
-        // dropped here to keep the batch loop observation-free.
-        let mut spin = 0;
+        // The whole run is one pooled observation: `spin` tallies the in-slot
+        // retries across every batch ticket, and each abandoned ticket is
+        // exactly one failed fast-path attempt.
+        let mut spin: u32 = 0;
+        let mut abandoned: u32 = 0;
         for (k, &index) in indices.iter().enumerate() {
             debug_assert!(index < self.layout.capacity());
             if self.try_enq_at(base + k as u64, index, &mut spin).is_ok() {
                 on_ticket += 1;
             } else {
+                abandoned += 1;
                 // The fallback records its own RingEnqueues (and any further
                 // helping entry), so only the on-ticket elements are counted
-                // below — no double counting.  It also feeds `pace`: an
-                // abandoned batch ticket is exactly a failed fast-path
-                // attempt, so batch-heavy workloads still drive the
-                // controller.
+                // below — no double counting.  It also feeds `pace` with its
+                // own attempts; the abandoned ticket itself is pooled into
+                // the batch observation instead.
                 self.enqueue_index(tid, index, pace);
             }
         }
         self.count(Counter::RingEnqueues, on_ticket as u64);
+        self.note_pace(pace.observe_enqueue_batch(
+            on_ticket as u32,
+            spin.saturating_add(abandoned),
+            false,
+        ));
         on_ticket
     }
 
@@ -971,8 +977,9 @@ impl<F: CellFamily> WcqRing<F> {
         let mut got = 0;
         if run > 0 {
             let base = self.head.fetch_add_cnt_n(run);
-            // As in `enqueue_many`: the retry tally is not observed here.
-            let mut spin = 0;
+            // As in `enqueue_many`, the run is one pooled observation: the
+            // in-slot retry tally plus one failed attempt per missed ticket.
+            let mut spin: u32 = 0;
             for k in 0..run {
                 match self.try_deq_at(tid, base + k, &mut spin) {
                     FastDeq::Got(index) => {
@@ -982,6 +989,12 @@ impl<F: CellFamily> WcqRing<F> {
                     FastDeq::Empty | FastDeq::Retry(_) => {}
                 }
             }
+            let misses = u32::try_from(run - got as u64).unwrap_or(u32::MAX);
+            self.note_pace(pace.observe_dequeue_batch(
+                u32::try_from(run).unwrap_or(u32::MAX),
+                spin.saturating_add(misses),
+                false,
+            ));
         }
         if got == 0 {
             // Two ways to get here: the tail counter lags a slow-path

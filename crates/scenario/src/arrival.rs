@@ -1,0 +1,248 @@
+//! Seeded open-loop arrival schedules.
+//!
+//! A closed-loop benchmark sends the next request only after the previous
+//! one completes, which silently stretches the arrival process whenever the
+//! system stalls — the *coordinated omission* trap: the worst latencies are
+//! exactly the ones that never get measured.  An **open-loop** generator
+//! fixes the arrival times in advance, independent of how the system is
+//! coping, and measures every request from its *intended* start.
+//!
+//! [`ArrivalProcess`] materializes such a schedule: a vector of intended
+//! start offsets (nanoseconds from the scenario epoch), drawn
+//! deterministically from a [`DetRng`] so the same seed reproduces the same
+//! schedule byte for byte.  Three [`ArrivalPattern`]s cover the shapes the
+//! evaluation needs:
+//!
+//! * [`Steady`](ArrivalPattern::Steady) — a Poisson process at a fixed rate
+//!   (exponential inter-arrivals), the baseline load.
+//! * [`Bursty`](ArrivalPattern::Bursty) — an on-off modulated Poisson
+//!   process: `on_ns` of arrivals at the burst rate, then `off_ns` of
+//!   silence, repeated.  This is the tail-latency stressor: each burst
+//!   front-loads a backlog the pipeline must absorb.
+//! * [`Ramp`](ArrivalPattern::Ramp) — the rate climbs linearly from
+//!   `from_per_sec` to `to_per_sec` over `over_ns`, then holds; the overload
+//!   transition shape.
+//!
+//! Virtual time never consults the wall clock: the schedule is a pure
+//! function of `(pattern, seed, count)`.
+
+use wcq_harness::DetRng;
+
+/// Nanoseconds per second, as the f64 the rate arithmetic runs in.
+const NANOS_PER_SEC: f64 = 1_000_000_000.0;
+
+/// The shape of an open-loop arrival schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Poisson arrivals at a fixed rate (requests per second).
+    Steady {
+        /// Mean arrival rate in requests per second.
+        rate_per_sec: f64,
+    },
+    /// On-off modulated Poisson arrivals: bursts of `on_ns` at
+    /// `burst_per_sec`, separated by `off_ns` of silence.
+    Bursty {
+        /// Arrival rate *inside* a burst, in requests per second.
+        burst_per_sec: f64,
+        /// Burst duration in nanoseconds.
+        on_ns: u64,
+        /// Silence duration between bursts in nanoseconds.
+        off_ns: u64,
+    },
+    /// Rate climbs linearly from `from_per_sec` to `to_per_sec` over
+    /// `over_ns` of virtual time, then holds at `to_per_sec`.
+    Ramp {
+        /// Starting rate in requests per second.
+        from_per_sec: f64,
+        /// Final rate in requests per second.
+        to_per_sec: f64,
+        /// Virtual-time length of the climb, in nanoseconds.
+        over_ns: u64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The instantaneous arrival rate (requests per second) at virtual time
+    /// `at_ns`, ignoring the on-off gate (the gate is applied separately so
+    /// bursty silence is an exact jump, not a thinned rate).
+    fn rate_at(&self, at_ns: u64) -> f64 {
+        match *self {
+            ArrivalPattern::Steady { rate_per_sec } => rate_per_sec,
+            ArrivalPattern::Bursty { burst_per_sec, .. } => burst_per_sec,
+            ArrivalPattern::Ramp {
+                from_per_sec,
+                to_per_sec,
+                over_ns,
+            } => {
+                if over_ns == 0 || at_ns >= over_ns {
+                    to_per_sec
+                } else {
+                    let t = at_ns as f64 / over_ns as f64;
+                    from_per_sec + (to_per_sec - from_per_sec) * t
+                }
+            }
+        }
+    }
+}
+
+/// A seeded open-loop arrival process: draws intended-start schedules.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    pattern: ArrivalPattern,
+    rng: DetRng,
+}
+
+impl ArrivalProcess {
+    /// Creates a process drawing from `pattern` with the given seed.
+    pub fn new(pattern: ArrivalPattern, seed: u64) -> Self {
+        Self {
+            pattern,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Materializes the next `count` intended-start offsets, in nanoseconds
+    /// from the scenario epoch.  The sequence is nondecreasing, and a pure
+    /// function of `(pattern, seed, count)` — same inputs, byte-identical
+    /// schedule.
+    pub fn schedule(&mut self, count: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(count);
+        let mut now_ns = 0u64;
+        for _ in 0..count {
+            let rate = self.pattern.rate_at(now_ns).max(1e-9);
+            // Exponential inter-arrival: -ln(U)/rate with U in (0, 1].
+            let u = ((self.rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+            let gap_ns = (-u.ln() / rate * NANOS_PER_SEC).min(u64::MAX as f64 / 2.0) as u64;
+            now_ns = now_ns.saturating_add(gap_ns);
+            if let ArrivalPattern::Bursty { on_ns, off_ns, .. } = self.pattern {
+                now_ns = skip_off_phase(now_ns, on_ns, off_ns);
+            }
+            out.push(now_ns);
+        }
+        out
+    }
+
+    /// Splits one schedule of `count` arrivals round-robin across `lanes`
+    /// frontends: lane `i` gets arrivals `i, i + lanes, i + 2·lanes, …`, so
+    /// the union of all lanes is exactly the single-process schedule and
+    /// each lane's sequence stays nondecreasing.
+    pub fn schedule_per_lane(&mut self, count: usize, lanes: usize) -> Vec<Vec<u64>> {
+        let all = self.schedule(count);
+        let lanes = lanes.max(1);
+        let mut per = vec![Vec::with_capacity(count / lanes + 1); lanes];
+        for (i, t) in all.into_iter().enumerate() {
+            per[i % lanes].push(t);
+        }
+        per
+    }
+}
+
+/// Maps a virtual timestamp into the on-phase of an on-off cycle: a stamp
+/// landing in the off-phase jumps to the start of the next burst.
+fn skip_off_phase(at_ns: u64, on_ns: u64, off_ns: u64) -> u64 {
+    let cycle = on_ns.saturating_add(off_ns);
+    if cycle == 0 || off_ns == 0 {
+        return at_ns;
+    }
+    let phase = at_ns % cycle;
+    if phase < on_ns {
+        at_ns
+    } else {
+        // Jump to the next cycle boundary (the next burst's first instant).
+        at_ns - phase + cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STEADY: ArrivalPattern = ArrivalPattern::Steady {
+        rate_per_sec: 100_000.0,
+    };
+    const BURSTY: ArrivalPattern = ArrivalPattern::Bursty {
+        burst_per_sec: 1_000_000.0,
+        on_ns: 1_000_000,
+        off_ns: 4_000_000,
+    };
+    const RAMP: ArrivalPattern = ArrivalPattern::Ramp {
+        from_per_sec: 10_000.0,
+        to_per_sec: 1_000_000.0,
+        over_ns: 100_000_000,
+    };
+
+    #[test]
+    fn same_seed_same_schedule_byte_for_byte() {
+        for pattern in [STEADY, BURSTY, RAMP] {
+            let a = ArrivalProcess::new(pattern, 42).schedule(5_000);
+            let b = ArrivalProcess::new(pattern, 42).schedule(5_000);
+            assert_eq!(a, b, "{pattern:?} must replay exactly");
+            let c = ArrivalProcess::new(pattern, 43).schedule(5_000);
+            assert_ne!(a, c, "{pattern:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn schedules_are_nondecreasing() {
+        for pattern in [STEADY, BURSTY, RAMP] {
+            let s = ArrivalProcess::new(pattern, 7).schedule(10_000);
+            assert!(
+                s.windows(2).all(|w| w[0] <= w[1]),
+                "{pattern:?} produced a time-travelling schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_rate_is_roughly_calibrated() {
+        // 100k/s over 10k arrivals ⇒ ~100ms of virtual time; the sample mean
+        // of an exponential at n = 10⁴ sits well within ±10%.
+        let s = ArrivalProcess::new(STEADY, 11).schedule(10_000);
+        let span = *s.last().unwrap() as f64 / NANOS_PER_SEC;
+        assert!(
+            (0.08..0.12).contains(&span),
+            "span {span}s for 10k @ 100k/s"
+        );
+    }
+
+    #[test]
+    fn bursty_stamps_never_land_in_the_off_phase() {
+        let s = ArrivalProcess::new(BURSTY, 13).schedule(10_000);
+        let cycle = 5_000_000u64;
+        assert!(
+            s.iter().all(|t| t % cycle < 1_000_000),
+            "an arrival landed in the silent phase"
+        );
+        // And the schedule actually spans several cycles, so the gaps are
+        // exercised rather than vacuously satisfied.
+        assert!(*s.last().unwrap() > 3 * cycle);
+    }
+
+    #[test]
+    fn ramp_accelerates() {
+        let s = ArrivalProcess::new(RAMP, 17).schedule(20_000);
+        // Mean gap over the first tenth vs the last tenth: the ramp must
+        // make late arrivals denser.
+        let early = s[2_000] - s[0];
+        let late = s[19_999] - s[18_000];
+        assert!(
+            late < early / 4,
+            "late gaps ({late} ns/2k) should be far denser than early ({early} ns/2k)"
+        );
+    }
+
+    #[test]
+    fn per_lane_split_preserves_the_union_and_order() {
+        let whole = ArrivalProcess::new(STEADY, 23).schedule(999);
+        let lanes = ArrivalProcess::new(STEADY, 23).schedule_per_lane(999, 4);
+        assert_eq!(lanes.len(), 4);
+        let mut union: Vec<u64> = lanes.iter().flatten().copied().collect();
+        union.sort_unstable();
+        let mut sorted_whole = whole.clone();
+        sorted_whole.sort_unstable();
+        assert_eq!(union, sorted_whole);
+        for lane in &lanes {
+            assert!(lane.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Seeded connection-churn plans: endpoint clone/drop storms racing close.
+//!
+//! A long-lived service never has a stable endpoint population — connections
+//! arrive (sender clones), disconnect (drops), and the nastiest windows are
+//! the ones where the churn races shutdown.  The channel layer's close
+//! protocol (last-sender-drop closes; receivers conclude `Closed` only after
+//! the drain is exact) is precisely what this stresses.
+//!
+//! A [`ChurnPlan`] is the deterministic description of one such storm: a
+//! time-sorted list of [`ChurnEvent`]s drawn from a [`DetRng`].  The plan is
+//! pure data — `PartialEq`, replayable byte for byte from its seed — so a
+//! failing scenario run can be reproduced exactly, and the scenario driver
+//! is free to execute it on whatever endpoints it manages.
+//!
+//! Invariant baked into generation: the plan never drops more endpoints of a
+//! class than it has cloned before that point, so executing it in order
+//! cannot close the channel early by itself — the *final* close always races
+//! the scenario's own shutdown, which is the window under test.
+
+use wcq_harness::DetRng;
+
+/// One churn action, stamped with its intended execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Clone one more sender endpoint into the churn pool.
+    CloneSender {
+        /// Intended execution time, nanoseconds from the scenario epoch.
+        at_ns: u64,
+    },
+    /// Drop one sender endpoint from the churn pool (a disconnect).
+    DropSender {
+        /// Intended execution time, nanoseconds from the scenario epoch.
+        at_ns: u64,
+    },
+    /// Clone one more receiver endpoint into the churn pool.
+    CloneReceiver {
+        /// Intended execution time, nanoseconds from the scenario epoch.
+        at_ns: u64,
+    },
+    /// Drop one receiver endpoint from the churn pool.
+    DropReceiver {
+        /// Intended execution time, nanoseconds from the scenario epoch.
+        at_ns: u64,
+    },
+}
+
+impl ChurnEvent {
+    /// The event's intended execution time (ns from the scenario epoch).
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            ChurnEvent::CloneSender { at_ns }
+            | ChurnEvent::DropSender { at_ns }
+            | ChurnEvent::CloneReceiver { at_ns }
+            | ChurnEvent::DropReceiver { at_ns } => at_ns,
+        }
+    }
+}
+
+/// A deterministic churn storm: time-sorted events over a fixed window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnPlan {
+    /// The events, nondecreasing in [`ChurnEvent::at_ns`].
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// Draws a plan of `events` actions spread uniformly over
+    /// `window_ns` of virtual time from `seed`.  Same `(seed, window_ns,
+    /// events)` → the same plan, byte for byte.
+    pub fn from_seed(seed: u64, window_ns: u64, events: usize) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut times: Vec<u64> = (0..events)
+            .map(|_| rng.next_below(window_ns.max(1)))
+            .collect();
+        times.sort_unstable();
+        // Walk the sorted times assigning kinds, keeping each class's pool
+        // balance nonnegative so a drop never outruns its clone.
+        let mut senders_pooled = 0u32;
+        let mut receivers_pooled = 0u32;
+        let events = times
+            .into_iter()
+            .map(|at_ns| {
+                let receiver_side = rng.chance(0.3);
+                if receiver_side {
+                    if receivers_pooled > 0 && rng.chance(0.5) {
+                        receivers_pooled -= 1;
+                        ChurnEvent::DropReceiver { at_ns }
+                    } else {
+                        receivers_pooled += 1;
+                        ChurnEvent::CloneReceiver { at_ns }
+                    }
+                } else if senders_pooled > 0 && rng.chance(0.5) {
+                    senders_pooled -= 1;
+                    ChurnEvent::DropSender { at_ns }
+                } else {
+                    senders_pooled += 1;
+                    ChurnEvent::CloneSender { at_ns }
+                }
+            })
+            .collect();
+        Self { events }
+    }
+
+    /// Net endpoints of each class still pooled after the whole plan runs:
+    /// `(senders, receivers)`.  The scenario driver drops these leftovers at
+    /// shutdown — that final drop racing the frontends' own close is the
+    /// window the plan exists to stress.
+    pub fn leftover(&self) -> (usize, usize) {
+        let mut senders = 0usize;
+        let mut receivers = 0usize;
+        for e in &self.events {
+            match e {
+                ChurnEvent::CloneSender { .. } => senders += 1,
+                ChurnEvent::DropSender { .. } => senders -= 1,
+                ChurnEvent::CloneReceiver { .. } => receivers += 1,
+                ChurnEvent::DropReceiver { .. } => receivers -= 1,
+            }
+        }
+        (senders, receivers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan_byte_for_byte() {
+        let a = ChurnPlan::from_seed(99, 50_000_000, 400);
+        let b = ChurnPlan::from_seed(99, 50_000_000, 400);
+        assert_eq!(a, b);
+        // `Debug` is the byte-level contract the replay test quotes.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = ChurnPlan::from_seed(100, 50_000_000, 400);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plans_are_time_sorted() {
+        let p = ChurnPlan::from_seed(5, 10_000_000, 500);
+        assert!(p.events.windows(2).all(|w| w[0].at_ns() <= w[1].at_ns()));
+    }
+
+    #[test]
+    fn drops_never_outrun_clones() {
+        let p = ChurnPlan::from_seed(77, 10_000_000, 1_000);
+        let mut senders = 0i64;
+        let mut receivers = 0i64;
+        for e in &p.events {
+            match e {
+                ChurnEvent::CloneSender { .. } => senders += 1,
+                ChurnEvent::DropSender { .. } => senders -= 1,
+                ChurnEvent::CloneReceiver { .. } => receivers += 1,
+                ChurnEvent::DropReceiver { .. } => receivers -= 1,
+            }
+            assert!(senders >= 0, "sender pool went negative");
+            assert!(receivers >= 0, "receiver pool went negative");
+        }
+        let (ls, lr) = p.leftover();
+        assert_eq!((ls as i64, lr as i64), (senders, receivers));
+    }
+
+    #[test]
+    fn plans_exercise_all_four_event_kinds() {
+        let p = ChurnPlan::from_seed(3, 10_000_000, 1_000);
+        let has = |f: fn(&ChurnEvent) -> bool| p.events.iter().any(f);
+        assert!(has(|e| matches!(e, ChurnEvent::CloneSender { .. })));
+        assert!(has(|e| matches!(e, ChurnEvent::DropSender { .. })));
+        assert!(has(|e| matches!(e, ChurnEvent::CloneReceiver { .. })));
+        assert!(has(|e| matches!(e, ChurnEvent::DropReceiver { .. })));
+    }
+}

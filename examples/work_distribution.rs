@@ -1,162 +1,117 @@
-//! Work distribution: an MPMC task pool built on the *sharded* wLSCQ.
+//! Work distribution under open-loop load: the scenario driver on a
+//! sharded task pool.
 //!
 //! The paper's introduction motivates fast wait-free queues with "user-space
-//! message passing and scheduling".  This example builds a tiny work
-//! distribution system on `ShardedWcq`: several producers submit independent
-//! tasks (numbers to factor) through **least-loaded routing** — each enqueue
-//! goes to the shard with the smallest approximate backlog, so uneven
-//! producers cannot pile work onto one shard — and several workers pull from
-//! their **home shard first, stealing** from the others once it runs dry, so
-//! a worker whose shard empties keeps the whole pool drained.  Completions
-//! flow back through a bounded wCQ acting as the completion queue.
+//! message passing and scheduling".  Earlier revisions of this example
+//! hand-rolled that pipeline (producers, stealing workers, a collector,
+//! ad-hoc idle-spin shutdown); all of that machinery now lives in the
+//! `wcq-scenario` driver, which adds what the hand-rolled loop could not
+//! measure honestly:
+//!
+//! * **open-loop arrivals** — requests are released on a seeded schedule
+//!   whether or not the pool keeps up, so overload shows up as queueing
+//!   delay instead of silently slowing the producers (no coordinated
+//!   omission: latency is measured from each request's *intended* start);
+//! * **connection churn** — a seeded endpoint clone/drop storm races the
+//!   close, exercising the exact-drain shutdown instead of an idle-spin
+//!   heuristic;
+//! * **a built-in oracle** — the run panics unless every request completes
+//!   exactly once through the close.
+//!
+//! The same workload is run twice — steady arrivals, then the same average
+//! rate delivered in bursts — to show what burstiness alone does to the
+//! tail percentiles of a least-loaded sharded pool.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example work_distribution
 //! ```
 
-use wcq::{ShardPolicy, ShardedWcq, WcqQueue};
+use std::time::Duration;
 
-const PRODUCERS: usize = 2;
+use wcq::{AdaptivePatience, ChannelBackend, PatienceMode, ShardPolicy};
+use wcq_scenario::{ArrivalPattern, Scenario, ScenarioConfig, ScenarioReport};
+
+const FRONTENDS: usize = 2;
 const WORKERS: usize = 3;
 const SHARDS: usize = 4;
-const TASKS_PER_PRODUCER: u64 = 20_000;
+const REQUESTS: usize = 40_000;
 
-/// A unit of work: trial-factor `n` and report the smallest prime factor.
-#[derive(Debug)]
-struct Task {
-    id: u64,
-    n: u64,
-}
+/// Average offered load for both runs (requests per second) — chosen under
+/// the pool's drain capacity so the *steady* run keeps up and the bursty
+/// run's tail comes from its bursts, not from plain overload.
+const AVG_RATE: f64 = 200_000.0;
 
-#[derive(Debug)]
-struct Completion {
-    id: u64,
-    smallest_factor: u64,
-}
+fn run(label: &str, pattern: ArrivalPattern) -> ScenarioReport {
+    let report = Scenario::new(ScenarioConfig {
+        seed: 0x5EED_D157,
+        frontends: FRONTENDS,
+        workers: WORKERS,
+        requests: REQUESTS,
+        pattern,
+        // The task pool of the old example: unbounded wLSCQ shards behind
+        // least-loaded enqueue routing and work-stealing dequeues.
+        backend: ChannelBackend::Sharded,
+        shards: SHARDS,
+        shard_policy: ShardPolicy::LeastLoaded,
+        patience: PatienceMode::Adaptive(AdaptivePatience::default()),
+        // Simulated service time per request (the old trial-factoring).
+        work_ns: 400,
+        churn_events: 128,
+        worker_timeout: Duration::from_millis(1),
+        worker_stall: Duration::ZERO,
+    })
+    .run();
 
-fn smallest_factor(n: u64) -> u64 {
-    if n < 2 {
-        return n;
-    }
-    let mut d = 2;
-    while d * d <= n {
-        if n.is_multiple_of(d) {
-            return d;
-        }
-        d += 1;
-    }
-    n
+    // `run` returning at all means the oracle passed: every request was
+    // delivered exactly once and the post-close drain was exact.
+    assert_eq!(report.completed, REQUESTS as u64);
+    println!("{label}:");
+    println!(
+        "  completed {} requests ({} via the hi-priority lane), {} churn events raced the run",
+        report.completed, report.hi_lane, report.churn_executed
+    );
+    println!(
+        "  queue wait (intended start -> worker dequeue): p50 {:>7} ns  p99 {:>9} ns  p999 {:>9} ns",
+        report.queue_wait.p50(),
+        report.queue_wait.p99(),
+        report.queue_wait.p999()
+    );
+    println!(
+        "  end to end (intended start -> collected):      p50 {:>7} ns  p99 {:>9} ns  p999 {:>9} ns",
+        report.end_to_end.p50(),
+        report.end_to_end.p99(),
+        report.end_to_end.p999()
+    );
+    println!(
+        "  send-call time p99: {} ns, expired parked waits: {}",
+        report.send_op.p99(),
+        report.timeouts
+    );
+    report
 }
 
 fn main() {
-    // The task pool: four unbounded wLSCQ shards, least-loaded enqueue
-    // routing, work-stealing dequeue.  Producers and workers all hold one
-    // registration slot (on every shard) each.
-    let tasks: ShardedWcq<Task> = wcq::builder()
-        .capacity_order(8) // per-segment capacity, per shard
-        .threads(PRODUCERS + WORKERS + 1)
-        .shards(SHARDS)
-        .shard_policy(ShardPolicy::LeastLoaded)
-        .build_sharded();
-    let completions: WcqQueue<Completion> = wcq::builder()
-        .capacity_order(10)
-        .threads(WORKERS + 2)
-        .build_bounded();
-    let total_tasks = PRODUCERS as u64 * TASKS_PER_PRODUCER;
+    let steady = run(
+        "steady arrivals",
+        ArrivalPattern::Steady {
+            rate_per_sec: AVG_RATE,
+        },
+    );
 
-    std::thread::scope(|s| {
-        // Producers submit tasks; the sharded queue is unbounded, so a
-        // submission never fails and never blocks.
-        for p in 0..PRODUCERS as u64 {
-            let tasks = &tasks;
-            s.spawn(move || {
-                let mut h = tasks.handle();
-                for i in 0..TASKS_PER_PRODUCER {
-                    let id = p * TASKS_PER_PRODUCER + i;
-                    h.enqueue(Task {
-                        id,
-                        n: 1_000_003 + id * 7,
-                    });
-                }
-            });
-        }
+    // Same average rate, delivered as 4x bursts with matching silences.
+    let bursty = run(
+        "bursty arrivals (same average rate)",
+        ArrivalPattern::Bursty {
+            burst_per_sec: 4.0 * AVG_RATE,
+            on_ns: 250_000,
+            off_ns: 750_000,
+        },
+    );
 
-        // Workers drain their home shard, then steal, until the pool stays
-        // empty long enough that the producers must be done.
-        for _ in 0..WORKERS {
-            let tasks = &tasks;
-            let completions = &completions;
-            s.spawn(move || {
-                let mut input = tasks.handle();
-                let mut output = completions.register().unwrap();
-                let mut idle_spins = 0u32;
-                loop {
-                    match input.dequeue() {
-                        Some(task) => {
-                            idle_spins = 0;
-                            let mut done = Completion {
-                                id: task.id,
-                                smallest_factor: smallest_factor(task.n),
-                            };
-                            while let Err(back) = output.enqueue(done) {
-                                done = back;
-                                std::thread::yield_now();
-                            }
-                        }
-                        None => {
-                            idle_spins += 1;
-                            if idle_spins > 10_000 {
-                                break; // producers are done and every shard drained
-                            }
-                            std::thread::yield_now();
-                        }
-                    }
-                }
-            });
-        }
-
-        // The collector tallies results.
-        let completions = &completions;
-        let tasks = &tasks;
-        s.spawn(move || {
-            let mut h = completions.register().unwrap();
-            let mut seen = vec![false; total_tasks as usize];
-            let mut collected = 0u64;
-            let mut prime_inputs = 0u64;
-            let mut peak_backlog = 0usize;
-            while collected < total_tasks {
-                match h.dequeue() {
-                    Some(c) => {
-                        assert!(!seen[c.id as usize], "task {} completed twice", c.id);
-                        seen[c.id as usize] = true;
-                        if c.smallest_factor > 1_000 {
-                            prime_inputs += 1;
-                        }
-                        collected += 1;
-                        peak_backlog = peak_backlog.max(tasks.len_hint());
-                    }
-                    None => std::thread::yield_now(),
-                }
-            }
-            println!("collected {collected} completions, every task exactly once");
-            println!("{prime_inputs} inputs had no small factor (likely prime)");
-            println!("peak task backlog across all {SHARDS} shards: ~{peak_backlog}");
-        });
-    });
-
-    // Least-loaded routing kept the shards balanced: show the per-shard
-    // traffic (allocated segments track each shard's peak backlog).
-    for (i, shard) in tasks.shards().iter().enumerate() {
-        let stats = shard.segment_stats();
-        println!(
-            "shard {i}: {} segments allocated, {} reused from cache",
-            stats.allocated_total, stats.reused_total
-        );
-    }
     println!(
-        "task pool footprint: {} KiB, completion queue footprint: {} KiB",
-        wcq::WaitFreeQueue::memory_footprint(&tasks) / 1024,
-        completions.memory_footprint() / 1024
+        "burstiness alone moved queue-wait p99 from {} ns to {} ns",
+        steady.queue_wait.p99(),
+        bursty.queue_wait.p99()
     );
 }

@@ -371,6 +371,13 @@ impl<T: Send + 'static, I: Instrument> AsyncReceiver<T, I> {
         drop(self);
         sync
     }
+
+    /// Select support ([`crate::select`]): the wrapped sync endpoint and the
+    /// endpoint's registry slot, together — the multi-channel wait parks one
+    /// waker per participating receiver through these.
+    pub(crate) fn select_parts(&mut self) -> (&mut Receiver<T, I>, u64) {
+        (&mut self.inner, self.waker_id)
+    }
 }
 
 impl<T: Send + 'static, I: Instrument> From<Receiver<T, I>> for AsyncReceiver<T, I> {

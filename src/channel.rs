@@ -68,12 +68,57 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 use std::sync::{Arc, Mutex};
 use std::task::Waker;
 use std::thread::ThreadId;
+use std::time::{Duration, Instant};
 
 use wcq_atomics::Backoff;
 use wcq_core::api::{QueueHandle, WaitFreeQueue};
 use wcq_core::metrics::{Counter, Instrument, NoopInstrument};
 
-pub use wcq_core::channel::{RecvError, SendError, TryRecvError, TrySendError};
+pub use wcq_core::channel::{
+    RecvError, RecvTimeoutError, SendError, SendTimeoutError, TryRecvError, TrySendError,
+};
+
+/// A [`Waker`] that unparks the calling thread — the bridge that lets the
+/// *sync* timeout waits ([`Receiver::recv_timeout`], [`Sender::send_timeout`]
+/// and [`crate::select::recv_any_timeout`]) park in the same
+/// [`WakerRegistry`] slots the async futures use, so one notify path serves
+/// both worlds.
+pub(crate) fn thread_waker() -> Waker {
+    struct ThreadUnparker(std::thread::Thread);
+    impl std::task::Wake for ThreadUnparker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    Waker::from(Arc::new(ThreadUnparker(std::thread::current())))
+}
+
+/// Sleeps until `deadline` (or a wake), returning `false` once the deadline
+/// has passed.  `None` means "no deadline": park until woken.
+pub(crate) fn park_until(deadline: Option<Instant>) -> bool {
+    match deadline {
+        None => {
+            std::thread::park();
+            true
+        }
+        Some(dl) => {
+            let now = Instant::now();
+            if now >= dl {
+                return false;
+            }
+            std::thread::park_timeout(dl - now);
+            true
+        }
+    }
+}
+
+/// `Instant::now() + timeout` with overflow saturating to "no deadline".
+pub(crate) fn deadline_after(timeout: Duration) -> Option<Instant> {
+    Instant::now().checked_add(timeout)
+}
 
 // --------------------------------------------------------------------------
 // Waker registry (shared with the async endpoints)
@@ -545,6 +590,9 @@ pub struct Sender<T: Send + 'static, I: Instrument = NoopInstrument> {
     // Declared before `core`: fields drop in order, so the lifetime-erased
     // handle dies before the Arc that keeps its queue alive.
     slot: HandleSlot<T>,
+    /// Lazily-attached `send_wakers` slot used by [`Sender::send_timeout`];
+    /// detached on drop.  `None` until the first timed wait.
+    timeout_slot: Option<u64>,
     pub(crate) core: Arc<ChannelCore<T, I>>,
 }
 
@@ -564,7 +612,7 @@ impl<T: Send + 'static, I: Instrument> Sender<T, I> {
     /// capacity (the unbounded and sharded backends never report it) and with
     /// [`TrySendError::Closed`] once the channel is closed.
     pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
-        let Self { slot, core } = self;
+        let Self { slot, core, .. } = self;
         let handle = slot.bind(core);
         core.try_send(handle, value)
     }
@@ -608,7 +656,7 @@ impl<T: Send + 'static, I: Instrument> Sender<T, I> {
         }
         let mut backoff = Backoff::new();
         loop {
-            let Self { slot, core } = self;
+            let Self { slot, core, .. } = self;
             let handle = slot.bind(core);
             match core.try_send_many(handle, &mut buf) {
                 Err(SendError(())) => return Err(SendError(buf)),
@@ -628,9 +676,62 @@ impl<T: Send + 'static, I: Instrument> Sender<T, I> {
     /// Non-blocking batch send used by `send_iter` and the async variant: one
     /// credit + closed check, then the backend's `enqueue_many`.
     pub(crate) fn try_send_batch(&mut self, values: &mut Vec<T>) -> Result<usize, SendError<()>> {
-        let Self { slot, core } = self;
+        let Self { slot, core, .. } = self;
         let handle = slot.bind(core);
         core.try_send_many(handle, values)
+    }
+
+    /// Sends `value`, waiting at most `timeout` while a bounded backend is
+    /// full.
+    ///
+    /// Unlike [`Sender::send`]'s spin-then-yield loop, the wait here *parks*:
+    /// the sender deposits a thread-unparking waker in the same
+    /// `send_wakers` registry slot the async sender uses, so the receive
+    /// path's existing wake hook ends the wait with no polling.  The value
+    /// always comes back inside the error — a timed-out send has **not**
+    /// enqueued it (there is no accepted-but-also-returned state), so
+    /// retrying cannot duplicate.
+    ///
+    /// A zero `timeout` degrades to [`Sender::try_send`] with `Full` mapped
+    /// to `Timeout`.
+    pub fn send_timeout(&mut self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let mut item = match self.try_send(value) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Closed(v)) => return Err(SendTimeoutError::Closed(v)),
+            Err(TrySendError::Full(v)) => v,
+        };
+        let deadline = deadline_after(timeout);
+        let id = self.send_slot_id();
+        let waker = thread_waker();
+        let outcome = loop {
+            // Park the waker *before* re-checking: a receive that races in
+            // between consumes the waker and unparks this thread, so the
+            // park below returns immediately instead of losing the wake.
+            self.core.park_send(id, &waker);
+            match self.try_send(item) {
+                Ok(()) => break Ok(()),
+                Err(TrySendError::Closed(v)) => break Err(SendTimeoutError::Closed(v)),
+                Err(TrySendError::Full(v)) => item = v,
+            }
+            if !park_until(deadline) {
+                break Err(SendTimeoutError::Timeout(item));
+            }
+        };
+        // Settle the slot: `false` after the unconditional park above means
+        // a notification consumed our waker since the last look.  Its free
+        // capacity may belong to another parked sender now, so forward it —
+        // a spurious wake is harmless, a swallowed one strands a peer.
+        if !self.core.send_wakers.unpark(id) {
+            self.core.wake_send_one();
+        }
+        outcome
+    }
+
+    /// The endpoint's cached `send_wakers` slot, attached on first use.
+    fn send_slot_id(&mut self) -> u64 {
+        *self
+            .timeout_slot
+            .get_or_insert_with(|| self.core.send_wakers.attach())
     }
 
     /// Closes the channel: all senders fail fast from now on, receivers drain
@@ -662,6 +763,7 @@ impl<T: Send + 'static, I: Instrument> Clone for Sender<T, I> {
         self.core.senders.fetch_add(1, SeqCst);
         Self {
             slot: HandleSlot::new(),
+            timeout_slot: None,
             core: Arc::clone(&self.core),
         }
     }
@@ -669,6 +771,11 @@ impl<T: Send + 'static, I: Instrument> Clone for Sender<T, I> {
 
 impl<T: Send + 'static, I: Instrument> Drop for Sender<T, I> {
     fn drop(&mut self) {
+        if let Some(id) = self.timeout_slot.take() {
+            // `send_timeout` settles its waker before returning, so the slot
+            // is empty here — this only releases the registry entry.
+            self.core.send_wakers.detach(id);
+        }
         if self.core.senders.fetch_sub(1, SeqCst) == 1 {
             self.core.close();
         }
@@ -711,6 +818,9 @@ impl<T: Send + 'static, I: Instrument> std::fmt::Debug for Sender<T, I> {
 pub struct Receiver<T: Send + 'static, I: Instrument = NoopInstrument> {
     // Field order: see `Sender`.
     slot: HandleSlot<T>,
+    /// Lazily-attached `recv_wakers` slot used by [`Receiver::recv_timeout`]
+    /// and [`crate::select::recv_any_timeout`]; detached on drop.
+    timeout_slot: Option<u64>,
     pub(crate) core: Arc<ChannelCore<T, I>>,
 }
 
@@ -721,7 +831,7 @@ impl<T: Send + 'static, I: Instrument> Receiver<T, I> {
     /// Attempts to receive without waiting.  [`TryRecvError::Empty`] means a
     /// later attempt can succeed; [`TryRecvError::Closed`] is final.
     pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
-        let Self { slot, core } = self;
+        let Self { slot, core, .. } = self;
         let handle = slot.bind(core);
         core.try_recv(handle)
     }
@@ -740,6 +850,67 @@ impl<T: Send + 'static, I: Instrument> Receiver<T, I> {
         }
     }
 
+    /// Receives a value, waiting at most `timeout` while the channel is
+    /// empty.
+    ///
+    /// Unlike [`Receiver::recv`]'s spin-then-yield loop, the wait here
+    /// *parks*: the receiver deposits a thread-unparking waker in the same
+    /// `recv_wakers` registry slot the async receiver uses, so the send
+    /// path's existing wake hook (and close's wake-all) ends the wait with
+    /// no polling.  Three outcomes:
+    ///
+    /// * `Ok(value)` — a value arrived within the deadline;
+    /// * [`RecvTimeoutError::Timeout`] — the deadline passed with the channel
+    ///   still empty.  **No element was consumed**: a timed-out receive never
+    ///   dequeues-and-drops, so the exact-drain close guarantee survives any
+    ///   number of timeouts racing the traffic;
+    /// * [`RecvTimeoutError::Closed`] — closed *and* fully drained.  Pending
+    ///   pre-close values are always handed out first, deadline or not.
+    ///
+    /// A zero `timeout` degrades to [`Receiver::try_recv`] with `Empty`
+    /// mapped to `Timeout`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        match self.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(TryRecvError::Closed) => return Err(RecvTimeoutError::Closed),
+            Err(TryRecvError::Empty) => {}
+        }
+        let deadline = deadline_after(timeout);
+        let id = self.recv_slot_id();
+        let waker = thread_waker();
+        let outcome = loop {
+            // Park the waker *before* re-checking: a send that races in
+            // between consumes the waker and unparks this thread, so the
+            // park below returns immediately instead of losing the wake.
+            self.core.park_recv(id, &waker);
+            match self.try_recv() {
+                Ok(v) => break Ok(v),
+                Err(TryRecvError::Closed) => break Err(RecvTimeoutError::Closed),
+                Err(TryRecvError::Empty) => {}
+            }
+            if !park_until(deadline) {
+                break Err(RecvTimeoutError::Timeout);
+            }
+        };
+        // Settle the slot: `false` after the unconditional park above means
+        // a notification consumed our waker since the last look.  The value
+        // it announced may belong to another parked receiver, so forward it
+        // — a spurious wake is harmless, a swallowed one strands a peer.
+        if !self.core.recv_wakers.unpark(id) {
+            self.core.wake_recv_one();
+        }
+        outcome
+    }
+
+    /// The endpoint's cached `recv_wakers` slot, attached on first use.
+    /// Shared with the multi-channel select (`crate::select`), which parks
+    /// one waker per participating receiver through this same slot.
+    pub(crate) fn recv_slot_id(&mut self) -> u64 {
+        *self
+            .timeout_slot
+            .get_or_insert_with(|| self.core.recv_wakers.attach())
+    }
+
     /// Receives up to `max` values into `out` with one handle bind and one
     /// closed/in-flight decision per batch — the channel face of
     /// [`QueueHandle::dequeue_into`].
@@ -755,7 +926,7 @@ impl<T: Send + 'static, I: Instrument> Receiver<T, I> {
         }
         let mut backoff = Backoff::new();
         loop {
-            let Self { slot, core } = self;
+            let Self { slot, core, .. } = self;
             let handle = slot.bind(core);
             match core.try_recv_many(handle, out, max) {
                 Ok(got) => return Ok(got),
@@ -785,7 +956,7 @@ impl<T: Send + 'static, I: Instrument> Receiver<T, I> {
         if max == 0 {
             return Ok(0);
         }
-        let Self { slot, core } = self;
+        let Self { slot, core, .. } = self;
         let handle = slot.bind(core);
         core.try_recv_many(handle, out, max)
     }
@@ -827,6 +998,7 @@ impl<T: Send + 'static, I: Instrument> Clone for Receiver<T, I> {
         self.core.receivers.fetch_add(1, SeqCst);
         Self {
             slot: HandleSlot::new(),
+            timeout_slot: None,
             core: Arc::clone(&self.core),
         }
     }
@@ -834,6 +1006,11 @@ impl<T: Send + 'static, I: Instrument> Clone for Receiver<T, I> {
 
 impl<T: Send + 'static, I: Instrument> Drop for Receiver<T, I> {
     fn drop(&mut self) {
+        if let Some(id) = self.timeout_slot.take() {
+            // The timed waits settle their waker before returning, so the
+            // slot is empty here — this only releases the registry entry.
+            self.core.recv_wakers.detach(id);
+        }
         if self.core.receivers.fetch_sub(1, SeqCst) == 1 {
             // No receiver can ever drain the channel again: close it so
             // senders fail fast instead of filling an abandoned queue.
@@ -892,10 +1069,12 @@ pub(crate) fn channel_over_instrumented<T: Send + 'static, I: Instrument>(
     (
         Sender {
             slot: HandleSlot::new(),
+            timeout_slot: None,
             core: Arc::clone(&core),
         },
         Receiver {
             slot: HandleSlot::new(),
+            timeout_slot: None,
             core,
         },
     )
@@ -1091,6 +1270,118 @@ mod tests {
         assert!(tx.same_channel(&rx));
         assert!(!tx.same_channel(&rx2));
         assert!(!tx2.same_channel(&rx));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (mut tx, mut rx) = unbounded_pair();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout),
+            "empty channel times out without consuming anything"
+        );
+        tx.send(11).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(11));
+        // Zero timeout degrades to a try_recv.
+        assert_eq!(
+            rx.recv_timeout(Duration::ZERO),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_is_woken_by_a_racing_send() {
+        let (tx, mut rx) = unbounded_pair();
+        let sender = std::thread::spawn(move || {
+            let mut tx = tx;
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(7).unwrap();
+        });
+        // Far longer than the send delay: a parked receiver must be *woken*,
+        // not sit out the deadline.
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(7));
+        assert!(start.elapsed() < Duration::from_secs(10));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_drains_exactly_then_reports_closed() {
+        let (mut tx, mut rx) = unbounded_pair();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        // Post-close, pending values come out before Closed — deadline or not.
+        assert_eq!(rx.recv_timeout(Duration::ZERO), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Closed)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_is_woken_by_close() {
+        let (tx, mut rx) = unbounded_pair();
+        let closer = std::thread::spawn(move || {
+            let tx = tx;
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)),
+            Err(RecvTimeoutError::Closed)
+        );
+        assert!(start.elapsed() < Duration::from_secs(10));
+        closer.join().unwrap();
+    }
+
+    #[test]
+    fn send_timeout_times_out_full_then_recovers() {
+        let (mut tx, mut rx) = crate::builder()
+            .capacity_order(1) // capacity 2
+            .threads(2)
+            .backend(crate::ChannelBackend::Bounded)
+            .build_channel::<u64>();
+        tx.send_timeout(1, Duration::ZERO).unwrap();
+        tx.send_timeout(2, Duration::ZERO).unwrap();
+        assert_eq!(
+            tx.send_timeout(3, Duration::from_millis(5)),
+            Err(SendTimeoutError::Timeout(3)),
+            "the value comes back un-enqueued"
+        );
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.send_timeout(3, Duration::from_millis(5)).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        rx.close();
+        assert_eq!(
+            tx.send_timeout(4, Duration::from_millis(5)),
+            Err(SendTimeoutError::Closed(4))
+        );
+    }
+
+    #[test]
+    fn send_timeout_is_woken_by_a_racing_receive() {
+        let (mut tx, rx) = crate::builder()
+            .capacity_order(1) // capacity 2
+            .threads(2)
+            .backend(crate::ChannelBackend::Bounded)
+            .build_channel::<u64>();
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let receiver = std::thread::spawn(move || {
+            let mut rx = rx;
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        });
+        let start = Instant::now();
+        tx.send_timeout(3, Duration::from_secs(30)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(10));
+        receiver.join().unwrap();
     }
 
     #[test]

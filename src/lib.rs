@@ -112,6 +112,8 @@
 //! | `h.try_enqueue(v) == Err(v)` / `h.dequeue() == None` | `TrySendError::{Full, Closed}` / `TryRecvError::{Empty, Closed}` |
 //! | spin-wait for consumers (`Backoff` loops) | `build_async()` + `AsyncReceiver::recv().await` (park/wake) |
 //! | hand-tuned `patience(e, d)` per workload | `patience_mode(PatienceMode::Adaptive(AdaptivePatience::default()))` (self-tuning) |
+//! | deadline loops over `try_recv()` + `Instant` checks | [`Receiver::recv_timeout`] / [`Sender::send_timeout`] (parked, not polled) |
+//! | one thread (or task) per drained channel | [`select::recv_any`] / [`select::recv_any_timeout`] — one waker parked across all lanes |
 //!
 //! The per-crate constructors remain available inside `wcq-core` /
 //! `wcq-unbounded` for the algorithm-level tests, but application code —
@@ -123,6 +125,7 @@
 
 pub mod async_channel;
 pub mod channel;
+pub mod select;
 
 pub use wcq_atomics as atomics;
 pub use wcq_baselines as baselines;
@@ -131,7 +134,11 @@ pub use wcq_reclaim as reclaim;
 pub use wcq_unbounded as unbounded;
 
 pub use async_channel::{AsyncReceiver, AsyncSender};
-pub use channel::{Receiver, RecvError, SendError, Sender, TryRecvError, TrySendError};
+pub use channel::{
+    Receiver, RecvError, RecvTimeoutError, SendError, SendTimeoutError, Sender, TryRecvError,
+    TrySendError,
+};
+pub use select::{recv_any, recv_any_timeout, RecvAny};
 pub use wcq_core::adaptive::{AdaptivePatience, PatienceMode};
 pub use wcq_core::api::{tid_memo, QueueHandle, WaitFreeQueue};
 pub use wcq_core::metrics::{

@@ -237,6 +237,73 @@ fn adaptive_patience_raises_show_up_in_telemetry() {
 }
 
 #[test]
+fn batch_only_traffic_drives_the_adaptive_patience_controller() {
+    // The batch entry points reserve whole runs of tickets with one F&A and
+    // pool the run's retry tally into a single controller observation — they
+    // must drive the adaptive patience exactly like single-op traffic does.
+    // Injected LL/SC spurious failures make the in-slot CAS retries (and so
+    // the raise) deterministic on a single core; switching the injection off
+    // lets the EWMA decay and must walk the bound back down.  Both directions
+    // of the movement are asserted through the shared counters, under traffic
+    // that *only* uses `enqueue_many`/`dequeue_into`.
+    let _rate = LLSC_RATE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let cfg = WcqConfig {
+        adaptive_patience: Some(AdaptivePatience {
+            min: 1,
+            max: 256,
+            sample_every: 16,
+        }),
+        ..WcqConfig::default()
+    };
+    let (queue, instr) =
+        make_counting_queue(QueueKind::WcqLlsc, 1, 9, Some(cfg)).expect("LLSC kind counts");
+    {
+        let mut h = queue.handle();
+        let mut batch = Vec::new();
+        let mut out = Vec::new();
+        // Phase 1 — contended batches: at a 50% spurious-failure rate every
+        // in-slot CAS burns one expected retry, so each pooled run averages
+        // ~EWMA_ONE extra attempts per op and the bound doubles within a few
+        // windows.
+        wcq_atomics::llsc::set_spurious_failure_rate(0.5);
+        for round in 0..100u64 {
+            batch.extend((0..32).map(|i| round * 32 + i));
+            assert_eq!(h.enqueue_many(&mut batch), 32, "batch must be accepted");
+            batch.clear();
+            while out.len() < 32 {
+                let want = 32 - out.len();
+                h.dequeue_into(&mut out, want);
+            }
+            out.clear();
+        }
+        // Phase 2 — quiet batches: no injection, no misses; the EWMA decays
+        // geometrically below LOWER_LEVEL and the bound halves back down.
+        wcq_atomics::llsc::set_spurious_failure_rate(0.0);
+        for round in 0..100u64 {
+            batch.extend((0..32).map(|i| round * 32 + i));
+            assert_eq!(h.enqueue_many(&mut batch), 32, "batch must be accepted");
+            batch.clear();
+            while out.len() < 32 {
+                let want = 32 - out.len();
+                h.dequeue_into(&mut out, want);
+            }
+            out.clear();
+        }
+    }
+    let snap = instr.snapshot();
+    assert!(
+        snap.get(Counter::PatienceRaised) >= 1,
+        "contended batch-only traffic must raise the patience bound"
+    );
+    assert!(
+        snap.get(Counter::PatienceLowered) >= 1,
+        "quiet batch-only traffic must lower the patience bound back"
+    );
+}
+
+#[test]
 fn adaptive_shard_set_transitions_show_up_in_telemetry() {
     let (queue, instr) = make_counting_queue(QueueKind::WcqShardedAdaptive, 1, 6, None)
         .expect("adaptive sharded counts");
